@@ -1,0 +1,277 @@
+(* Command-line front end: equivalence checking, distribution extraction,
+   transformation, and benchmark-circuit generation over OpenQASM files. *)
+
+open Cmdliner
+
+let load path =
+  try Circuit.Qasm3_parser.parse_any_file path with
+  | Circuit.Qasm_parser.Parse_error (msg, line) ->
+    Fmt.epr "%s:%d: %s@." path line msg;
+    exit 2
+  | Sys_error msg ->
+    Fmt.epr "%s@." msg;
+    exit 2
+
+let strategy_conv =
+  let parse = function
+    | "construction" -> Ok Qcec.Strategy.Construction
+    | "sequential" -> Ok Qcec.Strategy.Sequential
+    | "proportional" -> Ok Qcec.Strategy.Proportional
+    | "lookahead" -> Ok Qcec.Strategy.Lookahead
+    | s ->
+      (match int_of_string_opt (Scanf.unescaped s) with
+       | _ ->
+         (match String.index_opt s ':' with
+          | Some i when String.sub s 0 i = "simulation" ->
+            (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+             | Some k when k > 0 -> Ok (Qcec.Strategy.Simulation k)
+             | _ -> Error (`Msg "expected simulation:<shots>"))
+          | _ ->
+            Error (`Msg "expected construction, proportional, or simulation:<shots>")))
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Qcec.Strategy.name s))
+
+let perm_conv =
+  let parse s =
+    try
+      Ok (String.split_on_char ',' s |> List.map int_of_string |> Array.of_list)
+    with Failure _ -> Error (`Msg "expected a comma-separated permutation, e.g. 0,3,1,2")
+  in
+  Arg.conv (parse, fun ppf p ->
+    Fmt.pf ppf "%a" Fmt.(array ~sep:(any ",") int) p)
+
+(* -- check ------------------------------------------------------------ *)
+
+let check_cmd =
+  let run file_a file_b strategy perm quiet =
+    let a = load file_a and b = load file_b in
+    let r = Qcec.Verify.functional ~strategy ?perm a b in
+    if not quiet then Fmt.pr "%a@." Qcec.Verify.pp_functional r;
+    if r.Qcec.Verify.equivalent then begin
+      Fmt.pr "equivalent@.";
+      exit 0
+    end
+    else begin
+      Fmt.pr "not equivalent@.";
+      exit 1
+    end
+  in
+  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.qasm") in
+  let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.qasm") in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Qcec.Strategy.Proportional
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:"construction, proportional, or simulation:<shots>")
+  in
+  let perm =
+    Arg.(
+      value
+      & opt (some perm_conv) None
+      & info [ "p"; "perm" ] ~docv:"PERM"
+          ~doc:"wire alignment applied to the second circuit, e.g. 0,3,1,2")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only print the verdict") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check full functional equivalence of two circuits (dynamic inputs are \
+          transformed with the Section 4 scheme first)")
+    Term.(const run $ file_a $ file_b $ strategy $ perm $ quiet)
+
+(* -- distribution ------------------------------------------------------ *)
+
+let distribution_cmd =
+  let run dyn_file static_file cutoff domains eps =
+    let dyn = load dyn_file and static = load static_file in
+    let r = Qcec.Verify.distribution ~eps ~cutoff ~domains dyn static in
+    Fmt.pr "%a@." Qcec.Verify.pp_distribution r;
+    exit (if r.Qcec.Verify.distributions_equal then 0 else 1)
+  in
+  let dyn = Arg.(required & pos 0 (some file) None & info [] ~docv:"DYNAMIC.qasm") in
+  let static = Arg.(required & pos 1 (some file) None & info [] ~docv:"STATIC.qasm") in
+  let cutoff =
+    Arg.(value & opt float 1e-12 & info [ "cutoff" ] ~doc:"branch pruning threshold")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "j"; "domains" ] ~doc:"parallel domains")
+  in
+  let eps =
+    Arg.(value & opt float 1e-9 & info [ "eps" ] ~doc:"total-variation tolerance")
+  in
+  Cmd.v
+    (Cmd.info "distribution"
+       ~doc:
+         "Compare the measurement-outcome distribution of a dynamic circuit \
+          (extracted with the Section 5 scheme) against a static reference")
+    Term.(const run $ dyn $ static $ cutoff $ domains $ eps)
+
+(* -- extract ------------------------------------------------------------ *)
+
+let extract_cmd =
+  let run file cutoff tree top =
+    let c = load file in
+    if tree then begin
+      Fmt.pr "%a@." Qsim.Extraction.pp_tree (Qsim.Extraction.tree ~cutoff c)
+    end
+    else begin
+      let r = Qsim.Extraction.run ~cutoff c in
+      Fmt.pr "%a@." Qcec.Distribution.pp
+        (Qcec.Distribution.most_probable ~count:top r.Qsim.Extraction.distribution);
+      Fmt.pr "(%d leaves, %d branch points, %d pruned, mass %.6f)@."
+        r.Qsim.Extraction.stats.Qsim.Extraction.leaves
+        r.Qsim.Extraction.stats.Qsim.Extraction.branch_points
+        r.Qsim.Extraction.stats.Qsim.Extraction.pruned
+        (Qcec.Distribution.mass r.Qsim.Extraction.distribution)
+    end
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.qasm") in
+  let cutoff =
+    Arg.(value & opt float 1e-12 & info [ "cutoff" ] ~doc:"branch pruning threshold")
+  in
+  let tree =
+    Arg.(value & flag & info [ "tree" ] ~doc:"print the branching tree (Fig. 4 style)")
+  in
+  let top = Arg.(value & opt int 20 & info [ "top" ] ~doc:"outcomes to print") in
+  Cmd.v
+    (Cmd.info "extract"
+       ~doc:"Extract the measurement-outcome distribution of a dynamic circuit")
+    Term.(const run $ file $ cutoff $ tree $ top)
+
+(* -- transform ------------------------------------------------------------ *)
+
+let transform_cmd =
+  let run file output draw =
+    let c = load file in
+    let out = Transform.Dynamic.to_static c in
+    Fmt.epr "eliminated %d resets (+%d qubits), deferred %d measurements, replaced %d conditions@."
+      out.Transform.Dynamic.resets_eliminated out.Transform.Dynamic.qubits_added
+      out.Transform.Dynamic.measurements_deferred
+      out.Transform.Dynamic.conditions_replaced;
+    if draw then Circuit.Draw.print out.Transform.Dynamic.circuit
+    else begin
+      match output with
+      | Some path -> Circuit.Qasm_printer.to_file path out.Transform.Dynamic.circuit
+      | None -> print_string (Circuit.Qasm_printer.to_string out.Transform.Dynamic.circuit)
+    end
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.qasm") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.qasm")
+  in
+  let draw = Arg.(value & flag & info [ "draw" ] ~doc:"print ASCII art instead of QASM") in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:
+         "Apply the Section 4 scheme (reset substitution + deferred measurement) \
+          and emit the unitary reconstruction")
+    Term.(const run $ file $ output $ draw)
+
+(* -- optimize ------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let run file output verify =
+    let c = load file in
+    let out = Qcompile.Optimize.run c in
+    let s = out.Qcompile.Optimize.stats in
+    Fmt.epr "%d -> %d unitary ops (%d cancelled, %d merged, %d fused)@."
+      s.Qcompile.Optimize.before s.Qcompile.Optimize.after s.Qcompile.Optimize.cancelled
+      s.Qcompile.Optimize.merged s.Qcompile.Optimize.fused;
+    if verify then begin
+      let r = Qcec.Verify.functional c out.Qcompile.Optimize.circuit in
+      Fmt.epr "verified: %s@."
+        (if r.Qcec.Verify.equivalent then "equivalent" else "NOT EQUIVALENT");
+      if not r.Qcec.Verify.equivalent then exit 1
+    end;
+    match output with
+    | Some path -> Circuit.Qasm_printer.to_file path out.Qcompile.Optimize.circuit
+    | None -> print_string (Circuit.Qasm_printer.to_string out.Qcompile.Optimize.circuit)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.qasm") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.qasm")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"equivalence-check the result")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Peephole-optimize a circuit (cancellation, merging, fusion)")
+    Term.(const run $ file $ output $ verify)
+
+(* -- stats ------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run file =
+    let c = load file in
+    let s = Circuit.Stats.compute c in
+    Fmt.pr "%s: %d qubits, %d classical bits@." c.Circuit.Circ.name
+      c.Circuit.Circ.num_qubits c.Circuit.Circ.num_cbits;
+    Fmt.pr "%a@." Circuit.Stats.pp s;
+    Fmt.pr "dynamic: %b@." (Circuit.Circ.is_dynamic c)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.qasm") in
+  Cmd.v (Cmd.info "stats" ~doc:"Print structural circuit metrics") Term.(const run $ file)
+
+(* -- draw ------------------------------------------------------------ *)
+
+let draw_cmd =
+  let run file =
+    Circuit.Draw.print (load file)
+  in
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.qasm") in
+  Cmd.v (Cmd.info "draw" ~doc:"Render a circuit as ASCII art") Term.(const run $ file)
+
+(* -- gen ------------------------------------------------------------ *)
+
+let gen_cmd =
+  let run family n theta dynamic output =
+    let circuit =
+      match family with
+      | "bv" ->
+        let s = Algorithms.Bv.hidden_string ~seed:n n in
+        if dynamic then Algorithms.Bv.dynamic s else Algorithms.Bv.static s
+      | "qft" -> if dynamic then Algorithms.Qft.dynamic n else Algorithms.Qft.static n
+      | "qpe" ->
+        let theta =
+          match theta with
+          | Some t -> t
+          | None -> Algorithms.Qpe.random_theta ~seed:n ~bits:n
+        in
+        if dynamic then Algorithms.Qpe.dynamic ~theta ~bits:n
+        else Algorithms.Qpe.static ~theta ~bits:n
+      | "ghz" -> Algorithms.Ghz.static n
+      | other ->
+        Fmt.epr "unknown family %S (bv, qft, qpe, ghz)@." other;
+        exit 2
+    in
+    match output with
+    | Some path -> Circuit.Qasm_printer.to_file path circuit
+    | None -> print_string (Circuit.Qasm_printer.to_string circuit)
+  in
+  let family =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc:"bv|qft|qpe|ghz")
+  in
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"size (qubits / precision bits)") in
+  let theta =
+    Arg.(value & opt (some float) None & info [ "theta" ] ~doc:"QPE phase in [0,1)")
+  in
+  let dynamic = Arg.(value & flag & info [ "dynamic" ] ~doc:"emit the dynamic variant") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.qasm")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark circuit as OpenQASM")
+    Term.(const run $ family $ n $ theta $ dynamic $ output)
+
+let () =
+  let info =
+    Cmd.info "qcec" ~version:"1.0.0"
+      ~doc:"Equivalence checking of quantum circuits with non-unitary operations"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; distribution_cmd; extract_cmd; transform_cmd; optimize_cmd
+          ; stats_cmd; draw_cmd; gen_cmd ]))

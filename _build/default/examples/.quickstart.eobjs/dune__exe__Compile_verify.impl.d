@@ -1,0 +1,1 @@
+examples/compile_verify.ml: Algorithms Circuit Fmt List Qcec Qcompile Unix

@@ -1,0 +1,1 @@
+examples/noise_study.ml: Algorithms Fmt List Option Qcec Qsim

@@ -1,0 +1,1 @@
+examples/paper_figures.ml: Algorithms Circuit Dd Fmt List Qcec Qcompile Qsim Transform

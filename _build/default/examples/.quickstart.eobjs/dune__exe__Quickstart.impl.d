@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algorithms Circuit Fmt Qcec

@@ -1,0 +1,1 @@
+examples/simulator_showdown.ml: Algorithms Circuit Fmt Qcec Qsim Unix

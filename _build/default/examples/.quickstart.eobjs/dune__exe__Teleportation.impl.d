@@ -1,0 +1,1 @@
+examples/teleportation.ml: Algorithms Circuit Fmt List Qcec Qsim

@@ -1,0 +1,46 @@
+(* Noise study: how decoherence erodes the iterative QPE estimate.
+
+   The density-matrix backend (the mixed-state alternative the paper's
+   Section 5 discusses) naturally hosts error channels; sweeping the
+   depolarizing probability shows the success probability of the phase
+   estimate collapsing towards the uniform floor, and the distribution
+   drifting away from the ideal one extracted by the Section 5 scheme.
+
+   Run with: dune exec examples/noise_study.exe *)
+
+let () =
+  let bits = 4 in
+  let theta = 5.0 /. 16.0 (* 0.0101 binary: exactly representable *) in
+  let dyn = Algorithms.Qpe.dynamic ~theta ~bits in
+  let ideal = (Qsim.Extraction.run dyn).Qsim.Extraction.distribution in
+  let target =
+    (* theta = 0.c3c2c1c0 -> bits c0..c3 as the classical string *)
+    match Qcec.Distribution.most_probable ~count:1 ideal with
+    | [ (bits, _) ] -> bits
+    | _ -> assert false
+  in
+  Fmt.pr "Ideal IQPE, theta = 5/16: estimate |%s> with certainty@.@." target;
+  Fmt.pr "%12s %14s %14s %10s@." "depolarizing" "P(correct)" "TVD vs ideal" "purity";
+  List.iter
+    (fun p ->
+      let noise = { Qsim.Density.depolarizing = p; amplitude_damping = p /. 2.0 } in
+      let d = Qsim.Density.run_noisy ~noise dyn in
+      let dist = Qsim.Density.distribution d in
+      let correct = Option.value ~default:0.0 (List.assoc_opt target dist) in
+      let tvd = Qcec.Distribution.total_variation ideal dist in
+      Fmt.pr "%12.3f %14.4f %14.4f %10.4f@." p correct tvd (Qsim.Density.purity d))
+    [ 0.0; 0.001; 0.005; 0.01; 0.02; 0.05; 0.1 ];
+  Fmt.pr
+    "@.(the uniform floor over %d outcomes is %.4f; equivalence checking against@."
+    (1 lsl bits)
+    (1.0 /. float_of_int (1 lsl bits));
+  Fmt.pr " the ideal distribution fails as soon as the noise is visible)@.";
+  (* closing the loop: a noisy realization is NOT distribution-equivalent *)
+  let noisy =
+    Qsim.Density.distribution
+      (Qsim.Density.run_noisy
+         ~noise:{ Qsim.Density.depolarizing = 0.02; amplitude_damping = 0.01 }
+         dyn)
+  in
+  let tv = Qcec.Distribution.total_variation ideal noisy in
+  if tv < 1e-9 then exit 1

@@ -1,0 +1,62 @@
+(* Quantum teleportation — the canonical dynamic circuit (two mid-circuit
+   measurements steering classically-controlled corrections), exercising the
+   paper's Section 5 scheme.
+
+   Teleportation is *not* unitarily equivalent to preparing the state on the
+   output qubit directly (the circuits treat non-|0> ancilla inputs
+   differently), so full functional verification is the wrong tool; what
+   holds is that for the fixed |000> input the teleported qubit's
+   measurement distribution equals the direct preparation's.  This is
+   exactly the distinction the paper draws between its two schemes.
+
+   Run with: dune exec examples/teleportation.exe *)
+
+module Gates = Circuit.Gates
+
+let () =
+  (* an arbitrary state to teleport: ry/rz rotations of |0> *)
+  let prep = [ Gates.RY 1.234; Gates.RZ 0.567 ] in
+  let tele = Algorithms.Teleport.circuit ~prep in
+  let reference = Algorithms.Teleport.reference ~prep in
+
+  Fmt.pr "Teleportation circuit:@.";
+  Circuit.Draw.print tele;
+
+  (* extract the dynamic circuit's complete outcome distribution *)
+  let result = Qsim.Extraction.run tele in
+  Fmt.pr "@.Extracted distribution over (c0, c1, c2):@.%a@." Qcec.Distribution.pp
+    result.Qsim.Extraction.distribution;
+
+  (* the Bell measurement must be uniform... *)
+  let bell =
+    Qcec.Distribution.marginalize result.Qsim.Extraction.distribution ~bits:[ 0; 1 ]
+  in
+  Fmt.pr "@.Bell measurement marginal (expect uniform):@.%a@." Qcec.Distribution.pp bell;
+
+  (* ...and the output qubit must reproduce the prepared state *)
+  let output =
+    Qcec.Distribution.marginalize result.Qsim.Extraction.distribution ~bits:[ 2 ]
+  in
+  let expected = Qsim.Statevector.extract_distribution reference in
+  Fmt.pr "@.Output qubit marginal vs direct preparation:@.";
+  Fmt.pr "teleported: %a@." Qcec.Distribution.pp output;
+  Fmt.pr "direct:     %a@." Qcec.Distribution.pp expected;
+  let tv = Qcec.Distribution.total_variation output expected in
+  Fmt.pr "@.total variation distance: %.3g — %s@." tv
+    (if tv < 1e-9 then "teleportation verified" else "MISMATCH");
+
+  (* and the two schemes really differ: the unitary reconstructions are NOT
+     equal (teleport vs direct preparation on 3 qubits) *)
+  let padded_reference =
+    (* the reference on 3 qubits: prepare on qubit 2 directly *)
+    let b = Circuit.Builder.create ~qubits:3 ~cbits:3 "direct3" in
+    List.iter (fun g -> Circuit.Builder.add b (Circuit.Op.apply g 2)) prep;
+    Circuit.Builder.measure b 2 2;
+    Circuit.Builder.finish b
+  in
+  let r = Qcec.Verify.functional tele padded_reference in
+  Fmt.pr
+    "@.Full functional check (scheme 1) between teleport and direct preparation: %s@."
+    (if r.Qcec.Verify.equivalent then "equivalent (unexpected!)"
+     else "not equivalent — as expected; only the fixed-input distributions agree");
+  if tv >= 1e-9 then exit 1

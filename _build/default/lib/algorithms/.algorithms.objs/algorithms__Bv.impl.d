@@ -1,0 +1,1 @@
+lib/algorithms/bv.ml: Array Circuit Fmt Pair Random

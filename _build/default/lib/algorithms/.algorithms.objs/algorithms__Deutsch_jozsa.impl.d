@@ -1,0 +1,1 @@
+lib/algorithms/deutsch_jozsa.ml: Array Circuit Fmt Fun Pair Random

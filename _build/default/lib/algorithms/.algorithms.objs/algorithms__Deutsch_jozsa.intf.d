@@ -1,0 +1,1 @@
+lib/algorithms/deutsch_jozsa.mli: Circuit Pair

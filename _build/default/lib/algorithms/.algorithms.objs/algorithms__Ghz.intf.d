@@ -1,0 +1,1 @@
+lib/algorithms/ghz.mli: Circuit

@@ -1,0 +1,1 @@
+lib/algorithms/grover.ml: Circuit Float Fmt List

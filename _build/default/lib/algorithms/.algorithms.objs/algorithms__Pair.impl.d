@@ -1,0 +1,1 @@
+lib/algorithms/pair.ml: Circuit

@@ -1,0 +1,1 @@
+lib/algorithms/qft.ml: Array Circuit Float Fmt Pair

@@ -1,0 +1,1 @@
+lib/algorithms/qft.mli: Circuit Pair

@@ -1,0 +1,1 @@
+lib/algorithms/qpe.ml: Array Circuit Float Fmt List Pair Random

@@ -1,0 +1,1 @@
+lib/algorithms/qpe.mli: Circuit Pair

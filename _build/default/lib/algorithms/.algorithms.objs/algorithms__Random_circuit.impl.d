@@ -1,0 +1,1 @@
+lib/algorithms/random_circuit.ml: Array Circuit Float Fmt List Random

@@ -1,0 +1,1 @@
+lib/algorithms/random_circuit.mli: Circuit

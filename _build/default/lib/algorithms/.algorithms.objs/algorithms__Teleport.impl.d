@@ -1,0 +1,1 @@
+lib/algorithms/teleport.ml: Circuit List

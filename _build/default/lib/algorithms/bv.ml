@@ -1,0 +1,51 @@
+module B = Circuit.Builder
+
+let hidden_string ~seed n =
+  let st = Random.State.make [| seed; n |] in
+  Array.init n (fun _ -> Random.State.bool st)
+
+let static s =
+  let n = Array.length s in
+  let b = B.create ~qubits:(n + 1) ~cbits:n (Fmt.str "bv_static_%d" n) in
+  B.x b n;
+  B.h b n;
+  for k = 0 to n - 1 do
+    B.h b k
+  done;
+  for k = 0 to n - 1 do
+    if s.(k) then B.cx b k n
+  done;
+  for k = 0 to n - 1 do
+    B.h b k
+  done;
+  for k = 0 to n - 1 do
+    B.measure b k k
+  done;
+  B.finish b
+
+let dynamic s =
+  let n = Array.length s in
+  let b = B.create ~qubits:2 ~cbits:n (Fmt.str "bv_dynamic_%d" n) in
+  B.x b 1;
+  B.h b 1;
+  for k = 0 to n - 1 do
+    B.h b 0;
+    if s.(k) then B.cx b 0 1;
+    B.h b 0;
+    B.measure b 0 k;
+    if k < n - 1 then B.reset b 0
+  done;
+  B.finish b
+
+(* After reset elimination the dynamic circuit's wires are: 0 = data bit 0,
+   1 = ancilla, and fresh wire 1 + k = data bit k (k >= 1); the static
+   circuit keeps data bit k on wire k with the ancilla last. *)
+let make s =
+  let n = Array.length s in
+  let dyn_to_static = Array.make (n + 1) 0 in
+  dyn_to_static.(0) <- 0;
+  dyn_to_static.(1) <- n;
+  for w = 2 to n do
+    dyn_to_static.(w) <- w - 1
+  done;
+  { Pair.static_circuit = static s; dynamic_circuit = dynamic s; dyn_to_static }

@@ -1,0 +1,21 @@
+(** Bernstein–Vazirani [42]: recover a hidden bit string [s] from a single
+    oracle query.
+
+    The static circuit uses [n] data qubits plus one ancilla; the dynamic
+    realization [43] re-uses a single work qubit through measure/reset,
+    needing only 2 qubits for any [n]. *)
+
+(** [hidden_string ~seed n] is a reproducible pseudo-random hidden string. *)
+val hidden_string : seed:int -> int -> bool array
+
+(** [static s] is the textbook circuit on [length s + 1] qubits: the
+    ancilla is wire [n]; data wire [k] is measured into classical bit
+    [k]. *)
+val static : bool array -> Circuit.Circ.t
+
+(** [dynamic s] is the 2-qubit realization: wire 0 is the re-used work
+    qubit, wire 1 the ancilla; iteration [k] measures classical bit [k]. *)
+val dynamic : bool array -> Circuit.Circ.t
+
+(** [make s] bundles both with the wire alignment. *)
+val make : bool array -> Pair.t

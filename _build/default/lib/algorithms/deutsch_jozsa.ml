@@ -1,0 +1,70 @@
+module B = Circuit.Builder
+
+type oracle =
+  | Constant of bool
+  | Balanced_parity of bool array
+
+let random_balanced ~seed n =
+  let st = Random.State.make [| seed; n; 0xd7 |] in
+  let rec draw () =
+    let mask = Array.init n (fun _ -> Random.State.bool st) in
+    if Array.exists Fun.id mask then mask else draw ()
+  in
+  Balanced_parity (draw ())
+
+(* the oracle acting on (data qubit k, ancilla): phase-kickback form *)
+let apply_oracle_bit b oracle k ~data ~ancilla =
+  match oracle with
+  | Constant _ -> () (* handled once, globally *)
+  | Balanced_parity mask -> if mask.(k) then B.cx b data ancilla
+
+let apply_constant b oracle ~ancilla =
+  match oracle with
+  | Constant true -> B.x b ancilla
+  | Constant false | Balanced_parity _ -> ()
+
+let static oracle n =
+  let b = B.create ~qubits:(n + 1) ~cbits:n (Fmt.str "dj_static_%d" n) in
+  B.x b n;
+  B.h b n;
+  for k = 0 to n - 1 do
+    B.h b k
+  done;
+  apply_constant b oracle ~ancilla:n;
+  for k = 0 to n - 1 do
+    apply_oracle_bit b oracle k ~data:k ~ancilla:n
+  done;
+  for k = 0 to n - 1 do
+    B.h b k
+  done;
+  for k = 0 to n - 1 do
+    B.measure b k k
+  done;
+  B.finish b
+
+let dynamic oracle n =
+  let b = B.create ~qubits:2 ~cbits:n (Fmt.str "dj_dynamic_%d" n) in
+  B.x b 1;
+  B.h b 1;
+  apply_constant b oracle ~ancilla:1;
+  for k = 0 to n - 1 do
+    B.h b 0;
+    apply_oracle_bit b oracle k ~data:0 ~ancilla:1;
+    B.h b 0;
+    B.measure b 0 k;
+    if k < n - 1 then B.reset b 0
+  done;
+  B.finish b
+
+(* same wire bookkeeping as BV: fresh wire 1 + k carries data bit k *)
+let make oracle n =
+  let dyn_to_static = Array.make (n + 1) 0 in
+  dyn_to_static.(0) <- 0;
+  dyn_to_static.(1) <- n;
+  for w = 2 to n do
+    dyn_to_static.(w) <- w - 1
+  done;
+  { Pair.static_circuit = static oracle n
+  ; dynamic_circuit = dynamic oracle n
+  ; dyn_to_static
+  }

@@ -1,0 +1,22 @@
+(** Deutsch–Jozsa: decide whether an n-bit boolean oracle is constant or
+    balanced with a single query.  Structurally a sibling of
+    Bernstein–Vazirani, so it admits the same 2-qubit dynamic realization
+    with measure/reset qubit re-use. *)
+
+type oracle =
+  | Constant of bool
+  | Balanced_parity of bool array
+      (** f(x) = s.x mod 2 for a non-zero mask — the standard balanced
+          family realizable with CNOTs *)
+
+(** [static oracle n] — n data qubits + 1 ancilla; data wire [k] is measured
+    into classical bit [k]; the all-zero outcome means "constant". *)
+val static : oracle -> int -> Circuit.Circ.t
+
+(** [dynamic oracle n] — 2 qubits with qubit re-use, like the dynamic BV. *)
+val dynamic : oracle -> int -> Circuit.Circ.t
+
+val make : oracle -> int -> Pair.t
+
+(** [random_balanced ~seed n] draws a reproducible non-zero parity mask. *)
+val random_balanced : seed:int -> int -> oracle

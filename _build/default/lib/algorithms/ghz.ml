@@ -1,0 +1,28 @@
+module B = Circuit.Builder
+
+let static n =
+  let b = B.create ~qubits:n ~cbits:n (Fmt.str "ghz_%d" n) in
+  B.h b 0;
+  for k = 1 to n - 1 do
+    B.cx b (k - 1) k
+  done;
+  for k = 0 to n - 1 do
+    B.measure b k k
+  done;
+  B.finish b
+
+let with_parity_check n =
+  if n < 2 then invalid_arg "Ghz.with_parity_check: need at least 2 qubits";
+  let b = B.create ~qubits:(n + 1) ~cbits:(n + 1) (Fmt.str "ghz_parity_%d" n) in
+  B.h b 0;
+  for k = 1 to n - 1 do
+    B.cx b (k - 1) k
+  done;
+  (* parity of the first two data qubits, accumulated on the ancilla *)
+  B.cx b 0 n;
+  B.cx b 1 n;
+  B.measure b n n;
+  for k = 0 to n - 1 do
+    B.measure b k k
+  done;
+  B.finish b

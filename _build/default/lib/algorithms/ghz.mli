@@ -1,0 +1,13 @@
+(** GHZ state preparation, plus a dynamic variant that verifies the state
+    with a mid-circuit parity check — small circuits used by tests and
+    examples. *)
+
+(** [static n] prepares (|0...0> + |1...1>)/sqrt 2 and measures every qubit
+    into its classical bit. *)
+val static : int -> Circuit.Circ.t
+
+(** [with_parity_check n] prepares GHZ, measures a parity ancilla
+    mid-circuit (always 0 on the ideal state), then measures the data
+    qubits; [n >= 2], uses [n + 1] qubits and [n + 1] classical bits (parity
+    in bit [n]). *)
+val with_parity_check : int -> Circuit.Circ.t

@@ -1,0 +1,55 @@
+module B = Circuit.Builder
+module Op = Circuit.Op
+module Gates = Circuit.Gates
+
+let default_iterations ~qubits =
+  let n = float_of_int (1 lsl qubits) in
+  max 1 (int_of_float (Float.round (Float.pi /. 4.0 *. Float.sqrt n)))
+
+let success_probability ~qubits ~iterations =
+  let n = float_of_int (1 lsl qubits) in
+  let theta = Float.asin (1.0 /. Float.sqrt n) in
+  let s = Float.sin ((2.0 *. float_of_int iterations +. 1.0) *. theta) in
+  s *. s
+
+(* phase flip of exactly the state |pattern>: a Z on the last qubit
+   controlled on every other qubit matching its pattern bit, with X
+   conjugation making the last qubit's 0-case work too *)
+let phase_flip b ~qubits pattern =
+  let target = qubits - 1 in
+  let target_bit = (pattern lsr target) land 1 = 1 in
+  if not target_bit then B.x b target;
+  if qubits = 1 then B.z b target
+  else begin
+    let controls =
+      List.init (qubits - 1) (fun q -> { Op.cq = q; pos = (pattern lsr q) land 1 = 1 })
+    in
+    B.add b (Op.Apply { gate = Gates.Z; controls; target })
+  end;
+  if not target_bit then B.x b target
+
+let static ~marked ~qubits ?iterations () =
+  if marked < 0 || marked >= 1 lsl qubits then invalid_arg "Grover.static: bad marked";
+  let iterations =
+    match iterations with Some k -> k | None -> default_iterations ~qubits
+  in
+  let b = B.create ~qubits ~cbits:qubits (Fmt.str "grover_%d_%d" qubits marked) in
+  for q = 0 to qubits - 1 do
+    B.h b q
+  done;
+  for _ = 1 to iterations do
+    (* oracle: flip the phase of |marked> *)
+    phase_flip b ~qubits marked;
+    (* diffusion: 2|s><s| - I = H X (flip |1..1>) X H up to global phase *)
+    for q = 0 to qubits - 1 do
+      B.h b q
+    done;
+    phase_flip b ~qubits 0;
+    for q = 0 to qubits - 1 do
+      B.h b q
+    done
+  done;
+  for q = 0 to qubits - 1 do
+    B.measure b q q
+  done;
+  B.finish b

@@ -1,0 +1,14 @@
+(** Grover search over [n] qubits for a single marked basis state, used as
+    an additional static workload for the simulators, the compiler, and the
+    equivalence checker.  The success probability after the standard
+    [round (pi/4 sqrt (2^n))] iterations is close to 1. *)
+
+(** [static ~marked ~qubits ?iterations ()] builds the circuit (phase
+    oracle + diffusion operator per iteration) and measures every qubit.
+    [marked] is the searched basis state, qubit 0 least significant. *)
+val static : marked:int -> qubits:int -> ?iterations:int -> unit -> Circuit.Circ.t
+
+(** Success probability of finding [marked], computed analytically. *)
+val success_probability : qubits:int -> iterations:int -> float
+
+val default_iterations : qubits:int -> int

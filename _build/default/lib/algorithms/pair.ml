@@ -1,0 +1,8 @@
+type t =
+  { static_circuit : Circuit.Circ.t
+  ; dynamic_circuit : Circuit.Circ.t
+  ; dyn_to_static : int array
+  }
+
+let align_transformed pair transformed =
+  Circuit.Circ.remap transformed ~perm:pair.dyn_to_static

@@ -1,0 +1,16 @@
+(** A benchmark instance: a static circuit, its dynamic realization, and the
+    wire correspondence that makes the transformed dynamic circuit
+    comparable with the static one. *)
+
+type t =
+  { static_circuit : Circuit.Circ.t
+  ; dynamic_circuit : Circuit.Circ.t
+  ; dyn_to_static : int array
+        (** permutation: wire [w] of the {e transformed} (Section 4) dynamic
+            circuit corresponds to wire [dyn_to_static.(w)] of the static
+            circuit *)
+  }
+
+(** [align_transformed pair transformed] renames the transformed dynamic
+    circuit's wires into the static circuit's wire order. *)
+val align_transformed : t -> Circuit.Circ.t -> Circuit.Circ.t

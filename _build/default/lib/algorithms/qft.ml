@@ -1,0 +1,46 @@
+module B = Circuit.Builder
+module Op = Circuit.Op
+module Gates = Circuit.Gates
+
+(* pi / 2^k, float exponentiation so deep circuits (k > 62) stay finite *)
+let rotation k = Float.pi /. Float.pow 2.0 (float_of_int k)
+
+(* Gate order mirrors the unitary reconstruction of the semiclassical
+   version (each qubit receives its accumulated controlled phases, then its
+   Hadamard); controlled-phase gates are diagonal and commute, so this is
+   the textbook circuit — and the one-to-one correspondence keeps the
+   alternating equivalence check at the identity throughout (cf. the
+   paper's flat QFT verification times). *)
+let static n =
+  let b = B.create ~qubits:n ~cbits:n (Fmt.str "qft_static_%d" n) in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      B.cp b (rotation (j - i)) j i
+    done;
+    B.h b i
+  done;
+  for k = 0 to n - 1 do
+    B.measure b k k
+  done;
+  B.finish b
+
+let dynamic n =
+  let b = B.create ~qubits:1 ~cbits:n (Fmt.str "qft_dynamic_%d" n) in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      B.if_bit b ~bit:j ~value:true (Op.apply (Gates.P (rotation (j - i))) 0)
+    done;
+    B.h b 0;
+    B.measure b 0 i;
+    if i > 0 then B.reset b 0
+  done;
+  B.finish b
+
+(* Wire 0 of the transformed dynamic circuit carried the first-processed
+   (most significant) bit c_{n-1}; static keeps c_k on wire k, so the
+   alignment is a reversal. *)
+let make n =
+  { Pair.static_circuit = static n
+  ; dynamic_circuit = dynamic n
+  ; dyn_to_static = Array.init n (fun w -> n - 1 - w)
+  }

@@ -1,0 +1,18 @@
+(** Quantum Fourier Transform (swapless form) and its one-qubit
+    semiclassical realization (Griffiths–Niu [44]).
+
+    The static circuit processes qubits from the top: [h q_i] followed by
+    controlled phases from [q_i] onto every lower qubit (controlled-phase
+    being symmetric, this is the textbook circuit read with the processed
+    qubit as control), then measures qubit [k] into classical bit [k].  The
+    dynamic circuit re-uses one work qubit: iteration [i] (from [n-1] down)
+    first applies the accumulated classically-controlled corrections, then
+    [h], measure into bit [i], reset. *)
+
+(** [static n] — [n(n+1)/2] gates, as in the paper's Table 1. *)
+val static : int -> Circuit.Circ.t
+
+(** [dynamic n] — 1 qubit, [n(n+1)/2 + 2n - 1] operations. *)
+val dynamic : int -> Circuit.Circ.t
+
+val make : int -> Pair.t

@@ -1,0 +1,133 @@
+module B = Circuit.Builder
+module Op = Circuit.Op
+module Gates = Circuit.Gates
+
+let two_pi = 2.0 *. Float.pi
+
+let random_theta ~seed ~bits =
+  let st = Random.State.make [| seed; bits; 0x9e37 |] in
+  let rec draw q acc =
+    if q = bits then acc
+    else draw (q + 1) ((2.0 *. acc) +. (if Random.State.bool st then 1.0 else 0.0))
+  in
+  let k = draw 0 0.0 in
+  (* force the least significant bit so the estimate really needs [bits] *)
+  let k = if Float.rem k 2.0 = 0.0 then k +. 1.0 else k in
+  k /. Float.pow 2.0 (float_of_int bits)
+
+let frac_pow2 theta t =
+  let rec go x t =
+    if t = 0 then x
+    else begin
+      let y = 2.0 *. x in
+      go (y -. Float.floor y) (t - 1)
+    end
+  in
+  go (theta -. Float.floor theta) t
+
+(* Rotation angle of the controlled-U^{2^{m-1-i}} kickback for counting
+   bit i. *)
+let kickback_angle theta ~bits i = two_pi *. frac_pow2 theta (bits - 1 - i)
+
+(* Correction removing an already-known lower bit j from iteration i. *)
+let correction_angle ~i ~j = -.Float.pi /. Float.pow 2.0 (float_of_int (i - j))
+
+let static ~theta ~bits =
+  let m = bits in
+  let b = B.create ~qubits:(m + 1) ~cbits:m (Fmt.str "qpe_static_%d" (m + 1)) in
+  B.x b m;
+  for k = 0 to m - 1 do
+    B.h b k
+  done;
+  for k = 0 to m - 1 do
+    B.cp b (kickback_angle theta ~bits k) k m
+  done;
+  (* swapless inverse QFT on the counting register *)
+  for i = 0 to m - 1 do
+    for j = 0 to i - 1 do
+      B.cp b (correction_angle ~i ~j) j i
+    done;
+    B.h b i
+  done;
+  for k = 0 to m - 1 do
+    B.measure b k k
+  done;
+  B.finish b
+
+(* Textbook formulation: U^{2^k} controlled by counting qubit k (so the
+   register holds QFT|2^m theta>), then the full inverse QFT including its
+   swap layer.  Same unitary as [static]; wildly different gate order. *)
+let static_textbook ~theta ~bits =
+  let m = bits in
+  let b = B.create ~qubits:(m + 1) ~cbits:m (Fmt.str "qpe_textbook_%d" (m + 1)) in
+  (* the textbook form reads the counting register in reversed bit order;
+     an explicit leading swap layer restores the convention of [static], so
+     both variants realize the very same unitary *)
+  for k = 0 to (m / 2) - 1 do
+    B.swap b k (m - 1 - k)
+  done;
+  B.x b m;
+  for k = 0 to m - 1 do
+    B.h b k
+  done;
+  for k = 0 to m - 1 do
+    B.cp b (two_pi *. frac_pow2 theta k) k m
+  done;
+  (* inverse of the standard QFT circuit F = SWAPS . R: apply the swap
+     layer first, then R's rotations reversed and conjugated *)
+  for k = 0 to (m / 2) - 1 do
+    B.swap b k (m - 1 - k)
+  done;
+  let rotation_block = Circuit.Builder.create ~qubits:(m + 1) ~cbits:0 "rot" in
+  for i = m - 1 downto 0 do
+    Circuit.Builder.h rotation_block i;
+    for j = i - 1 downto 0 do
+      Circuit.Builder.cp rotation_block
+        (Float.pi /. Float.pow 2.0 (float_of_int (i - j)))
+        j i
+    done
+  done;
+  let r = Circuit.Builder.finish rotation_block in
+  List.iter (fun op -> B.add b op) (Circuit.Circ.inverse r).Circuit.Circ.ops;
+  for k = 0 to m - 1 do
+    B.measure b k k
+  done;
+  B.finish b
+
+let dynamic ~theta ~bits =
+  let m = bits in
+  let b = B.create ~qubits:2 ~cbits:m (Fmt.str "qpe_dynamic_%d" (m + 1)) in
+  B.x b 1;
+  for i = 0 to m - 1 do
+    B.h b 0;
+    B.cp b (kickback_angle theta ~bits i) 0 1;
+    for j = 0 to i - 1 do
+      B.if_bit b ~bit:j ~value:true (Op.apply (Gates.P (correction_angle ~i ~j)) 0)
+    done;
+    B.h b 0;
+    B.measure b 0 i;
+    if i < m - 1 then B.reset b 0
+  done;
+  B.finish b
+
+(* Transformed dynamic wires: 0 = counting bit 0, 1 = eigenstate, fresh wire
+   1 + i = counting bit i (i >= 1); static keeps counting bit i on wire i
+   with the eigenstate last. *)
+let make ~theta ~bits =
+  let m = bits in
+  let dyn_to_static = Array.make (m + 1) 0 in
+  dyn_to_static.(0) <- 0;
+  dyn_to_static.(1) <- m;
+  for w = 2 to m do
+    dyn_to_static.(w) <- w - 1
+  done;
+  { Pair.static_circuit = static ~theta ~bits
+  ; dynamic_circuit = dynamic ~theta ~bits
+  ; dyn_to_static
+  }
+
+let make_textbook ~theta ~bits =
+  let aligned = make ~theta ~bits in
+  { aligned with Pair.static_circuit = static_textbook ~theta ~bits }
+
+let paper_example () = make ~theta:(3.0 /. 16.0) ~bits:3

@@ -1,0 +1,42 @@
+(** Quantum Phase Estimation (the paper's running example) and Iterative QPE
+    [29].
+
+    The task: estimate [theta] (as a fraction of a full turn, [0 <= theta <
+    1]) of the single-qubit unitary [p(2 pi theta)] on eigenstate |1> to
+    [bits] fractional bits, giving the estimate [0.c_{m-1} ... c_0] with
+    classical bit [k] holding [c_k] ([c_0] least significant, measured first
+    by the iterative version).
+
+    Static layout: wires [0 .. m-1] are the counting qubits (wire [k]
+    measured into bit [k]), wire [m] is the eigenstate qubit.  Dynamic
+    layout: wire 0 is the re-used work qubit, wire 1 the eigenstate. *)
+
+(** [random_theta ~seed ~bits] draws a reproducible phase of full [bits]-bit
+    precision (a random odd multiple of [2^-bits]). *)
+val random_theta : seed:int -> bits:int -> float
+
+(** [frac_pow2 theta t] is the fractional part of [theta * 2^t], computed by
+    repeated doubling so dyadic phases stay exact; both generators derive
+    their rotation angles from it. *)
+val frac_pow2 : float -> int -> float
+
+val static : theta:float -> bits:int -> Circuit.Circ.t
+
+(** [static_textbook] computes the same unitary with the standard textbook
+    structure: kickback [U^{2^k}] controlled by counting qubit [k]
+    (ascending), then an inverse QFT {e with} the explicit swap layer.
+    Functionally equivalent to {!static} — but the gate sequences have no
+    local correspondence, which makes alternating equivalence checking
+    drift far from the identity.  This is the variant that reproduces the
+    paper's steeply growing QPE verification times; {!static} is the
+    aligned formulation, benchmarked as an ablation. *)
+val static_textbook : theta:float -> bits:int -> Circuit.Circ.t
+
+val dynamic : theta:float -> bits:int -> Circuit.Circ.t
+val make : theta:float -> bits:int -> Pair.t
+
+(** [make_textbook] pairs {!static_textbook} with the dynamic circuit. *)
+val make_textbook : theta:float -> bits:int -> Pair.t
+
+(** The paper's Fig. 1/2 instance: [theta = 3/16], [bits = 3]. *)
+val paper_example : unit -> Pair.t

@@ -1,0 +1,153 @@
+module Op = Circuit.Op
+module Gates = Circuit.Gates
+module Circ = Circuit.Circ
+
+let random_gate st =
+  let angle () = Random.State.float st (2.0 *. Float.pi) -. Float.pi in
+  match Random.State.int st 17 with
+  | 0 -> Gates.I
+  | 1 -> Gates.X
+  | 2 -> Gates.Y
+  | 3 -> Gates.Z
+  | 4 -> Gates.H
+  | 5 -> Gates.S
+  | 6 -> Gates.Sdg
+  | 7 -> Gates.T
+  | 8 -> Gates.Tdg
+  | 9 -> Gates.SX
+  | 10 -> Gates.SXdg
+  | 11 -> Gates.RX (angle ())
+  | 12 -> Gates.RY (angle ())
+  | 13 -> Gates.RZ (angle ())
+  | 14 -> Gates.P (angle ())
+  | 15 -> Gates.U2 (angle (), angle ())
+  | _ -> Gates.U3 (angle (), angle (), angle ())
+
+let distinct_pair st n =
+  let a = Random.State.int st n in
+  let rec draw () =
+    let b = Random.State.int st n in
+    if b = a then draw () else b
+  in
+  (a, draw ())
+
+let random_unitary_op st qubits =
+  if qubits >= 2 && Random.State.int st 4 = 0 then begin
+    match Random.State.int st 3 with
+    | 0 ->
+      let a, b = distinct_pair st qubits in
+      Op.Swap (a, b)
+    | 1 ->
+      let c, t = distinct_pair st qubits in
+      Op.Apply
+        { gate = random_gate st
+        ; controls = [ { cq = c; pos = Random.State.bool st } ]
+        ; target = t
+        }
+    | _ ->
+      if qubits >= 3 then begin
+        let t = Random.State.int st qubits in
+        let rec two () =
+          let c1 = Random.State.int st qubits and c2 = Random.State.int st qubits in
+          if c1 = c2 || c1 = t || c2 = t then two () else (c1, c2)
+        in
+        let c1, c2 = two () in
+        Op.Apply
+          { gate = Gates.X
+          ; controls = [ { cq = c1; pos = true }; { cq = c2; pos = Random.State.bool st } ]
+          ; target = t
+          }
+      end
+      else Op.apply (random_gate st) (Random.State.int st qubits)
+  end
+  else Op.apply (random_gate st) (Random.State.int st qubits)
+
+let random_clifford_gate st =
+  match Random.State.int st 6 with
+  | 0 -> Gates.H
+  | 1 -> Gates.S
+  | 2 -> Gates.Sdg
+  | 3 -> Gates.X
+  | 4 -> Gates.Y
+  | _ -> Gates.Z
+
+let unitary ~seed ~qubits ~gates =
+  let st = Random.State.make [| seed; qubits; gates |] in
+  let ops = List.init gates (fun _ -> random_unitary_op st qubits) in
+  Circ.make ~name:(Fmt.str "random_u_%d_%d_%d" seed qubits gates) ~qubits ~cbits:0 ops
+
+let dynamic_core ~clifford ~seed ~qubits ~cbits ~ops =
+  let st = Random.State.make [| seed; qubits; cbits; ops |] in
+  let draw_gate st = if clifford then random_clifford_gate st else random_gate st in
+  (* Track which qubits are "spent" (measured, not yet reset) so the result
+     is always transformable, and which classical bits are written/readable. *)
+  let spent = Array.make qubits false in
+  let written = Array.make cbits false in
+  let free_qubits () =
+    List.filter (fun q -> not spent.(q)) (List.init qubits (fun q -> q))
+  in
+  let readable_bits () =
+    List.filter (fun b -> written.(b)) (List.init cbits (fun b -> b))
+  in
+  let unwritten_bits () =
+    List.filter (fun b -> not written.(b)) (List.init cbits (fun b -> b))
+  in
+  let pick st xs = List.nth xs (Random.State.int st (List.length xs)) in
+  let rec draw_op () =
+    match Random.State.int st 10 with
+    | 0 ->
+      (* measurement, if a fresh classical bit and a live qubit exist *)
+      (match (unwritten_bits (), free_qubits ()) with
+       | [], _ | _, [] -> draw_op ()
+       | bits, qs ->
+         let q = pick st qs and b = pick st bits in
+         spent.(q) <- true;
+         written.(b) <- true;
+         Op.Measure { qubit = q; cbit = b })
+    | 1 ->
+      (* reset revives a spent qubit (or interrupts a live one) *)
+      let q = Random.State.int st qubits in
+      spent.(q) <- false;
+      Op.Reset q
+    | 2 | 3 ->
+      (match (readable_bits (), free_qubits ()) with
+       | [], _ | _, [] -> draw_op ()
+       | bits, qs ->
+         let b = pick st bits in
+         Op.if_bit ~bit:b ~value:(Random.State.bool st)
+           (Op.apply (draw_gate st) (pick st qs)))
+    | _ ->
+      (match free_qubits () with
+       | [] -> draw_op ()
+       | [ q ] -> Op.apply (draw_gate st) q
+       | qs ->
+         (* controlled gates restricted to live qubits *)
+         if Random.State.int st 3 = 0 then begin
+           let t = pick st qs in
+           let rec ctrl () =
+             let c = pick st qs in
+             if c = t then ctrl () else c
+           in
+           if clifford then begin
+             (* stabilizer backend supports positively-controlled X/Z *)
+             let gate = if Random.State.bool st then Gates.X else Gates.Z in
+             Op.Apply
+               { gate; controls = [ { cq = ctrl (); pos = true } ]; target = t }
+           end
+           else
+             Op.Apply
+               { gate = random_gate st
+               ; controls = [ { cq = ctrl (); pos = Random.State.bool st } ]
+               ; target = t
+               }
+         end
+         else Op.apply (draw_gate st) (pick st qs))
+  in
+  let ops = List.init ops (fun _ -> draw_op ()) in
+  Circ.make ~name:(Fmt.str "random_d_%d_%d" seed qubits) ~qubits ~cbits ops
+
+let dynamic ~seed ~qubits ~cbits ~ops =
+  dynamic_core ~clifford:false ~seed ~qubits ~cbits ~ops
+
+let clifford_dynamic ~seed ~qubits ~cbits ~ops =
+  dynamic_core ~clifford:true ~seed ~qubits ~cbits ~ops

@@ -1,0 +1,18 @@
+(** Reproducible random circuits for property-based testing. *)
+
+(** [unitary ~seed ~qubits ~gates] draws single-qubit gates (from the whole
+    alphabet, with random angles) and controlled gates (including negative
+    controls and swaps), no non-unitary operations. *)
+val unitary : seed:int -> qubits:int -> gates:int -> Circuit.Circ.t
+
+(** [dynamic ~seed ~qubits ~cbits ~ops] additionally draws measurements,
+    resets, and single-bit classically-controlled gates.  The circuit is
+    guaranteed transformable by the Section 4 scheme: a classical bit is
+    written at most once, and a measured qubit is reset before being acted
+    on again. *)
+val dynamic : seed:int -> qubits:int -> cbits:int -> ops:int -> Circuit.Circ.t
+
+(** [clifford_dynamic ~seed ~qubits ~cbits ~ops] is like {!dynamic} but
+    draws only Clifford gates ([H S Sdg X Y Z], [CX], [CZ], [Swap]), so the
+    result is simulable by the {!Qsim.Stabilizer} backend as well. *)
+val clifford_dynamic : seed:int -> qubits:int -> cbits:int -> ops:int -> Circuit.Circ.t

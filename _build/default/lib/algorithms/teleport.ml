@@ -1,0 +1,23 @@
+module B = Circuit.Builder
+module Op = Circuit.Op
+module Gates = Circuit.Gates
+
+let circuit ~prep =
+  let b = B.create ~qubits:3 ~cbits:3 "teleport" in
+  List.iter (fun g -> B.add b (Op.apply g 0)) prep;
+  B.h b 1;
+  B.cx b 1 2;
+  B.cx b 0 1;
+  B.h b 0;
+  B.measure b 0 0;
+  B.measure b 1 1;
+  B.if_bit b ~bit:1 ~value:true (Op.apply Gates.X 2);
+  B.if_bit b ~bit:0 ~value:true (Op.apply Gates.Z 2);
+  B.measure b 2 2;
+  B.finish b
+
+let reference ~prep =
+  let b = B.create ~qubits:1 ~cbits:1 "teleport_reference" in
+  List.iter (fun g -> B.add b (Op.apply g 0)) prep;
+  B.measure b 0 0;
+  B.finish b

@@ -1,0 +1,18 @@
+(** Quantum teleportation [28] — the canonical dynamic circuit: two
+    mid-circuit measurements steer classically-controlled X and Z
+    corrections.
+
+    Teleportation is only distribution-equivalent (not unitary-equivalent)
+    to directly preparing the state on the output qubit, so it exercises
+    the paper's Section 5 scheme. *)
+
+(** [circuit ~prep] teleports the state [prep]|0> from wire 0 to wire 2
+    through a Bell pair on wires 1 and 2; classical bits 0 and 1 hold the
+    Bell measurement, bit 2 the final Z-basis measurement of the output
+    qubit. *)
+val circuit : prep:Circuit.Gates.t list -> Circuit.Circ.t
+
+(** [reference ~prep] prepares the same state directly on a single qubit
+    and measures it into classical bit 0 — the distribution teleportation
+    must reproduce on bit 2, marginalized over bits 0 and 1. *)
+val reference : prep:Circuit.Gates.t list -> Circuit.Circ.t

@@ -1,0 +1,1 @@
+lib/circuit/builder.ml: Circ Gates List Op

@@ -1,0 +1,1 @@
+lib/circuit/circ.ml: Array Fmt List Op

@@ -1,0 +1,1 @@
+lib/circuit/draw.ml: Array Buffer Bytes Circ Float Fmt Gates List Op String

@@ -1,0 +1,1 @@
+lib/circuit/gates.ml: Cxnum Float Fmt List

@@ -1,0 +1,1 @@
+lib/circuit/gates.mli: Cxnum Format

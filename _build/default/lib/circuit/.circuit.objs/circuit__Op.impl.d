@@ -1,0 +1,1 @@
+lib/circuit/op.ml: Fmt Gates List

@@ -1,0 +1,1 @@
+lib/circuit/op.mli: Format Gates

@@ -1,0 +1,1 @@
+lib/circuit/qasm3_parser.ml: Filename Fmt List Op Qasm_lexer Qasm_parser

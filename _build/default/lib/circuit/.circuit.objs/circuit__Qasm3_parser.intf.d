@@ -1,0 +1,1 @@
+lib/circuit/qasm3_parser.mli: Circ

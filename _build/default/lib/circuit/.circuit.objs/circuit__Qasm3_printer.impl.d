@@ -1,0 +1,1 @@
+lib/circuit/qasm3_printer.ml: Circ Fmt Format Gates List Op

@@ -1,0 +1,1 @@
+lib/circuit/qasm3_printer.mli: Circ Format

@@ -1,0 +1,1 @@
+lib/circuit/qasm_lexer.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/circuit/qasm_parser.ml: Circ Filename Float Fmt Gates Hashtbl List Op Qasm_lexer

@@ -1,0 +1,1 @@
+lib/circuit/qasm_parser.mli: Circ Op Qasm_lexer

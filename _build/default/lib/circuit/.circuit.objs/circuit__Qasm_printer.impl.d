@@ -1,0 +1,1 @@
+lib/circuit/qasm_printer.ml: Circ Fmt Format Gates List Op

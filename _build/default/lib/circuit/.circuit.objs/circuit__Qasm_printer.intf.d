@@ -1,0 +1,1 @@
+lib/circuit/qasm_printer.mli: Circ Format

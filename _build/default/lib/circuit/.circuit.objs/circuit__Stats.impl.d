@@ -1,0 +1,1 @@
+lib/circuit/stats.ml: Array Circ Fmt List Op

@@ -1,0 +1,45 @@
+type t =
+  { name : string
+  ; qubits : int
+  ; cbits : int
+  ; mutable rev_ops : Op.t list
+  }
+
+let create ~qubits ~cbits name = { name; qubits; cbits; rev_ops = [] }
+let add b op = b.rev_ops <- op :: b.rev_ops
+
+let finish b =
+  Circ.make ~name:b.name ~qubits:b.qubits ~cbits:b.cbits (List.rev b.rev_ops)
+
+let gate1 g b q = add b (Op.apply g q)
+let x = gate1 Gates.X
+let y = gate1 Gates.Y
+let z = gate1 Gates.Z
+let h = gate1 Gates.H
+let s = gate1 Gates.S
+let sdg = gate1 Gates.Sdg
+let tgate = gate1 Gates.T
+let tdg = gate1 Gates.Tdg
+let sx = gate1 Gates.SX
+let rx b theta q = add b (Op.apply (Gates.RX theta) q)
+let ry b theta q = add b (Op.apply (Gates.RY theta) q)
+let rz b theta q = add b (Op.apply (Gates.RZ theta) q)
+let p b lam q = add b (Op.apply (Gates.P lam) q)
+let u3 b theta phi lam q = add b (Op.apply (Gates.U3 (theta, phi, lam)) q)
+let cx b c t = add b (Op.controlled Gates.X ~control:c ~target:t)
+let cz b c t = add b (Op.controlled Gates.Z ~control:c ~target:t)
+let cp b lam c t = add b (Op.controlled (Gates.P lam) ~control:c ~target:t)
+
+let ccx b c1 c2 t =
+  add b
+    (Op.Apply
+       { gate = Gates.X
+       ; controls = [ { cq = c1; pos = true }; { cq = c2; pos = true } ]
+       ; target = t
+       })
+
+let swap b a c = add b (Op.Swap (a, c))
+let measure b q c = add b (Op.Measure { qubit = q; cbit = c })
+let reset b q = add b (Op.Reset q)
+let if_bit b ~bit ~value op = add b (Op.if_bit ~bit ~value op)
+let barrier b qs = add b (Op.Barrier qs)

@@ -1,0 +1,57 @@
+(** Imperative circuit builder with gate-level convenience functions.
+
+    Typical use:
+    {[
+      let b = Builder.create ~qubits:3 ~cbits:3 "demo" in
+      Builder.h b 0;
+      Builder.cx b 0 1;
+      Builder.measure b 0 0;
+      let circuit = Builder.finish b
+    ]} *)
+
+type t
+
+val create : qubits:int -> cbits:int -> string -> t
+
+(** [add b op] appends a raw operation. *)
+val add : t -> Op.t -> unit
+
+(** [finish b] validates and returns the circuit. *)
+val finish : t -> Circ.t
+
+(** {1 Single-qubit gates} *)
+
+val x : t -> int -> unit
+val y : t -> int -> unit
+val z : t -> int -> unit
+val h : t -> int -> unit
+val s : t -> int -> unit
+val sdg : t -> int -> unit
+val tgate : t -> int -> unit
+val tdg : t -> int -> unit
+val sx : t -> int -> unit
+val rx : t -> float -> int -> unit
+val ry : t -> float -> int -> unit
+val rz : t -> float -> int -> unit
+val p : t -> float -> int -> unit
+val u3 : t -> float -> float -> float -> int -> unit
+
+(** {1 Controlled gates} ([control] first, [target] second) *)
+
+val cx : t -> int -> int -> unit
+val cz : t -> int -> int -> unit
+val cp : t -> float -> int -> int -> unit
+val ccx : t -> int -> int -> int -> unit
+val swap : t -> int -> int -> unit
+
+(** {1 Non-unitary primitives} *)
+
+val measure : t -> int -> int -> unit
+
+val reset : t -> int -> unit
+
+(** [if_bit b ~bit ~value op] appends [op] conditioned on classical [bit]
+    holding [value]. *)
+val if_bit : t -> bit:int -> value:bool -> Op.t -> unit
+
+val barrier : t -> int list -> unit

@@ -1,0 +1,98 @@
+type t =
+  { name : string
+  ; num_qubits : int
+  ; num_cbits : int
+  ; ops : Op.t list
+  }
+
+let make ~name ~qubits ~cbits ops =
+  if qubits < 0 || cbits < 0 then invalid_arg "Circ.make: negative register size";
+  List.iteri
+    (fun i op ->
+      match Op.validate ~num_qubits:qubits ~num_cbits:cbits op with
+      | Ok () -> ()
+      | Error msg ->
+        invalid_arg (Fmt.str "Circ.make(%s): op %d invalid: %s" name i msg))
+    ops;
+  { name; num_qubits = qubits; num_cbits = cbits; ops }
+
+type op_counts =
+  { gates : int
+  ; measurements : int
+  ; resets : int
+  ; conditioned : int
+  ; barriers : int
+  }
+
+let op_counts c =
+  let zero = { gates = 0; measurements = 0; resets = 0; conditioned = 0; barriers = 0 } in
+  let count acc op =
+    match op with
+    | Op.Apply _ | Op.Swap _ -> { acc with gates = acc.gates + 1 }
+    | Op.Measure _ -> { acc with measurements = acc.measurements + 1 }
+    | Op.Reset _ -> { acc with resets = acc.resets + 1 }
+    | Op.Cond _ ->
+      { acc with gates = acc.gates + 1; conditioned = acc.conditioned + 1 }
+    | Op.Barrier _ -> { acc with barriers = acc.barriers + 1 }
+  in
+  List.fold_left count zero c.ops
+
+let gate_count c = (op_counts c).gates
+let total_ops c = List.length c.ops
+
+let is_dynamic c =
+  (* A measurement is dynamic when anything after it acts on the measured
+     qubit or reads its classical bit; resets and conditions always are. *)
+  let rec scan = function
+    | [] -> false
+    | Op.Reset _ :: _ -> true
+    | Op.Cond _ :: _ -> true
+    | Op.Measure { qubit; cbit } :: rest ->
+      let uses op =
+        List.mem qubit (Op.qubits op) || List.mem cbit (Op.cbits_read op)
+      in
+      List.exists uses rest || scan rest
+    | (Op.Apply _ | Op.Swap _ | Op.Barrier _) :: rest -> scan rest
+  in
+  scan c.ops
+
+let measurements c =
+  List.filter_map
+    (function Op.Measure { qubit; cbit } -> Some (qubit, cbit) | _ -> None)
+    c.ops
+
+let strip_measurements c =
+  let keep = function
+    | Op.Measure _ | Op.Barrier _ -> false
+    | Op.Apply _ | Op.Swap _ | Op.Reset _ | Op.Cond _ -> true
+  in
+  { c with ops = List.filter keep c.ops }
+
+let inverse c =
+  let inverted = List.rev_map Op.adjoint c.ops in
+  { c with name = c.name ^ "_inv"; ops = inverted }
+
+let remap c ~perm =
+  if Array.length perm <> c.num_qubits then
+    invalid_arg "Circ.remap: permutation size mismatch";
+  let seen = Array.make c.num_qubits false in
+  Array.iter
+    (fun q ->
+      if q < 0 || q >= c.num_qubits || seen.(q) then
+        invalid_arg "Circ.remap: not a permutation";
+      seen.(q) <- true)
+    perm;
+  { c with ops = List.map (Op.map_qubits (fun q -> perm.(q))) c.ops }
+
+let append a b =
+  if a.num_qubits <> b.num_qubits || a.num_cbits <> b.num_cbits then
+    invalid_arg "Circ.append: register mismatch";
+  { a with ops = a.ops @ b.ops }
+
+let with_name c name = { c with name }
+
+let pp ppf c =
+  Fmt.pf ppf "@[<v>circuit %s (%d qubits, %d cbits):@,%a@]" c.name c.num_qubits
+    c.num_cbits
+    (Fmt.list ~sep:Fmt.cut Op.pp)
+    c.ops

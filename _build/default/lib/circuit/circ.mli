@@ -1,0 +1,65 @@
+(** Quantum circuits: a named sequence of operations over [num_qubits]
+    qubits and [num_cbits] classical bits. *)
+
+type t =
+  { name : string
+  ; num_qubits : int
+  ; num_cbits : int
+  ; ops : Op.t list
+  }
+
+(** [make ~name ~qubits ~cbits ops] validates every operation and raises
+    [Invalid_argument] with a descriptive message on the first failure. *)
+val make : name:string -> qubits:int -> cbits:int -> Op.t list -> t
+
+(** {1 Queries} *)
+
+(** [gate_count c] counts unitary operations, looking through classical
+    conditions (a conditioned gate counts as one gate); measurements, resets
+    and barriers are counted separately by {!op_counts}. *)
+val gate_count : t -> int
+
+type op_counts =
+  { gates : int
+  ; measurements : int
+  ; resets : int
+  ; conditioned : int  (** subset of [gates] that carries a condition *)
+  ; barriers : int
+  }
+
+val op_counts : t -> op_counts
+
+(** [total_ops c] is the length of [c.ops]. *)
+val total_ops : t -> int
+
+(** A circuit is dynamic when it contains a reset, a classically-controlled
+    operation, or a measurement followed by any further operation on the
+    measured qubit or using its outcome.  Purely-final measurements do not
+    make a circuit dynamic. *)
+val is_dynamic : t -> bool
+
+(** [measurements c] lists the (qubit, cbit) pairs in program order. *)
+val measurements : t -> (int * int) list
+
+(** {1 Transformations} *)
+
+(** [strip_measurements c] removes measurements and barriers, for functional
+    (unitary) comparison. *)
+val strip_measurements : t -> t
+
+(** [inverse c] reverses and adjoints a unitary circuit.  Raises
+    [Invalid_argument] if [c] contains non-unitary operations (measurements
+    are not allowed either; strip them first). *)
+val inverse : t -> t
+
+(** [remap c ~perm] renames qubit [q] to [perm.(q)]; [perm] must be a
+    permutation of [0 .. num_qubits - 1]. *)
+val remap : t -> perm:int array -> t
+
+(** [append a b] concatenates two circuits over the same registers. *)
+val append : t -> t -> t
+
+(** [with_name c name] renames the circuit. *)
+val with_name : t -> string -> t
+
+val pp : Format.formatter -> t -> unit

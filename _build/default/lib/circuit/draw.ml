@@ -1,0 +1,183 @@
+(* Angles are pretty-printed as small multiples of pi when possible, which
+   keeps the paper's circuits legible (e.g. p(3pi/4)). *)
+let angle_label a =
+  let ratio = a /. Float.pi in
+  let try_denominator d =
+    let num = ratio *. float_of_int d in
+    if Float.abs (num -. Float.round num) < 1e-9 then begin
+      let n = int_of_float (Float.round num) in
+      if n = 0 then Some "0"
+      else begin
+        let sign = if n < 0 then "-" else "" in
+        let n = abs n in
+        match (n, d) with
+        | 1, 1 -> Some (sign ^ "pi")
+        | _, 1 -> Some (Fmt.str "%s%dpi" sign n)
+        | 1, _ -> Some (Fmt.str "%spi/%d" sign d)
+        | _ -> Some (Fmt.str "%s%dpi/%d" sign n d)
+      end
+    end
+    else None
+  in
+  let rec search = function
+    | [] -> Fmt.str "%.3f" a
+    | d :: rest -> (match try_denominator d with Some s -> s | None -> search rest)
+  in
+  search [ 1; 2; 3; 4; 6; 8; 16; 32; 64; 128; 256 ]
+
+let gate_label (g : Gates.t) =
+  match Gates.params g with
+  | [] -> String.uppercase_ascii (Gates.name g)
+  | ps ->
+    Fmt.str "%s(%s)"
+      (String.uppercase_ascii (Gates.name g))
+      (String.concat "," (List.map angle_label ps))
+
+(* A rendered column: a label or marker per involved qubit row, plus the
+   inclusive qubit span that must be vertically connected. *)
+type cell =
+  | Box of string
+  | Ctrl of bool
+  | Cross
+
+type column =
+  { cells : (int * cell) list
+  ; span : int * int
+  }
+
+let rec column_of_op (op : Op.t) =
+  match op with
+  | Apply { gate; controls; target } ->
+    let cells =
+      (target, Box (gate_label gate))
+      :: List.map (fun (c : Op.control) -> (c.cq, Ctrl c.pos)) controls
+    in
+    let qs = List.map fst cells in
+    { cells; span = (List.fold_left min target qs, List.fold_left max target qs) }
+  | Swap (a, b) ->
+    { cells = [ (a, Cross); (b, Cross) ]; span = (min a b, max a b) }
+  | Measure { qubit; cbit } ->
+    { cells = [ (qubit, Box (Fmt.str "M=c%d" cbit)) ]; span = (qubit, qubit) }
+  | Reset q -> { cells = [ (q, Box "|0>") ]; span = (q, q) }
+  | Cond { cond; op } ->
+    let inner = column_of_op op in
+    let suffix =
+      match cond.bits with
+      | [ b ] -> Fmt.str "?c%d=%d" b cond.value
+      | bs ->
+        Fmt.str "?c[%s]=%d" (String.concat "," (List.map string_of_int bs)) cond.value
+    in
+    let tag = function
+      | Box s -> Box (s ^ suffix)
+      | (Ctrl _ | Cross) as cell -> cell
+    in
+    { inner with
+      cells = List.map (fun (q, cell) -> (q, tag cell)) inner.cells
+    }
+  | Barrier qs ->
+    let qs = match qs with [] -> [ 0 ] | _ -> qs in
+    { cells = List.map (fun q -> (q, Box "~")) qs
+    ; span = (List.fold_left min (List.hd qs) qs, List.fold_left max (List.hd qs) qs)
+    }
+
+(* Greedy left packing: a column of the drawing holds several operations as
+   long as their qubit spans do not overlap. *)
+let pack_columns ops =
+  let columns : column list list ref = ref [] in
+  let place op =
+    let col = column_of_op op in
+    let overlaps existing =
+      let lo1, hi1 = col.span in
+      List.exists
+        (fun c ->
+          let lo2, hi2 = c.span in
+          not (hi1 < lo2 || hi2 < lo1))
+        existing
+    in
+    match !columns with
+    | last :: rest when not (overlaps last) -> columns := (col :: last) :: rest
+    | _ -> columns := [ col ] :: !columns
+  in
+  List.iter place ops;
+  List.rev_map List.rev !columns
+
+let render ?(max_columns = 500) (c : Circ.t) =
+  let packed = pack_columns c.ops in
+  let truncated = List.length packed > max_columns in
+  let packed = List.filteri (fun i _ -> i < max_columns) packed in
+  let nrows = (2 * c.num_qubits) - 1 in
+  let row_of_q q = 2 * q in
+  let buffers = Array.init (max nrows 1) (fun _ -> Buffer.create 256) in
+  let pad_to width =
+    Array.iter
+      (fun b ->
+        while Buffer.length b < width do
+          Buffer.add_char b ' '
+        done)
+      buffers
+  in
+  (* wire prefix *)
+  for q = 0 to c.num_qubits - 1 do
+    Buffer.add_string buffers.(row_of_q q) (Fmt.str "q%-2d: " q)
+  done;
+  pad_to (Array.fold_left (fun acc b -> max acc (Buffer.length b)) 0 buffers);
+  let emit_column cols =
+    let width =
+      List.fold_left
+        (fun acc col ->
+          List.fold_left
+            (fun acc (_, cell) ->
+              match cell with
+              | Box s -> max acc (String.length s + 2)
+              | Ctrl _ | Cross -> max acc 3)
+            acc col.cells)
+        3 cols
+    in
+    let base = Buffer.length buffers.(0) in
+    pad_to base;
+    (* default: wires on qubit rows, blanks between *)
+    for q = 0 to c.num_qubits - 1 do
+      Buffer.add_string buffers.(row_of_q q) (String.make width '-')
+    done;
+    for q = 0 to c.num_qubits - 2 do
+      Buffer.add_string buffers.((2 * q) + 1) (String.make width ' ')
+    done;
+    let set_text row text =
+      let b = buffers.(row) in
+      let s = Buffer.to_bytes b in
+      let start = base + ((width - String.length text) / 2) in
+      String.iteri (fun i ch -> Bytes.set s (start + i) ch) text;
+      Buffer.clear b;
+      Buffer.add_bytes b s
+    in
+    let draw_col col =
+      let lo, hi = col.span in
+      (* vertical connector through the span *)
+      if hi > lo then
+        for row = (2 * lo) + 1 to (2 * hi) - 1 do
+          set_text row "|"
+        done;
+      let draw_cell (q, cell) =
+        let text =
+          match cell with
+          | Box s -> "[" ^ s ^ "]"
+          | Ctrl true -> "*"
+          | Ctrl false -> "o"
+          | Cross -> "x"
+        in
+        set_text (row_of_q q) text
+      in
+      List.iter draw_cell col.cells
+    in
+    List.iter draw_col cols
+  in
+  List.iter emit_column packed;
+  if truncated then
+    for q = 0 to c.num_qubits - 1 do
+      Buffer.add_string buffers.(row_of_q q) "..."
+    done;
+  Array.to_list (Array.map Buffer.contents buffers)
+  |> List.filter (fun line -> String.trim line <> "" || true)
+
+let pp ppf c = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut string) (render c)
+let print c = List.iter print_endline (render c)

@@ -1,0 +1,16 @@
+(** ASCII rendering of circuits, used to reproduce the paper's figures in
+    terminal output.
+
+    Layout: one text row per qubit plus connector rows in between; operations
+    are packed greedily into columns from the left.  Controls are drawn as
+    [*] (positive) or [o] (negative), swaps as [x], measurements as [M=ck],
+    resets as [|0>], and a classically-conditioned gate carries a [?ck=v]
+    suffix in its label. *)
+
+(** [render ?max_columns c] lays the circuit out as a list of text lines.
+    Circuits wider than [max_columns] (default 500) are truncated with an
+    ellipsis marker. *)
+val render : ?max_columns:int -> Circ.t -> string list
+
+val pp : Format.formatter -> Circ.t -> unit
+val print : Circ.t -> unit

@@ -1,0 +1,144 @@
+module Cx = Cxnum.Cx
+
+type t =
+  | I
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | SX
+  | SXdg
+  | RX of float
+  | RY of float
+  | RZ of float
+  | P of float
+  | U2 of float * float
+  | U3 of float * float * float
+
+let half = 0.5
+
+(* Phases of common angles go through [Cx.e_i_pi] so that multiples of pi/4
+   hit exact constants instead of accumulating transcendental drift. *)
+let e_i theta = Cx.e_i_pi (theta /. Float.pi)
+
+let u3_matrix theta phi lam =
+  let c = Cx.of_float (Float.cos (half *. theta)) in
+  let s = Float.sin (half *. theta) in
+  [| c
+   ; Cx.mul (Cx.of_float (-.s)) (e_i lam)
+   ; Cx.mul (Cx.of_float s) (e_i phi)
+   ; Cx.mul c (e_i (phi +. lam))
+  |]
+
+let matrix = function
+  | I -> [| Cx.one; Cx.zero; Cx.zero; Cx.one |]
+  | X -> [| Cx.zero; Cx.one; Cx.one; Cx.zero |]
+  | Y -> [| Cx.zero; Cx.neg Cx.i; Cx.i; Cx.zero |]
+  | Z -> [| Cx.one; Cx.zero; Cx.zero; Cx.minus_one |]
+  | H ->
+    let a = Cx.of_float Cx.sqrt2_inv in
+    [| a; a; a; Cx.neg a |]
+  | S -> [| Cx.one; Cx.zero; Cx.zero; Cx.i |]
+  | Sdg -> [| Cx.one; Cx.zero; Cx.zero; Cx.neg Cx.i |]
+  | T -> [| Cx.one; Cx.zero; Cx.zero; Cx.e_i_pi 0.25 |]
+  | Tdg -> [| Cx.one; Cx.zero; Cx.zero; Cx.e_i_pi (-0.25) |]
+  | SX ->
+    let p = Cx.make 0.5 0.5 and m = Cx.make 0.5 (-0.5) in
+    [| p; m; m; p |]
+  | SXdg ->
+    let p = Cx.make 0.5 0.5 and m = Cx.make 0.5 (-0.5) in
+    [| m; p; p; m |]
+  | RX theta ->
+    let c = Cx.of_float (Float.cos (half *. theta)) in
+    let s = Cx.make 0.0 (-.Float.sin (half *. theta)) in
+    [| c; s; s; c |]
+  | RY theta ->
+    let c = Cx.of_float (Float.cos (half *. theta)) in
+    let s = Float.sin (half *. theta) in
+    [| c; Cx.of_float (-.s); Cx.of_float s; c |]
+  | RZ theta -> [| e_i (-.half *. theta); Cx.zero; Cx.zero; e_i (half *. theta) |]
+  | P lam -> [| Cx.one; Cx.zero; Cx.zero; e_i lam |]
+  | U2 (phi, lam) -> u3_matrix (half *. Float.pi) phi lam
+  | U3 (theta, phi, lam) -> u3_matrix theta phi lam
+
+let adjoint = function
+  | I -> I
+  | X -> X
+  | Y -> Y
+  | Z -> Z
+  | H -> H
+  | S -> Sdg
+  | Sdg -> S
+  | T -> Tdg
+  | Tdg -> T
+  | SX -> SXdg
+  | SXdg -> SX
+  | RX theta -> RX (-.theta)
+  | RY theta -> RY (-.theta)
+  | RZ theta -> RZ (-.theta)
+  | P lam -> P (-.lam)
+  | U2 (phi, lam) -> U3 (-.half *. Float.pi, -.lam, -.phi)
+  | U3 (theta, phi, lam) -> U3 (-.theta, -.lam, -.phi)
+
+let name = function
+  | I -> "id"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | H -> "h"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | SX -> "sx"
+  | SXdg -> "sxdg"
+  | RX _ -> "rx"
+  | RY _ -> "ry"
+  | RZ _ -> "rz"
+  | P _ -> "p"
+  | U2 _ -> "u2"
+  | U3 _ -> "u3"
+
+let params = function
+  | I | X | Y | Z | H | S | Sdg | T | Tdg | SX | SXdg -> []
+  | RX a | RY a | RZ a | P a -> [ a ]
+  | U2 (a, b) -> [ a; b ]
+  | U3 (a, b, c) -> [ a; b; c ]
+
+let equal ~tol a b =
+  name a = name b
+  && List.for_all2 (fun x y -> Float.abs (x -. y) <= tol) (params a) (params b)
+
+let to_u3 = function
+  | I -> U3 (0.0, 0.0, 0.0)
+  | X -> U3 (Float.pi, 0.0, Float.pi)
+  | Y -> U3 (Float.pi, half *. Float.pi, half *. Float.pi)
+  | Z -> U3 (0.0, 0.0, Float.pi)
+  | H -> U3 (half *. Float.pi, 0.0, Float.pi)
+  | S -> U3 (0.0, 0.0, half *. Float.pi)
+  | Sdg -> U3 (0.0, 0.0, -.half *. Float.pi)
+  | T -> U3 (0.0, 0.0, 0.25 *. Float.pi)
+  | Tdg -> U3 (0.0, 0.0, -0.25 *. Float.pi)
+  | SX -> U3 (half *. Float.pi, -.half *. Float.pi, half *. Float.pi)
+  | SXdg -> U3 (half *. Float.pi, half *. Float.pi, -.half *. Float.pi)
+  | RX theta -> U3 (theta, -.half *. Float.pi, half *. Float.pi)
+  | RY theta -> U3 (theta, 0.0, 0.0)
+  | RZ theta -> U3 (0.0, 0.0, theta)
+  | P lam -> U3 (0.0, 0.0, lam)
+  | U2 (phi, lam) -> U3 (half *. Float.pi, phi, lam)
+  | U3 (theta, phi, lam) -> U3 (theta, phi, lam)
+
+let global_phase_to_u3 = function
+  | SX -> 0.25 *. Float.pi
+  | SXdg -> -0.25 *. Float.pi
+  | RZ theta -> -.half *. theta
+  | I | X | Y | Z | H | S | Sdg | T | Tdg | RX _ | RY _ | P _ | U2 _ | U3 _ -> 0.0
+
+let pp ppf g =
+  match params g with
+  | [] -> Fmt.pf ppf "%s" (name g)
+  | ps -> Fmt.pf ppf "%s(%a)" (name g) Fmt.(list ~sep:(any ",") float) ps

@@ -1,0 +1,52 @@
+(** Single-qubit gate alphabet.
+
+    Multi-qubit operations are expressed as controlled versions of these (see
+    {!Op}), which is the universal form decision-diagram construction
+    consumes.  Angles are in radians. *)
+
+type t =
+  | I
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | SX
+  | SXdg
+  | RX of float
+  | RY of float
+  | RZ of float
+  | P of float  (** phase gate diag(1, e^{i lambda}); [P pi = Z] *)
+  | U2 of float * float
+  | U3 of float * float * float
+      (** IBM's generic single-qubit gate
+          [u3(theta, phi, lambda)] *)
+
+(** [matrix g] is the 2x2 unitary, row-major [|u00; u01; u10; u11|]. *)
+val matrix : t -> Cxnum.Cx.t array
+
+(** [adjoint g] is a gate whose matrix is the conjugate transpose of
+    [matrix g]. *)
+val adjoint : t -> t
+
+(** [name g] is the lower-case OpenQASM mnemonic (without parameters). *)
+val name : t -> string
+
+(** [params g] lists the angle parameters, possibly empty. *)
+val params : t -> float list
+
+(** [equal ~tol a b] compares structurally, angles within [tol]. *)
+val equal : tol:float -> t -> t -> bool
+
+(** [to_u3 g] expresses any gate as an equivalent [U3] (up to global
+    phase). *)
+val to_u3 : t -> t
+
+(** [global_phase_to_u3 g] is the phase [alpha] such that
+    [matrix g = exp(i alpha) * matrix (to_u3 g)]. *)
+val global_phase_to_u3 : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Recursive-descent parser for an OpenQASM 3 subset covering the dynamic
+    circuits this library is about.
+
+    Supported statements: the [OPENQASM 3.x;] header, [include] (ignored),
+    [qubit[n] name;] / [qubit name;] and [bit[n] name;] / [bit name;]
+    declarations (flattened in declaration order), the stdgates
+    applications the OpenQASM 2 parser accepts, [gate] definitions,
+    measurement assignments [cbit = measure qubit;], [reset], [barrier],
+    and [if (bit == int) stmt] / [if (bit) stmt] where [stmt] is a single
+    statement or a brace-enclosed block (each statement in the block
+    receives the condition).  Gate parameters are the same expressions as
+    in the OpenQASM 2 parser. *)
+
+(** [parse ?name src] parses a full program.
+    @raise Qasm_parser.Parse_error on malformed input (the error type is
+    shared with the OpenQASM 2 parser). *)
+val parse : ?name:string -> string -> Circ.t
+
+val parse_file : string -> Circ.t
+
+(** [parse_any src] dispatches on the [OPENQASM] version header: 3.x goes
+    to this parser, anything else to {!Qasm_parser.parse}. *)
+val parse_any : ?name:string -> string -> Circ.t
+
+val parse_any_file : string -> Circ.t

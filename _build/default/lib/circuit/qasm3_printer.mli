@@ -1,0 +1,14 @@
+(** OpenQASM 3 output — the language whose dynamic-circuit primitives
+    (mid-circuit measurement assignment, [reset], [if] over measured bits)
+    motivate the paper.
+
+    Emits one [qubit[n] q;] and one [bit[m] c;] declaration, stdgates
+    mnemonics, measurements as [c[i] = measure q[j];], and single-bit
+    conditions as [if (c[k] == v) { ... }].
+
+    @raise Failure on operations with no supported OpenQASM 3 spelling
+    (multi-bit conditions, exotic multi-controlled gates). *)
+
+val pp : Format.formatter -> Circ.t -> unit
+val to_string : Circ.t -> string
+val to_file : string -> Circ.t -> unit

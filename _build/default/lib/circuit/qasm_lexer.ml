@@ -1,0 +1,147 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMICOLON
+  | COMMA
+  | ARROW
+  | EQEQ
+  | EQUALS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+exception Lex_error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let len = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let rec go i =
+    if i >= len then emit EOF
+    else begin
+      match src.[i] with
+      | '\n' ->
+        incr line;
+        go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < len && src.[i + 1] = '/' ->
+        let rec skip j = if j < len && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '(' ->
+        emit LPAREN;
+        go (i + 1)
+      | ')' ->
+        emit RPAREN;
+        go (i + 1)
+      | '[' ->
+        emit LBRACKET;
+        go (i + 1)
+      | ']' ->
+        emit RBRACKET;
+        go (i + 1)
+      | '{' ->
+        emit LBRACE;
+        go (i + 1)
+      | '}' ->
+        emit RBRACE;
+        go (i + 1)
+      | ';' ->
+        emit SEMICOLON;
+        go (i + 1)
+      | ',' ->
+        emit COMMA;
+        go (i + 1)
+      | '+' ->
+        emit PLUS;
+        go (i + 1)
+      | '*' ->
+        emit STAR;
+        go (i + 1)
+      | '/' ->
+        emit SLASH;
+        go (i + 1)
+      | '-' when i + 1 < len && src.[i + 1] = '>' ->
+        emit ARROW;
+        go (i + 2)
+      | '-' ->
+        emit MINUS;
+        go (i + 1)
+      | '=' when i + 1 < len && src.[i + 1] = '=' ->
+        emit EQEQ;
+        go (i + 2)
+      | '=' ->
+        emit EQUALS;
+        go (i + 1)
+      | '"' ->
+        let rec scan j =
+          if j >= len then raise (Lex_error ("unterminated string", !line))
+          else if src.[j] = '"' then j
+          else scan (j + 1)
+        in
+        let close = scan (i + 1) in
+        emit (STRING (String.sub src (i + 1) (close - i - 1)));
+        go (close + 1)
+      | c when is_digit c || (c = '.' && i + 1 < len && is_digit src.[i + 1]) ->
+        let rec scan j seen_dot seen_exp =
+          if j >= len then j
+          else begin
+            match src.[j] with
+            | c when is_digit c -> scan (j + 1) seen_dot seen_exp
+            | '.' when not seen_dot -> scan (j + 1) true seen_exp
+            | 'e' | 'E' when not seen_exp -> scan (j + 1) seen_dot true
+            | '+' | '-' when j > i && (src.[j - 1] = 'e' || src.[j - 1] = 'E') ->
+              scan (j + 1) seen_dot seen_exp
+            | _ -> j
+          end
+        in
+        let stop = scan i false false in
+        let text = String.sub src i (stop - i) in
+        (match float_of_string_opt text with
+         | Some f -> emit (NUMBER f)
+         | None -> raise (Lex_error ("bad number: " ^ text, !line)));
+        go stop
+      | c when is_ident_start c ->
+        let rec scan j = if j < len && is_ident_char src.[j] then scan (j + 1) else j in
+        let stop = scan (i + 1) in
+        emit (IDENT (String.sub src i (stop - i)));
+        go stop
+      | c -> raise (Lex_error (Fmt.str "unexpected character %C" c, !line))
+    end
+  in
+  go 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | NUMBER f -> Fmt.pf ppf "number %g" f
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | LBRACKET -> Fmt.string ppf "'['"
+  | RBRACKET -> Fmt.string ppf "']'"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | SEMICOLON -> Fmt.string ppf "';'"
+  | COMMA -> Fmt.string ppf "','"
+  | ARROW -> Fmt.string ppf "'->'"
+  | EQEQ -> Fmt.string ppf "'=='"
+  | EQUALS -> Fmt.string ppf "'='"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | STAR -> Fmt.string ppf "'*'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | EOF -> Fmt.string ppf "end of input"

@@ -1,0 +1,31 @@
+(** Hand-written lexer for the OpenQASM 2.0 subset accepted by
+    {!Qasm_parser}. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMICOLON
+  | COMMA
+  | ARROW  (** [->] *)
+  | EQEQ  (** [==] *)
+  | EQUALS  (** [=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+exception Lex_error of string * int  (** message, line number *)
+
+(** [tokenize src] lexes the whole input, stripping [//] comments.  Each
+    token is paired with its 1-based line number. *)
+val tokenize : string -> (token * int) list
+
+val pp_token : Format.formatter -> token -> unit

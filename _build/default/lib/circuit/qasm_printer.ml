@@ -1,0 +1,60 @@
+let pp_params ppf gate =
+  match Gates.params gate with
+  | [] -> ()
+  | ps -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ",") (fmt "%.17g")) ps
+
+(* Positive single controls map onto qelib1 controlled gates; negative
+   controls are conjugated with X.  Two positive controls are supported for
+   X (ccx) only. *)
+let rec pp_op ppf op =
+  match (op : Op.t) with
+  | Apply { gate; controls = []; target } ->
+    Fmt.pf ppf "%s%a q[%d];" (Gates.name gate) pp_params gate target
+  | Apply { gate; controls; target } ->
+    let negatives = List.filter (fun (c : Op.control) -> not c.pos) controls in
+    let flip (c : Op.control) = Fmt.pf ppf "x q[%d];@," c.cq in
+    List.iter flip negatives;
+    pp_positive ppf gate (List.map (fun (c : Op.control) -> c.cq) controls) target;
+    List.iter flip negatives
+  | Swap (a, b) -> Fmt.pf ppf "swap q[%d],q[%d];" a b
+  | Measure { qubit; cbit } -> Fmt.pf ppf "measure q[%d] -> c%d[0];" qubit cbit
+  | Reset q -> Fmt.pf ppf "reset q[%d];" q
+  | Cond { cond = { bits = [ bit ]; value }; op } ->
+    Fmt.pf ppf "if (c%d == %d) %a" bit value pp_op op
+  | Cond _ -> failwith "Qasm_printer: multi-bit conditions are not OpenQASM 2.0"
+  | Barrier qs ->
+    Fmt.pf ppf "barrier %a;" Fmt.(list ~sep:(any ",") (fmt "q[%d]")) qs
+
+and pp_positive ppf gate controls target =
+  match (gate, controls) with
+  | Gates.X, [ c ] -> Fmt.pf ppf "cx q[%d],q[%d];" c target
+  | Gates.X, [ c1; c2 ] -> Fmt.pf ppf "ccx q[%d],q[%d],q[%d];" c1 c2 target
+  | Gates.Y, [ c ] -> Fmt.pf ppf "cy q[%d],q[%d];" c target
+  | Gates.Z, [ c ] -> Fmt.pf ppf "cz q[%d],q[%d];" c target
+  | Gates.H, [ c ] -> Fmt.pf ppf "ch q[%d],q[%d];" c target
+  | Gates.P lam, [ c ] -> Fmt.pf ppf "cp(%.17g) q[%d],q[%d];" lam c target
+  | Gates.RZ theta, [ c ] -> Fmt.pf ppf "crz(%.17g) q[%d],q[%d];" theta c target
+  | Gates.U3 (t, p, l), [ c ] ->
+    Fmt.pf ppf "cu3(%.17g,%.17g,%.17g) q[%d],q[%d];" t p l c target
+  | _ ->
+    failwith
+      (Fmt.str "Qasm_printer: no OpenQASM 2.0 spelling for controlled %s with %d controls"
+         (Gates.name gate) (List.length controls))
+
+let pp ppf (c : Circ.t) =
+  Fmt.pf ppf "@[<v>OPENQASM 2.0;@,include \"qelib1.inc\";@,";
+  Fmt.pf ppf "qreg q[%d];@," c.num_qubits;
+  for i = 0 to c.num_cbits - 1 do
+    Fmt.pf ppf "creg c%d[1];@," i
+  done;
+  List.iter (fun op -> Fmt.pf ppf "%a@," pp_op op) c.ops;
+  Fmt.pf ppf "@]"
+
+let to_string c = Fmt.str "%a" pp c
+
+let to_file path c =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  pp ppf c;
+  Format.pp_print_flush ppf ();
+  close_out oc

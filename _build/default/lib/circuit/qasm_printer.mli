@@ -1,0 +1,14 @@
+(** OpenQASM 2.0 output (with the `reset` and per-bit `if` style used by
+    IBM's dynamic-circuit examples).
+
+    Classical bits are emitted as one single-bit register each ([creg c0[1];
+    creg c1[1]; ...]) so that single-bit classical conditions — the only kind
+    the paper's circuits need — are expressible in OpenQASM 2.0 [if]
+    statements.
+
+    @raise Failure on operations with no OpenQASM 2.0 spelling (multi-bit
+    conditions, exotic multi-controlled gates). *)
+
+val pp : Format.formatter -> Circ.t -> unit
+val to_string : Circ.t -> string
+val to_file : string -> Circ.t -> unit

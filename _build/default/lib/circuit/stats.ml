@@ -1,0 +1,51 @@
+type t =
+  { depth : int
+  ; two_qubit_gates : int
+  ; unitary_gates : int
+  ; measurements : int
+  ; resets : int
+  ; conditioned : int
+  ; qubit_activity : int array
+  }
+
+let compute (c : Circ.t) =
+  let counts = Circ.op_counts c in
+  let qubit_level = Array.make (max c.Circ.num_qubits 1) 0 in
+  let cbit_level = Array.make (max c.Circ.num_cbits 1) 0 in
+  let activity = Array.make (max c.Circ.num_qubits 1) 0 in
+  let two_qubit = ref 0 in
+  let depth = ref 0 in
+  let place op =
+    match (op : Op.t) with
+    | Barrier _ -> ()
+    | _ ->
+      let qs = List.sort_uniq compare (Op.qubits op) in
+      let cs =
+        List.sort_uniq compare (Op.cbits_read op @ Op.cbits_written op)
+      in
+      if List.length qs >= 2 then incr two_qubit;
+      List.iter (fun q -> activity.(q) <- activity.(q) + 1) qs;
+      let level =
+        1
+        + List.fold_left (fun acc q -> max acc qubit_level.(q)) 0 qs
+        |> fun l -> List.fold_left (fun acc b -> max acc (cbit_level.(b) + 1)) l cs
+      in
+      List.iter (fun q -> qubit_level.(q) <- level) qs;
+      List.iter (fun b -> cbit_level.(b) <- level) cs;
+      if level > !depth then depth := level
+  in
+  List.iter place c.Circ.ops;
+  { depth = !depth
+  ; two_qubit_gates = !two_qubit
+  ; unitary_gates = counts.Circ.gates
+  ; measurements = counts.Circ.measurements
+  ; resets = counts.Circ.resets
+  ; conditioned = counts.Circ.conditioned
+  ; qubit_activity = Array.sub activity 0 c.Circ.num_qubits
+  }
+
+let pp ppf s =
+  Fmt.pf ppf
+    "depth %d, %d unitary gates (%d two-qubit), %d measurements, %d resets, %d \
+     conditioned"
+    s.depth s.unitary_gates s.two_qubit_gates s.measurements s.resets s.conditioned

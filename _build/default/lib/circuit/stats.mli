@@ -1,0 +1,19 @@
+(** Structural circuit metrics: depth, two-qubit gate count, per-qubit
+    activity — the numbers compilation papers (this one included) report
+    next to raw gate counts. *)
+
+type t =
+  { depth : int
+        (** longest dependency chain; operations on disjoint qubits (and
+            classical bits) may share a layer, measurements and conditions
+            chain through their classical bit *)
+  ; two_qubit_gates : int  (** gates touching >= 2 qubits, swaps included *)
+  ; unitary_gates : int
+  ; measurements : int
+  ; resets : int
+  ; conditioned : int
+  ; qubit_activity : int array  (** operations touching each qubit *)
+  }
+
+val compute : Circ.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/distribution.ml: Float Fmt Hashtbl List Option Qsim String

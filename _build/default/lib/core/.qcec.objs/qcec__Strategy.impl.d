@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Circuit Cxnum Dd Float Fmt List Qsim Random

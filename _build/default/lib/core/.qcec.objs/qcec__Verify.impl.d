@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Circuit Dd Distribution Fmt Hashtbl List Qsim Strategy Transform Unix

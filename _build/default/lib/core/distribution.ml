@@ -1,0 +1,40 @@
+type t = (string * float) list
+
+let to_table d =
+  let tbl = Hashtbl.create (List.length d) in
+  List.iter (fun (k, v) -> Qsim.Classical.add_weighted tbl k v) d;
+  tbl
+
+let total_variation a b =
+  let ta = to_table a and tb = to_table b in
+  let keys = Hashtbl.create 64 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) ta;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) tb;
+  let get t k = Option.value ~default:0.0 (Hashtbl.find_opt t k) in
+  Hashtbl.fold (fun k () acc -> acc +. Float.abs (get ta k -. get tb k)) keys 0.0
+  /. 2.0
+
+let fidelity a b =
+  let tb = to_table b in
+  let get k = Option.value ~default:0.0 (Hashtbl.find_opt tb k) in
+  List.fold_left (fun acc (k, v) -> acc +. Float.sqrt (v *. get k)) 0.0 a
+
+let equal ?(eps = 1e-9) a b = total_variation a b <= eps
+
+let marginalize d ~bits =
+  let tbl = Hashtbl.create 64 in
+  let project key =
+    String.init (List.length bits) (fun k -> key.[List.nth bits k])
+  in
+  List.iter (fun (k, v) -> Qsim.Classical.add_weighted tbl (project k) v) d;
+  Qsim.Classical.sorted_bindings tbl
+
+let mass d = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 d
+
+let most_probable ?(count = 10) d =
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare b a) d in
+  List.filteri (fun i _ -> i < count) sorted
+
+let pp ppf d =
+  let entry ppf (k, v) = Fmt.pf ppf "|%s> : %.6f" k v in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut entry) d

@@ -1,0 +1,33 @@
+(** Measurement-outcome distributions and their comparison.
+
+    A distribution maps classical assignments (a '0'/'1' string indexed by
+    classical bit) to probabilities. *)
+
+type t = (string * float) list
+
+(** [total_variation a b] is [1/2 * sum |a(x) - b(x)|], 0 for equal
+    distributions, 1 for disjoint ones. *)
+val total_variation : t -> t -> float
+
+(** [fidelity a b] is the Bhattacharyya coefficient
+    [sum sqrt (a(x) * b(x))], 1 for equal distributions. *)
+val fidelity : t -> t -> float
+
+(** [equal ?eps a b] holds when the total-variation distance is at most
+    [eps] (default [1e-9]). *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [marginalize d ~bits] projects onto the given classical bits (in the
+    given order: output character [k] is input bit [List.nth bits k]),
+    summing probabilities. *)
+val marginalize : t -> bits:int list -> t
+
+(** [mass d] is the total probability (should be ~1 unless branches were
+    pruned). *)
+val mass : t -> float
+
+(** [most_probable ?count d] lists the heaviest outcomes first (default top
+    10). *)
+val most_probable : ?count:int -> t -> t
+
+val pp : Format.formatter -> t -> unit

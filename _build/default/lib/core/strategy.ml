@@ -1,0 +1,209 @@
+module Circ = Circuit.Circ
+module Op = Circuit.Op
+
+type stimuli =
+  | Basis
+  | Product
+  | Entangled
+
+type t =
+  | Construction
+  | Sequential
+  | Proportional
+  | Lookahead
+  | Simulation of int
+  | Random_stimuli of
+      { kind : stimuli
+      ; shots : int
+      }
+
+type outcome =
+  { equivalent : bool
+  ; equivalent_up_to_phase : bool
+  ; peak_nodes : int
+  }
+
+let default = Proportional
+
+let name = function
+  | Construction -> "construction"
+  | Sequential -> "sequential"
+  | Proportional -> "proportional"
+  | Lookahead -> "lookahead"
+  | Simulation k -> Fmt.str "simulation(%d)" k
+  | Random_stimuli { kind; shots } ->
+    let kind =
+      match kind with Basis -> "basis" | Product -> "product" | Entangled -> "entangled"
+    in
+    Fmt.str "stimuli(%s,%d)" kind shots
+
+let pp ppf s = Fmt.string ppf (name s)
+
+let unitary_ops (c : Circ.t) =
+  List.filter
+    (function Op.Apply _ | Op.Swap _ -> true | Op.Measure _ | Op.Barrier _ -> false
+            | Op.Reset _ | Op.Cond _ ->
+              invalid_arg "Strategy.check: circuit contains non-unitary operations \
+                           (transform it first)")
+    c.Circ.ops
+
+let check_construction p (g : Circ.t) (g' : Circ.t) =
+  let u = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g) in
+  let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
+  { equivalent = Dd.Mat.equal p u u'
+  ; equivalent_up_to_phase = Dd.Mat.equal_up_to_phase p u u'
+  ; peak_nodes = Dd.Mat.node_count u + Dd.Mat.node_count u'
+  }
+
+(* The alternating scheme: maintain M, initially I, and aim for
+   M = G'^dagger * G = I.  Gates of G multiply from the left
+   (M <- U_i * M); inverted gates of G' from the right (M <- M * U'_j^dagger,
+   taken in reverse program order... no: taking them in forward order and
+   multiplying on the right composes exactly G'^dagger on the left of G's
+   prefix: after processing everything, M = U'_m^d ... applied so that
+   M = (U'_0^d applied last on the right) — i.e. forward order is correct:
+   M = U_{k} ... U_0 * (U'_0)^d ... (U'_j)^d builds G * G'^dagger read
+   right-to-left; at the end M = G * G'^dagger which is I iff G = G'. *)
+(* Identity test robust to accumulated floating drift: the running product
+   of unitaries M satisfies |Tr M| <= 2^n with equality exactly when
+   M = e^{i phi} I, so the canonical-pointer fast path can fall back to the
+   (cheap) trace. *)
+let identity_outcome p m ~n =
+  let dim = float_of_int (1 lsl n) in
+  let tr = Dd.Mat.trace p m ~n in
+  let exact =
+    Dd.Mat.is_identity p m ~n ~up_to_phase:false
+    || Cxnum.Cx.abs (Cxnum.Cx.sub tr (Cxnum.Cx.of_float dim)) <= 1e-7 *. dim
+  in
+  let up_to_phase =
+    exact
+    || Dd.Mat.is_identity p m ~n ~up_to_phase:true
+    || Float.abs (Cxnum.Cx.abs tr -. dim) <= 1e-7 *. dim
+  in
+  { equivalent = exact
+  ; equivalent_up_to_phase = up_to_phase
+  ; peak_nodes = Dd.Mat.node_count m
+  }
+
+let check_alternating ~take_left p (g : Circ.t) (g' : Circ.t) =
+  let n = g.Circ.num_qubits in
+  let left = unitary_ops g and right = unitary_ops g' in
+  let nl = List.length left and nr = List.length right in
+  let m = ref (Dd.Pkg.ident p n) in
+  let apply_left op = m := Dd.Mat.mul p (Qsim.Dd_sim.op_unitary p ~n op) !m in
+  let apply_right op =
+    m := Dd.Mat.mul p !m (Dd.Mat.adjoint p (Qsim.Dd_sim.op_unitary p ~n op))
+  in
+  (* advance the side that is proportionally behind *)
+  let rec go i j left right =
+    match (left, right) with
+    | [], [] -> ()
+    | op :: rest, [] ->
+      apply_left op;
+      go (i + 1) j rest []
+    | [], op :: rest ->
+      apply_right op;
+      go i (j + 1) [] rest
+    | opl :: restl, opr :: restr ->
+      if take_left ~i ~j ~nl ~nr then begin
+        apply_left opl;
+        go (i + 1) j restl right
+      end
+      else begin
+        apply_right opr;
+        go i (j + 1) left restr
+      end
+  in
+  go 0 0 left right;
+  identity_outcome p !m ~n
+
+(* Greedy node-count minimization: evaluate both candidate applications and
+   keep the smaller product.  Costs two multiplications per step but copes
+   with gate sequences that a fixed schedule cannot keep cancelling. *)
+let check_lookahead p (g : Circ.t) (g' : Circ.t) =
+  let n = g.Circ.num_qubits in
+  let left_of op m = Dd.Mat.mul p (Qsim.Dd_sim.op_unitary p ~n op) m in
+  let right_of op m = Dd.Mat.mul p m (Dd.Mat.adjoint p (Qsim.Dd_sim.op_unitary p ~n op)) in
+  let rec go m left right =
+    match (left, right) with
+    | [], [] -> m
+    | op :: rest, [] -> go (left_of op m) rest []
+    | [], op :: rest -> go (right_of op m) [] rest
+    | opl :: restl, opr :: restr ->
+      let ml = left_of opl m and mr = right_of opr m in
+      if Dd.Mat.node_count ml <= Dd.Mat.node_count mr then go ml restl right
+      else go mr left restr
+  in
+  let m = go (Dd.Pkg.ident p n) (unitary_ops g) (unitary_ops g') in
+  identity_outcome p m ~n
+
+let random_stimulus p ~kind ~n st =
+  match (kind : stimuli) with
+  | Basis ->
+    let bits = Array.init n (fun _ -> Random.State.bool st) in
+    Dd.Pkg.basis_state p n (fun q -> bits.(q))
+  | Product ->
+    let amp () =
+      let theta = Random.State.float st Float.pi in
+      let phi = Random.State.float st (2.0 *. Float.pi) in
+      ( Cxnum.Cx.of_float (Float.cos (theta /. 2.0))
+      , Cxnum.Cx.polar (Float.sin (theta /. 2.0)) phi )
+    in
+    Dd.Pkg.product_state p (Array.init n (fun _ -> amp ()))
+  | Entangled ->
+    (* a short random Clifford circuit on a random basis state *)
+    let state =
+      let bits = Array.init n (fun _ -> Random.State.bool st) in
+      ref (Dd.Pkg.basis_state p n (fun q -> bits.(q)))
+    in
+    let gates = [| Circuit.Gates.H; Circuit.Gates.S; Circuit.Gates.X |] in
+    for _ = 1 to 2 * n do
+      let op =
+        if n >= 2 && Random.State.bool st then begin
+          let a = Random.State.int st n in
+          let rec other () =
+            let b = Random.State.int st n in
+            if b = a then other () else b
+          in
+          Circuit.Op.controlled Circuit.Gates.X ~control:a ~target:(other ())
+        end
+        else
+          Circuit.Op.apply
+            gates.(Random.State.int st (Array.length gates))
+            (Random.State.int st n)
+      in
+      state := Qsim.Dd_sim.apply_op p ~n !state op
+    done;
+    !state
+
+let check_simulation p ~kind shots (g : Circ.t) (g' : Circ.t) =
+  let n = g.Circ.num_qubits in
+  let ops = unitary_ops g and ops' = unitary_ops g' in
+  let st = Random.State.make [| 0x51ab; n; shots |] in
+  let run ops state = List.fold_left (fun s op -> Qsim.Dd_sim.apply_op p ~n s op) state ops in
+  let rec shoot k ok peak =
+    if k = 0 || not ok then (ok, peak)
+    else begin
+      let input = random_stimulus p ~kind ~n st in
+      let out = run ops input and out' = run ops' input in
+      let fid = Dd.Vec.fidelity p out out' in
+      let peak = max peak (Dd.Vec.node_count out + Dd.Vec.node_count out') in
+      shoot (k - 1) (ok && Float.abs (fid -. 1.0) <= 1e-9) peak
+    end
+  in
+  let ok, peak = shoot shots true 0 in
+  { equivalent = ok; equivalent_up_to_phase = ok; peak_nodes = peak }
+
+let check p strategy (g : Circ.t) (g' : Circ.t) =
+  if g.Circ.num_qubits <> g'.Circ.num_qubits then
+    invalid_arg "Strategy.check: circuits act on different numbers of qubits";
+  match strategy with
+  | Construction -> check_construction p g g'
+  | Sequential ->
+    check_alternating ~take_left:(fun ~i:_ ~j:_ ~nl:_ ~nr:_ -> true) p g g'
+  | Proportional ->
+    (* advance whichever side is proportionally behind *)
+    check_alternating ~take_left:(fun ~i ~j ~nl ~nr -> i * nr <= j * nl) p g g'
+  | Lookahead -> check_lookahead p g g'
+  | Simulation shots -> check_simulation p ~kind:Basis shots g g'
+  | Random_stimuli { kind; shots } -> check_simulation p ~kind shots g g'

@@ -1,0 +1,59 @@
+(** Equivalence-checking strategies for {e unitary} circuits, in the spirit
+    of QCEC [41, 4].  Dynamic circuits must first go through the Section 4
+    transformation ({!Verify} drives the whole flow). *)
+
+(** Stimuli kinds for simulative checking, mirroring QCEC's classical /
+    local-quantum / global-quantum stimuli: how the random input states of
+    a {!Random_stimuli} run are drawn. *)
+type stimuli =
+  | Basis  (** random computational basis states *)
+  | Product  (** random single-qubit (product) states *)
+  | Entangled  (** random stabilizer states from a short Clifford circuit *)
+
+type t =
+  | Construction
+      (** build both system matrices as DDs and compare canonically *)
+  | Sequential
+      (** apply every gate of [g], then every inverted gate of [g'], onto
+          one product — the naive order, kept as a baseline: the
+          intermediate DD peaks at the full system matrix of [g] *)
+  | Proportional
+      (** QCEC's generic strategy: start from the identity and interleave
+          gates of [g] from the left with inverted gates of [g'] from the
+          right, proportionally to the gate counts, so the intermediate
+          product stays close to the identity; check that the final product
+          is the identity *)
+  | Lookahead
+      (** greedy variant: at every step apply {e both} candidates (next gate
+          of [g] and next inverted gate of [g']) and keep whichever yields
+          the smaller decision diagram — twice the multiplications, but
+          robust to misaligned gate orders *)
+  | Simulation of int
+      (** simulate both circuits on that many random computational basis
+          states (seeded, reproducible) and compare state fidelities *)
+  | Random_stimuli of
+      { kind : stimuli
+      ; shots : int
+      }
+      (** like [Simulation] but with a choice of stimuli; [Product] and
+          [Entangled] stimuli catch discrepancies a basis state can miss
+          (e.g. pure phase differences on superpositions) *)
+
+type outcome =
+  { equivalent : bool
+  ; equivalent_up_to_phase : bool
+        (** [Construction]/[Proportional]: equality with global-phase
+            freedom; [Simulation]: same as [equivalent] (fidelity is
+            phase-blind) *)
+  ; peak_nodes : int
+        (** final matrix/vector DD size, a proxy for memory behaviour *)
+  }
+
+val default : t
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [check p strategy g g'] compares two unitary circuits over the same
+    number of qubits (measurements and barriers are ignored).  Raises
+    [Invalid_argument] on register mismatch or non-unitary operations. *)
+val check : Dd.Pkg.t -> t -> Circuit.Circ.t -> Circuit.Circ.t -> outcome

@@ -1,0 +1,196 @@
+module Circ = Circuit.Circ
+
+let now () = Unix.gettimeofday ()
+
+type functional_result =
+  { equivalent : bool
+  ; exactly_equal : bool
+  ; strategy : Strategy.t
+  ; t_transform : float
+  ; t_check : float
+  ; transformed_qubits : int
+  ; peak_nodes : int
+  }
+
+(* Infer the wire correspondence from the measurements: a qubit of [g']
+   measured into classical bit [b] must line up with the qubit of [g]
+   measured into the same bit; unmeasured qubits are matched in ascending
+   order.  This is how a checker can align a transformed dynamic circuit
+   with its static counterpart without being told the permutation. *)
+let measurement_alignment (g : Circ.t) (g' : Circ.t) =
+  let n = g.Circ.num_qubits in
+  if n <> g'.Circ.num_qubits then None
+  else begin
+    let mg = Circ.measurements g and mg' = Circ.measurements g' in
+    let cbit_to_q = Hashtbl.create 16 in
+    List.iter (fun (q, cb) -> Hashtbl.replace cbit_to_q cb q) mg;
+    let perm = Array.make n (-1) in
+    let used = Array.make n false in
+    let ok = ref (List.length mg = List.length mg') in
+    let assign q' q =
+      if q < 0 || q >= n || q' < 0 || q' >= n || used.(q) || perm.(q') >= 0 then
+        ok := false
+      else begin
+        perm.(q') <- q;
+        used.(q) <- true
+      end
+    in
+    List.iter
+      (fun (q', cb) ->
+        match Hashtbl.find_opt cbit_to_q cb with
+        | Some q -> assign q' q
+        | None -> ok := false)
+      mg';
+    if not !ok then None
+    else begin
+      (* unmeasured wires: next free target in ascending order *)
+      let next = ref 0 in
+      Array.iteri
+        (fun q' target ->
+          if target < 0 then begin
+            while !next < n && used.(!next) do
+              incr next
+            done;
+            if !next < n then begin
+              perm.(q') <- !next;
+              used.(!next) <- true
+            end
+            else ok := false
+          end)
+        perm;
+      if !ok then Some perm else None
+    end
+  end
+
+(* Pad the narrower circuit with idle wires so both act on the same
+   register; the check then requires the extra wires to carry the exact
+   identity, which is the natural reading of "the same functionality" for
+   an implementation that simply ignores some inputs. *)
+let equalize_widths g g' =
+  let n = g.Circ.num_qubits and n' = g'.Circ.num_qubits in
+  let pad c target =
+    Circ.make ~name:c.Circ.name ~qubits:target ~cbits:c.Circ.num_cbits c.Circ.ops
+  in
+  if n < n' then (pad g n', g')
+  else if n' < n then (g, pad g' n)
+  else (g, g')
+
+let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true) g g' =
+  let t0 = now () in
+  let static_of c =
+    if Circ.is_dynamic c then Transform.Dynamic.transform c else c
+  in
+  let g = static_of g in
+  let g' = static_of g' in
+  let g, g' = equalize_widths g g' in
+  let perm =
+    match perm with
+    | Some _ as p -> p
+    | None ->
+      if auto_align && Circ.measurements g <> [] then measurement_alignment g g'
+      else None
+  in
+  let g' = match perm with None -> g' | Some perm -> Circ.remap g' ~perm in
+  let t1 = now () in
+  let p = Dd.Pkg.create () in
+  let outcome = Strategy.check p strategy g g' in
+  let t2 = now () in
+  { equivalent = outcome.Strategy.equivalent_up_to_phase
+  ; exactly_equal = outcome.Strategy.equivalent
+  ; strategy
+  ; t_transform = t1 -. t0
+  ; t_check = t2 -. t1
+  ; transformed_qubits = g'.Circ.num_qubits
+  ; peak_nodes = outcome.Strategy.peak_nodes
+  }
+
+type distribution_result =
+  { distributions_equal : bool
+  ; total_variation : float
+  ; t_extract : float
+  ; t_simulate : float
+  ; dynamic_distribution : Distribution.t
+  ; static_distribution : Distribution.t
+  ; extraction_stats : Qsim.Extraction.stats
+  }
+
+let distribution ?(eps = 1e-9) ?(cutoff = 1e-12) ?(domains = 1) dyn static =
+  let t0 = now () in
+  let extraction = Qsim.Extraction.run ~cutoff ~domains dyn in
+  let t1 = now () in
+  (* a dynamic reference is extracted as well; a static one is simulated
+     once and marginalized onto its measured classical bits *)
+  let static_dist, t2 =
+    if Circ.is_dynamic static then begin
+      let r = Qsim.Extraction.run ~cutoff ~domains static in
+      (r.Qsim.Extraction.distribution, now ())
+    end
+    else begin
+      let p = Dd.Pkg.create () in
+      let final = Qsim.Dd_sim.simulate p static in
+      let t2 = now () in
+      ( Qsim.Dd_sim.measured_distribution p final ~n:static.Circ.num_qubits
+          ~num_cbits:static.Circ.num_cbits ~measures:(Circ.measurements static)
+          ~cutoff ()
+      , t2 )
+    end
+  in
+  let tv = Distribution.total_variation extraction.Qsim.Extraction.distribution static_dist in
+  { distributions_equal = tv <= eps
+  ; total_variation = tv
+  ; t_extract = t1 -. t0
+  ; t_simulate = t2 -. t1
+  ; dynamic_distribution = extraction.Qsim.Extraction.distribution
+  ; static_distribution = static_dist
+  ; extraction_stats = extraction.Qsim.Extraction.stats
+  }
+
+type approximate_result =
+  { process_fidelity : float
+  ; within : bool
+  ; t_transform : float
+  ; t_check : float
+  }
+
+let approximate ?(threshold = 1.0 -. 1e-9) ?perm ?(auto_align = true) g g' =
+  let t0 = now () in
+  let static_of c = if Circ.is_dynamic c then Transform.Dynamic.transform c else c in
+  let g = static_of g in
+  let g' = static_of g' in
+  let g, g' = equalize_widths g g' in
+  let perm =
+    match perm with
+    | Some _ as p -> p
+    | None ->
+      if auto_align && Circ.measurements g <> [] then measurement_alignment g g'
+      else None
+  in
+  let g' = match perm with None -> g' | Some perm -> Circ.remap g' ~perm in
+  let t1 = now () in
+  let p = Dd.Pkg.create () in
+  let u = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g) in
+  let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
+  let fidelity = Dd.Mat.process_fidelity p u u' ~n:g.Circ.num_qubits in
+  let t2 = now () in
+  { process_fidelity = fidelity
+  ; within = fidelity >= threshold
+  ; t_transform = t1 -. t0
+  ; t_check = t2 -. t1
+  }
+
+let pp_functional ppf r =
+  Fmt.pf ppf
+    "@[<v>functional equivalence: %s%s@,strategy: %a@,t_trans = %.4fs, t_ver = %.4fs@,\
+     qubits after transform: %d, peak DD nodes: %d@]"
+    (if r.equivalent then "equivalent" else "NOT equivalent")
+    (if r.equivalent && not r.exactly_equal then " (up to global phase)" else "")
+    Strategy.pp r.strategy r.t_transform r.t_check r.transformed_qubits r.peak_nodes
+
+let pp_distribution ppf r =
+  Fmt.pf ppf
+    "@[<v>distribution equivalence: %s (TVD = %.3g)@,t_extract = %.4fs, t_sim = %.4fs@,\
+     branches: %d leaves, %d branch points, %d pruned@]"
+    (if r.distributions_equal then "equivalent" else "NOT equivalent")
+    r.total_variation r.t_extract r.t_simulate r.extraction_stats.Qsim.Extraction.leaves
+    r.extraction_stats.Qsim.Extraction.branch_points
+    r.extraction_stats.Qsim.Extraction.pruned

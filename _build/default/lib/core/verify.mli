@@ -1,0 +1,100 @@
+(** End-to-end verification flows for circuits that may contain
+    non-unitaries — the two schemes of the paper, instrumented with the
+    timings reported in its Table 1. *)
+
+(** {1 Scheme 1 (Section 4): full functional verification} *)
+
+type functional_result =
+  { equivalent : bool  (** up to global phase *)
+  ; exactly_equal : bool  (** without phase freedom *)
+  ; strategy : Strategy.t
+  ; t_transform : float
+        (** seconds spent transforming dynamic inputs to unitary form
+            ([t_trans] in the paper's Table 1) *)
+  ; t_check : float  (** seconds spent in the equivalence check ([t_ver]) *)
+  ; transformed_qubits : int  (** qubits after reset elimination *)
+  ; peak_nodes : int
+  }
+
+(** [functional ?strategy ?perm g g'] checks full functional equivalence.
+    Dynamic inputs are first transformed with the Section 4 scheme; [perm]
+    (applied to the transformed [g']) aligns its wires with [g]'s (see
+    {!Algorithms.Pair.dyn_to_static}).  When [perm] is omitted and
+    [auto_align] is true (the default), the alignment is inferred from the
+    measurements: qubits writing the same classical bit are identified, and
+    unmeasured qubits matched in ascending order.  If the (transformed)
+    circuits act on different numbers of qubits, the narrower one is padded
+    with idle wires, which the check then requires to be exact identities.
+    Final measurements are stripped before the unitary comparison. *)
+val functional :
+     ?strategy:Strategy.t
+  -> ?perm:int array
+  -> ?auto_align:bool
+  -> Circuit.Circ.t
+  -> Circuit.Circ.t
+  -> functional_result
+
+(** [measurement_alignment g g'] is the inferred wire permutation for two
+    measurement-terminated static circuits, or [None] when the measurement
+    structures do not correspond. *)
+val measurement_alignment : Circuit.Circ.t -> Circuit.Circ.t -> int array option
+
+(** {1 Approximate equivalence}
+
+    For lossy flows (approximate synthesis, noise-aware compilation) exact
+    equality is the wrong question; the process fidelity
+    [|Tr(U^dagger U')| / 2^n] quantifies how close the functionalities
+    are. *)
+
+type approximate_result =
+  { process_fidelity : float  (** 1 iff equal up to global phase *)
+  ; within : bool  (** [process_fidelity >= threshold] *)
+  ; t_transform : float
+  ; t_check : float
+  }
+
+(** [approximate ?threshold ?perm g g'] transforms dynamic inputs like
+    {!functional} and computes the process fidelity via DD construction.
+    [threshold] defaults to [1. -. 1e-9]. *)
+val approximate :
+     ?threshold:float
+  -> ?perm:int array
+  -> ?auto_align:bool
+  -> Circuit.Circ.t
+  -> Circuit.Circ.t
+  -> approximate_result
+
+(** {1 Scheme 2 (Section 5): fixed-input distribution equivalence} *)
+
+type distribution_result =
+  { distributions_equal : bool
+  ; total_variation : float
+  ; t_extract : float
+        (** seconds extracting the dynamic circuit's distribution
+            ([t_extract]) *)
+  ; t_simulate : float
+        (** seconds classically simulating the static circuit ([t_sim]) *)
+  ; dynamic_distribution : Distribution.t
+  ; static_distribution : Distribution.t
+  ; extraction_stats : Qsim.Extraction.stats
+  }
+
+(** [distribution ?eps ?cutoff ?domains dynamic static] extracts the
+    measurement-outcome distribution of [dynamic] (Section 5 scheme) and
+    compares it with the distribution obtained by classically simulating
+    [static] (which must not be dynamic) and marginalizing its final state
+    onto its measured classical bits.  Both circuits start from |0...0>
+    and must write the same classical bits. *)
+val distribution :
+     ?eps:float
+  -> ?cutoff:float
+  -> ?domains:int
+  -> Circuit.Circ.t
+  -> Circuit.Circ.t
+  -> distribution_result
+
+(** [now ()] — monotonic-enough wall-clock used for all timings. *)
+val now : unit -> float
+
+val pp_functional : Format.formatter -> functional_result -> unit
+val pp_distribution : Format.formatter -> distribution_result -> unit

@@ -1,0 +1,1 @@
+lib/cxnum/cx.mli: Format

@@ -1,0 +1,1 @@
+lib/cxnum/cx_table.mli: Cx Format

@@ -1,0 +1,71 @@
+type t = { re : float; im : float }
+
+let zero = { re = 0.0; im = 0.0 }
+let one = { re = 1.0; im = 0.0 }
+let i = { re = 0.0; im = 1.0 }
+let minus_one = { re = -1.0; im = 0.0 }
+let sqrt2_inv = 1.0 /. Float.sqrt 2.0
+let make re im = { re; im }
+let of_float re = { re; im = 0.0 }
+let polar r phi = { re = r *. Float.cos phi; im = r *. Float.sin phi }
+
+(* For multiples of pi/4 we return the exact constants so that repeated gate
+   applications do not accumulate drift on the most common amplitudes. *)
+let e_i_pi x =
+  let frac = Float.rem x 2.0 in
+  let frac = if frac < 0.0 then frac +. 2.0 else frac in
+  let eighth = frac *. 4.0 in
+  let near k = Float.abs (eighth -. k) < 1e-12 in
+  if near 0.0 || near 8.0 then one
+  else if near 1.0 then { re = sqrt2_inv; im = sqrt2_inv }
+  else if near 2.0 then i
+  else if near 3.0 then { re = -.sqrt2_inv; im = sqrt2_inv }
+  else if near 4.0 then minus_one
+  else if near 5.0 then { re = -.sqrt2_inv; im = -.sqrt2_inv }
+  else if near 6.0 then { re = 0.0; im = -1.0 }
+  else if near 7.0 then { re = sqrt2_inv; im = -.sqrt2_inv }
+  else polar 1.0 (frac *. Float.pi)
+
+let add a b = { re = a.re +. b.re; im = a.im +. b.im }
+let sub a b = { re = a.re -. b.re; im = a.im -. b.im }
+
+let mul a b =
+  { re = (a.re *. b.re) -. (a.im *. b.im)
+  ; im = (a.re *. b.im) +. (a.im *. b.re)
+  }
+
+let neg a = { re = -.a.re; im = -.a.im }
+let conj a = { re = a.re; im = -.a.im }
+let scale s a = { re = s *. a.re; im = s *. a.im }
+let abs2 a = (a.re *. a.re) +. (a.im *. a.im)
+let abs a = Float.sqrt (abs2 a)
+let arg a = Float.atan2 a.im a.re
+
+let div a b =
+  let d = abs2 b in
+  { re = ((a.re *. b.re) +. (a.im *. b.im)) /. d
+  ; im = ((a.im *. b.re) -. (a.re *. b.im)) /. d
+  }
+
+let sqrt a =
+  let r = abs a in
+  let phi = arg a in
+  polar (Float.sqrt r) (phi /. 2.0)
+
+let inv a =
+  let d = abs2 a in
+  { re = a.re /. d; im = -.(a.im /. d) }
+
+let approx_eq ~tol a b =
+  Float.abs (a.re -. b.re) <= tol && Float.abs (a.im -. b.im) <= tol
+
+let is_zero ~tol z = Float.abs z.re <= tol && Float.abs z.im <= tol
+let is_one ~tol z = Float.abs (z.re -. 1.0) <= tol && Float.abs z.im <= tol
+
+let pp ppf z =
+  if Float.abs z.im < 1e-15 then Fmt.pf ppf "%g" z.re
+  else if Float.abs z.re < 1e-15 then Fmt.pf ppf "%gi" z.im
+  else if z.im < 0.0 then Fmt.pf ppf "%g-%gi" z.re (Float.abs z.im)
+  else Fmt.pf ppf "%g+%gi" z.re z.im
+
+let to_string z = Fmt.str "%a" pp z

@@ -1,0 +1,72 @@
+(** Complex numbers for quantum-state amplitudes.
+
+    A thin layer over a pair of [float]s providing the arithmetic needed by
+    decision diagrams and state-vector simulation, plus tolerance-based
+    comparison helpers.  Values of this type are plain records; the
+    hash-consed, identity-comparable variant used as decision-diagram edge
+    weights lives in {!Cx_table}. *)
+
+type t = { re : float; im : float }
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val i : t
+
+(** [minus_one] is [-1 + 0i]. *)
+val minus_one : t
+
+(** [sqrt2_inv] is [1/sqrt 2], the ubiquitous Hadamard amplitude. *)
+val sqrt2_inv : float
+
+(** {1 Construction} *)
+
+val make : float -> float -> t
+val of_float : float -> t
+
+(** [polar r phi] is [r * exp(i * phi)]. *)
+val polar : float -> float -> t
+
+(** [e_i_pi x] is [exp(i * pi * x)], computed so that rational [x] with a
+    small power-of-two denominator gives exact results for the real and
+    imaginary parts that are exactly representable (0, ±1, ±1/sqrt2). *)
+val e_i_pi : float -> t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val scale : float -> t -> t
+
+(** [abs2 z] is [|z|^2]; cheaper than [abs] and exact for probabilities. *)
+val abs2 : t -> float
+
+val abs : t -> float
+
+(** [arg z] is the principal argument of [z] in (-pi, pi]. *)
+val arg : t -> float
+
+val sqrt : t -> t
+val inv : t -> t
+
+(** {1 Comparison} *)
+
+(** [approx_eq ~tol a b] holds when both components differ by at most
+    [tol]. *)
+val approx_eq : tol:float -> t -> t -> bool
+
+(** [is_zero ~tol z] holds when both components are within [tol] of 0. *)
+val is_zero : tol:float -> t -> bool
+
+(** [is_one ~tol z] holds when [z] is within [tol] of [1 + 0i]. *)
+val is_one : tol:float -> t -> bool
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

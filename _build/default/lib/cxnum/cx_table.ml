@@ -1,0 +1,97 @@
+type value = { re : float; im : float; id : int }
+
+let zero = { re = 0.0; im = 0.0; id = 0 }
+let one = { re = 1.0; im = 0.0; id = 1 }
+let is_zero v = v.id = 0
+let is_one v = v.id = 1
+let to_cx v = Cx.make v.re v.im
+
+(* Interning is *relative*: two values are identified when their components
+   agree within [tol] of their common magnitude scale.  Edge weights in a
+   decision diagram range over many orders of magnitude (a 128-qubit
+   Hadamard layer contributes (1/sqrt 2)^128 ~ 5e-20 to the root weight), so
+   an absolute grid would collapse everything small to zero.  Values are
+   bucketed by binary exponent of their dominant component plus a
+   [tol]-grid over the exponent-normalized components; lookup probes the
+   neighbouring grid cells and both neighbouring exponents, so any two
+   relatively-close values share a representative. *)
+type t =
+  { tol : float
+  ; buckets : (int * int * int, value list ref) Hashtbl.t
+  ; mutable next_id : int
+  }
+
+(* Values this small cannot be distinguished from exact zero by any
+   computation we perform; they are also well below the smallest legitimate
+   amplitude of a 400-qubit state. *)
+let hard_zero = 1e-250
+
+let magnitude (z : Cx.t) = Float.max (Float.abs z.Cx.re) (Float.abs z.Cx.im)
+
+let exponent_of m =
+  let _, e = Float.frexp m in
+  e
+
+let key_at t (z : Cx.t) e =
+  let s = Float.ldexp 1.0 e in
+  ( e
+  , int_of_float (Float.round (z.Cx.re /. s /. t.tol))
+  , int_of_float (Float.round (z.Cx.im /. s /. t.tol)) )
+
+let create ?(tol = 1e-10) () =
+  { tol; buckets = Hashtbl.create 4096; next_id = 2 }
+
+let tol t = t.tol
+
+(* Relative comparison at the scale of the larger operand. *)
+let matches t (z : Cx.t) (v : value) =
+  let scale = Float.max (magnitude z) (Float.max (Float.abs v.re) (Float.abs v.im)) in
+  Float.abs (v.re -. z.Cx.re) <= t.tol *. scale
+  && Float.abs (v.im -. z.Cx.im) <= t.tol *. scale
+
+let find_in_bucket t key z =
+  match Hashtbl.find_opt t.buckets key with
+  | None -> None
+  | Some cell -> List.find_opt (matches t z) !cell
+
+let insert t key v =
+  match Hashtbl.find_opt t.buckets key with
+  | Some cell -> cell := v :: !cell
+  | None -> Hashtbl.add t.buckets key (ref [ v ])
+
+let lookup t (z : Cx.t) =
+  let m = magnitude z in
+  if m < hard_zero then zero
+  else if z.Cx.re = 1.0 && z.Cx.im = 0.0 then one
+  else begin
+    let e = exponent_of m in
+    let probes =
+      List.concat_map
+        (fun de ->
+          let e' = e + de in
+          let ke, kre, kim = key_at t z e' in
+          List.concat_map
+            (fun dre ->
+              List.map (fun dim -> (ke, kre + dre, kim + dim)) [ 0; 1; -1 ])
+            [ 0; 1; -1 ])
+        [ 0; 1; -1 ]
+    in
+    let rec probe = function
+      | [] ->
+        if matches t z one then one
+        else begin
+          let v = { re = z.Cx.re; im = z.Cx.im; id = t.next_id } in
+          t.next_id <- t.next_id + 1;
+          insert t (key_at t z e) v;
+          v
+        end
+      | key :: rest ->
+        (match find_in_bucket t key z with
+         | Some v -> v
+         | None -> probe rest)
+    in
+    probe probes
+  end
+
+let size t = t.next_id
+let pp ppf v = Cx.pp ppf (to_cx v)

@@ -1,0 +1,43 @@
+(** Tolerance-based interning of complex numbers.
+
+    Decision-diagram canonicity requires edge weights to be comparable by
+    identity: two different gate sequences computing the same amplitude must
+    yield the *same* weight object even in the presence of floating-point
+    drift.  This module buckets complex values on a grid of width [tol] and
+    returns a canonical {!value} (carrying a unique integer id) for every
+    value within [tol] of a previously interned one.
+
+    This reproduces the role of the "complex table" in MQT's DD package,
+    which the QCEC tool used by the paper builds upon. *)
+
+type value = private { re : float; im : float; id : int }
+
+type t
+
+(** [create ~tol ()] makes a fresh table.  [tol] is the absolute tolerance
+    below which two complex numbers are identified (default [1e-10]). *)
+val create : ?tol:float -> unit -> t
+
+val tol : t -> float
+
+(** [lookup t z] interns [z], returning the canonical representative.  The
+    canonical values [0] and [1] are pre-interned with ids [0] and [1] and
+    are shared between all tables. *)
+val lookup : t -> Cx.t -> value
+
+(** Number of distinct values currently interned (including 0 and 1). *)
+val size : t -> int
+
+(** Canonical zero, id 0.  Shared across tables. *)
+val zero : value
+
+(** Canonical one, id 1.  Shared across tables. *)
+val one : value
+
+val is_zero : value -> bool
+val is_one : value -> bool
+
+(** [to_cx v] forgets the id. *)
+val to_cx : value -> Cx.t
+
+val pp : Format.formatter -> value -> unit

@@ -1,0 +1,1 @@
+lib/dd/dot.ml: Cxnum Fmt Format Hashtbl Types

@@ -1,0 +1,1 @@
+lib/dd/dot.mli: Format Types

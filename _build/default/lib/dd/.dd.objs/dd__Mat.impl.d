@@ -1,0 +1,1 @@
+lib/dd/mat.ml: Array Cxnum Float Hashtbl Pkg Types Vec

@@ -1,0 +1,1 @@
+lib/dd/mat.mli: Cxnum Pkg Types

@@ -1,0 +1,1 @@
+lib/dd/pkg.ml: Array Cxnum Float Hashtbl List Types

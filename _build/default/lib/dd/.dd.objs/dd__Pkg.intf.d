@@ -1,0 +1,1 @@
+lib/dd/pkg.mli: Cxnum Hashtbl Types

@@ -1,0 +1,1 @@
+lib/dd/types.ml: Cxnum

@@ -1,0 +1,1 @@
+lib/dd/vec.ml: Array Cxnum Float Hashtbl List Pkg Types

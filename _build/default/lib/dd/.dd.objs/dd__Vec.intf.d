@@ -1,0 +1,1 @@
+lib/dd/vec.mli: Cxnum Pkg Types

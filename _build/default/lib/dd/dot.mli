@@ -1,0 +1,15 @@
+(** Graphviz export of decision diagrams, for debugging and documentation. *)
+
+open Types
+
+(** [vector ppf e] prints a DOT digraph of the vector DD rooted at [e]. *)
+val vector : Format.formatter -> vedge -> unit
+
+(** [matrix ppf e] prints a DOT digraph of the matrix DD rooted at [e]. *)
+val matrix : Format.formatter -> medge -> unit
+
+(** [vector_to_file path e] and [matrix_to_file path e] write the DOT text
+    to [path]. *)
+val vector_to_file : string -> vedge -> unit
+
+val matrix_to_file : string -> medge -> unit

@@ -1,0 +1,229 @@
+open Types
+module Cx = Cxnum.Cx
+module Ct = Cxnum.Cx_table
+
+let wcx (w : weight) = Ct.to_cx w
+
+(* Same ratio-normalized caching scheme as Vec.add. *)
+let rec add p (a : medge) (b : medge) =
+  if medge_is_zero a then b
+  else if medge_is_zero b then a
+  else begin
+    let a, b = if mnode_id a.mt <= mnode_id b.mt then (a, b) else (b, a) in
+    let wa = wcx a.mw and wb = wcx b.mw in
+    match (a.mt, b.mt) with
+    | None, None ->
+      (* cancellation residue is tiny relative to the operands, not in
+         absolute terms — test at the operands' scale *)
+      let s = Cx.add wa wb in
+      if Cx.abs s <= Pkg.tol p *. Float.max (Cx.abs wa) (Cx.abs wb) then Pkg.mzero
+      else Pkg.mterminal p s
+    | Some na, Some nb ->
+      let ratio = Pkg.weight p (Cx.div wb wa) in
+      let key = (na.mid, nb.mid, ratio.id) in
+      let cache = Pkg.madd_cache p in
+      let inner =
+        match Hashtbl.find_opt cache key with
+        | Some e -> e
+        | None ->
+          let rb = wcx ratio in
+          let sum ea eb = add p ea (Pkg.mscale p rb eb) in
+          let e =
+            Pkg.make_mnode p na.mvar (sum na.m00 nb.m00) (sum na.m01 nb.m01)
+              (sum na.m10 nb.m10) (sum na.m11 nb.m11)
+          in
+          Hashtbl.add cache key e;
+          e
+      in
+      Pkg.mscale p wa inner
+    | _ -> invalid_arg "Mat.add: operands of different dimension"
+  end
+
+(* Matrix-vector product: the inner product over weight-1 node pairs only
+   depends on the node identities, so it is cached on (matrix id, vector id)
+   and scaled by the edge weights afterwards. *)
+let rec apply p (m : medge) (v : vedge) =
+  if medge_is_zero m || vedge_is_zero v then Pkg.vzero
+  else begin
+    let w = Cx.mul (wcx m.mw) (wcx v.vw) in
+    match (m.mt, v.vt) with
+    | None, None -> Pkg.vterminal p w
+    | Some mn, Some vn ->
+      let key = (mn.mid, vn.vid) in
+      let cache = Pkg.mv_cache p in
+      let inner =
+        match Hashtbl.find_opt cache key with
+        | Some e -> e
+        | None ->
+          let r0 = Vec.add p (apply p mn.m00 vn.v0) (apply p mn.m01 vn.v1) in
+          let r1 = Vec.add p (apply p mn.m10 vn.v0) (apply p mn.m11 vn.v1) in
+          let e = Pkg.make_vnode p mn.mvar r0 r1 in
+          Hashtbl.add cache key e;
+          e
+      in
+      Pkg.vscale p w inner
+    | _ -> invalid_arg "Mat.apply: operands of different dimension"
+  end
+
+let rec mul p (a : medge) (b : medge) =
+  if medge_is_zero a || medge_is_zero b then Pkg.mzero
+  else begin
+    let w = Cx.mul (wcx a.mw) (wcx b.mw) in
+    match (a.mt, b.mt) with
+    | None, None -> Pkg.mterminal p w
+    | Some na, Some nb ->
+      let key = (na.mid, nb.mid) in
+      let cache = Pkg.mm_cache p in
+      let inner =
+        match Hashtbl.find_opt cache key with
+        | Some e -> e
+        | None ->
+          let entry i j =
+            (* C_ij = A_i0 * B_0j + A_i1 * B_1j *)
+            let sel n i j =
+              match (i, j) with
+              | 0, 0 -> n.m00
+              | 0, 1 -> n.m01
+              | 1, 0 -> n.m10
+              | _ -> n.m11
+            in
+            add p (mul p (sel na i 0) (sel nb 0 j)) (mul p (sel na i 1) (sel nb 1 j))
+          in
+          let e =
+            Pkg.make_mnode p na.mvar (entry 0 0) (entry 0 1) (entry 1 0) (entry 1 1)
+          in
+          Hashtbl.add cache key e;
+          e
+      in
+      Pkg.mscale p w inner
+    | _ -> invalid_arg "Mat.mul: operands of different dimension"
+  end
+
+let rec adjoint p (a : medge) =
+  if medge_is_zero a then Pkg.mzero
+  else begin
+    let w = Cx.conj (wcx a.mw) in
+    match a.mt with
+    | None -> Pkg.mterminal p w
+    | Some n ->
+      let cache = Pkg.adj_cache p in
+      let inner =
+        match Hashtbl.find_opt cache n.mid with
+        | Some e -> e
+        | None ->
+          let e =
+            Pkg.make_mnode p n.mvar (adjoint p n.m00) (adjoint p n.m10)
+              (adjoint p n.m01) (adjoint p n.m11)
+          in
+          Hashtbl.add cache n.mid e;
+          e
+      in
+      Pkg.mscale p w inner
+  end
+
+let trace _p (a : medge) ~n =
+  let memo : (int, Cx.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go (e : medge) levels =
+    if medge_is_zero e then Cx.zero
+    else begin
+      match e.mt with
+      | None -> wcx e.mw
+      | Some node ->
+        let sub =
+          match Hashtbl.find_opt memo node.mid with
+          | Some z -> z
+          | None ->
+            let z = Cx.add (go node.m00 (levels - 1)) (go node.m11 (levels - 1)) in
+            Hashtbl.add memo node.mid z;
+            z
+        in
+        Cx.mul (wcx e.mw) sub
+    end
+  in
+  go a n
+
+let entry _p (a : medge) ~n ~row ~col =
+  let rec go (e : medge) q acc =
+    if medge_is_zero e then Cx.zero
+    else begin
+      let acc = Cx.mul acc (wcx e.mw) in
+      match e.mt with
+      | None -> acc
+      | Some node ->
+        let i = (row lsr (q - 1)) land 1 and j = (col lsr (q - 1)) land 1 in
+        let next =
+          match (i, j) with
+          | 0, 0 -> node.m00
+          | 0, 1 -> node.m01
+          | 1, 0 -> node.m10
+          | _ -> node.m11
+        in
+        go next (q - 1) acc
+    end
+  in
+  go a n Cx.one
+
+let to_array p (a : medge) ~n =
+  let dim = 1 lsl n in
+  Array.init dim (fun row -> Array.init dim (fun col -> entry p a ~n ~row ~col))
+
+let of_array p m =
+  let dim = Array.length m in
+  let rec levels k = if 1 lsl k >= dim then k else levels (k + 1) in
+  let n = levels 0 in
+  if 1 lsl n <> dim then invalid_arg "Mat.of_array: dimension not a power of two";
+  Array.iter
+    (fun row -> if Array.length row <> dim then invalid_arg "Mat.of_array: not square")
+    m;
+  let rec build r c len =
+    if len = 1 then Pkg.mterminal p m.(r).(c)
+    else begin
+      let half = len / 2 in
+      let rec log2 x acc = if x = 1 then acc else log2 (x / 2) (acc + 1) in
+      let var = log2 len 0 - 1 in
+      Pkg.make_mnode p var (build r c half)
+        (build r (c + half) half)
+        (build (r + half) c half)
+        (build (r + half) (c + half) half)
+    end
+  in
+  build 0 0 dim
+
+let same_target (a : medge) (b : medge) =
+  match (a.mt, b.mt) with
+  | None, None -> true
+  | Some na, Some nb -> na == nb
+  | _ -> false
+
+let equal p (a : medge) (b : medge) =
+  same_target a b && Cx.approx_eq ~tol:(Pkg.tol p) (wcx a.mw) (wcx b.mw)
+
+let equal_up_to_phase p (a : medge) (b : medge) =
+  same_target a b
+  && Float.abs (Cx.abs (wcx a.mw) -. Cx.abs (wcx b.mw)) <= Pkg.tol p
+
+let is_identity p (a : medge) ~n ~up_to_phase =
+  let id = Pkg.ident p n in
+  if up_to_phase then equal_up_to_phase p a id else equal p a id
+
+let process_fidelity p (a : medge) (b : medge) ~n =
+  let prod = mul p (adjoint p a) b in
+  let tr = trace p prod ~n in
+  Cx.abs tr /. float_of_int (1 lsl n)
+
+let node_count (a : medge) =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      if not (Hashtbl.mem seen n.mid) then begin
+        Hashtbl.add seen n.mid ();
+        let follow (e : medge) = if not (medge_is_zero e) then go e.mt in
+        follow n.m00;
+        follow n.m01;
+        follow n.m10;
+        follow n.m11
+      end
+  in
+  if not (medge_is_zero a) then go a.mt;
+  Hashtbl.length seen

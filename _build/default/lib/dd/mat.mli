@@ -1,0 +1,48 @@
+(** Operations on matrix decision diagrams (quantum operators). *)
+
+open Types
+
+(** [add p a b] is the element-wise sum of same-dimension operators. *)
+val add : Pkg.t -> medge -> medge -> medge
+
+(** [apply p m v] is the matrix-vector product [m * v]. *)
+val apply : Pkg.t -> medge -> vedge -> vedge
+
+(** [mul p a b] is the matrix-matrix product [a * b]. *)
+val mul : Pkg.t -> medge -> medge -> medge
+
+(** [adjoint p a] is the conjugate transpose. *)
+val adjoint : Pkg.t -> medge -> medge
+
+(** [trace p a ~n] is the trace of an [n]-qubit operator. *)
+val trace : Pkg.t -> medge -> n:int -> Cxnum.Cx.t
+
+(** [entry p a ~n ~row ~col] is a single matrix element (qubit 0 least
+    significant in both indices). *)
+val entry : Pkg.t -> medge -> n:int -> row:int -> col:int -> Cxnum.Cx.t
+
+(** [to_array p a ~n] materializes the dense matrix, row-major.  Only for
+    small [n]. *)
+val to_array : Pkg.t -> medge -> n:int -> Cxnum.Cx.t array array
+
+(** [of_array p m] builds a DD from a dense square matrix whose dimension
+    must be a power of two. *)
+val of_array : Pkg.t -> Cxnum.Cx.t array array -> medge
+
+(** [equal p a b] holds when the two operators are exactly equal (same node
+    and approximately equal weights). *)
+val equal : Pkg.t -> medge -> medge -> bool
+
+(** [equal_up_to_phase p a b] holds when [a = exp(i phi) * b] for some
+    global phase [phi]. *)
+val equal_up_to_phase : Pkg.t -> medge -> medge -> bool
+
+(** [is_identity p a ~n ~up_to_phase] checks against [Pkg.ident p n]. *)
+val is_identity : Pkg.t -> medge -> n:int -> up_to_phase:bool -> bool
+
+(** [process_fidelity p a b ~n] is [|Tr(a^dagger b)| / 2^n], 1 iff the
+    unitaries are equal up to global phase. *)
+val process_fidelity : Pkg.t -> medge -> medge -> n:int -> float
+
+(** Number of distinct nodes reachable from this edge (terminal excluded). *)
+val node_count : medge -> int

@@ -1,0 +1,302 @@
+open Types
+module Cx = Cxnum.Cx
+module Ct = Cxnum.Cx_table
+
+type t =
+  { ctab : Ct.t
+  ; vtab : (vkey, vnode) Hashtbl.t
+  ; mtab : (mkey, mnode) Hashtbl.t
+  ; mutable vnext : int
+  ; mutable mnext : int
+  ; mutable idents : medge list (* idents in reverse: ident i at position .. *)
+  ; vadd : (int * int * int, vedge) Hashtbl.t
+  ; madd : (int * int * int, medge) Hashtbl.t
+  ; mv : (int * int, vedge) Hashtbl.t
+  ; mm : (int * int, medge) Hashtbl.t
+  ; ip : (int * int, Cx.t) Hashtbl.t
+  ; adj : (int, medge) Hashtbl.t
+  }
+
+let create ?(tol = 1e-10) () =
+  { ctab = Ct.create ~tol ()
+  ; vtab = Hashtbl.create 4096
+  ; mtab = Hashtbl.create 4096
+  ; vnext = 0
+  ; mnext = 0
+  ; idents = []
+  ; vadd = Hashtbl.create 1024
+  ; madd = Hashtbl.create 1024
+  ; mv = Hashtbl.create 1024
+  ; mm = Hashtbl.create 1024
+  ; ip = Hashtbl.create 256
+  ; adj = Hashtbl.create 256
+  }
+
+let tol p = Ct.tol p.ctab
+let ctab p = p.ctab
+let weight p z = Ct.lookup p.ctab z
+let w_zero = Ct.zero
+let w_one = Ct.one
+let vzero = { vw = Ct.zero; vt = None }
+let mzero = { mw = Ct.zero; mt = None }
+
+let vterminal p z =
+  let w = weight p z in
+  if Ct.is_zero w then vzero else { vw = w; vt = None }
+
+let mterminal p z =
+  let w = weight p z in
+  if Ct.is_zero w then mzero else { mw = w; mt = None }
+
+let wcx (w : weight) = Ct.to_cx w
+
+(* Unique-table lookups.  Successor edges are already canonical, so a node is
+   identified by its variable, weight ids and target ids. *)
+
+let hashcons_vnode p var e0 e1 =
+  let key = vkey_of var e0 e1 in
+  match Hashtbl.find_opt p.vtab key with
+  | Some n -> n
+  | None ->
+    let n = { vid = p.vnext; vvar = var; v0 = e0; v1 = e1 } in
+    p.vnext <- p.vnext + 1;
+    Hashtbl.add p.vtab key n;
+    n
+
+let hashcons_mnode p var e00 e01 e10 e11 =
+  let key = mkey_of var e00 e01 e10 e11 in
+  match Hashtbl.find_opt p.mtab key with
+  | Some n -> n
+  | None ->
+    let n = { mid = p.mnext; mvar = var; m00 = e00; m01 = e01; m10 = e10; m11 = e11 } in
+    p.mnext <- p.mnext + 1;
+    Hashtbl.add p.mtab key n;
+    n
+
+(* Vector normalization: divide successor weights by their 2-norm and by the
+   phase of the first non-zero weight.  The resulting node has unit-norm
+   weights with the first non-zero one real positive, which makes node
+   identity equivalent to sub-state identity and gives weights a direct
+   probabilistic reading. *)
+let make_vnode p var e0 e1 =
+  if vedge_is_zero e0 && vedge_is_zero e1 then vzero
+  else begin
+    let w0 = wcx e0.vw and w1 = wcx e1.vw in
+    let norm = Float.sqrt (Cx.abs2 w0 +. Cx.abs2 w1) in
+    (* the phase reference must be a weight that survives normalization, so
+       pick w0 only when it is non-negligible at the node's scale *)
+    let lead = if Cx.abs w0 > tol p *. norm then w0 else w1 in
+    let phase = Cx.scale (1.0 /. Cx.abs lead) lead in
+    let factor = Cx.scale norm phase in
+    let renorm w e =
+      if vedge_is_zero e then vzero
+      else begin
+        let w' = Cx.div w factor in
+        (* normalized weights live at scale 1, so an absolute test cleans up
+           relative cancellation noise *)
+        if Cx.abs w' <= tol p then vzero else { vw = weight p w'; vt = e.vt }
+      end
+    in
+    let e0' = renorm w0 e0 and e1' = renorm w1 e1 in
+    if vedge_is_zero e0' && vedge_is_zero e1' then vzero
+    else begin
+      let n = hashcons_vnode p var e0' e1' in
+      { vw = weight p factor; vt = Some n }
+    end
+  end
+
+(* Matrix normalization: divide by the largest-magnitude weight, lowest index
+   winning near-ties, so the dominant weight becomes exactly 1. *)
+let make_mnode p var e00 e01 e10 e11 =
+  let edges = [| e00; e01; e10; e11 |] in
+  let mags = Array.map (fun e -> Cx.abs (wcx e.mw)) edges in
+  let mmax = Array.fold_left Float.max 0.0 mags in
+  if Array.for_all medge_is_zero edges then mzero
+  else if not (Float.is_finite mmax) then
+    invalid_arg "Dd.Pkg.make_mnode: non-finite edge weight (check gate angles)"
+  else begin
+    (* ties on the leading magnitude are broken towards the lowest index,
+       with a relative margin so drift cannot flip the choice *)
+    let rec lead_index k =
+      if mags.(k) >= mmax *. (1.0 -. 1e-9) then k else lead_index (k + 1)
+    in
+    let k = lead_index 0 in
+    let factor = wcx edges.(k).mw in
+    let renorm idx e =
+      if medge_is_zero e then mzero
+      else if idx = k then { mw = w_one; mt = e.mt }
+      else begin
+        let w' = Cx.div (wcx e.mw) factor in
+        if Cx.abs w' <= tol p then mzero else { mw = weight p w'; mt = e.mt }
+      end
+    in
+    let n =
+      hashcons_mnode p var (renorm 0 e00) (renorm 1 e01) (renorm 2 e10) (renorm 3 e11)
+    in
+    { mw = weight p factor; mt = Some n }
+  end
+
+let vscale p z e =
+  if vedge_is_zero e then vzero
+  else begin
+    let w = weight p (Cx.mul z (wcx e.vw)) in
+    if Ct.is_zero w then vzero else { vw = w; vt = e.vt }
+  end
+
+let mscale p z e =
+  if medge_is_zero e then mzero
+  else begin
+    let w = weight p (Cx.mul z (wcx e.mw)) in
+    if Ct.is_zero w then mzero else { mw = w; mt = e.mt }
+  end
+
+let rec ident p n =
+  let built = List.length p.idents in
+  if n < built then List.nth p.idents (built - 1 - n)
+  else if n = 0 then begin
+    let e = { mw = w_one; mt = None } in
+    p.idents <- e :: p.idents;
+    e
+  end
+  else begin
+    let below = ident p (n - 1) in
+    let e = make_mnode p (n - 1) below mzero mzero below in
+    p.idents <- e :: p.idents;
+    e
+  end
+
+let basis_state p n bits =
+  let rec build q acc =
+    if q = n then acc
+    else begin
+      let acc' =
+        if bits q then make_vnode p q vzero acc else make_vnode p q acc vzero
+      in
+      build (q + 1) acc'
+    end
+  in
+  build 0 { vw = w_one; vt = None }
+
+let zero_state p n = basis_state p n (fun _ -> false)
+
+let product_state p amps =
+  let n = Array.length amps in
+  let rec build q acc =
+    if q = n then acc
+    else begin
+      let a, b = amps.(q) in
+      build (q + 1) (make_vnode p q (vscale p a acc) (vscale p b acc))
+    end
+  in
+  build 0 { vw = w_one; vt = None }
+
+(* Controlled-gate construction, bottom-up (cf. MQT's makeGateDD).  Each of
+   the four entries of [u] starts as a terminal edge; levels below the target
+   extend it with identity blocks, except at control levels where the
+   inactive branch must be the identity *only on the diagonal entries*.
+   Above the target a single edge remains and controls select between it and
+   the identity of everything below. *)
+let gate p ~n ~controls ~target u =
+  assert (Array.length u = 4);
+  assert (0 <= target && target < n);
+  let control_at = Array.make n None in
+  let set_control (q, pos) =
+    assert (q <> target && 0 <= q && q < n);
+    control_at.(q) <- Some pos
+  in
+  List.iter set_control controls;
+  let entries = Array.map (fun z -> mterminal p z) u in
+  for q = 0 to target - 1 do
+    match control_at.(q) with
+    | None ->
+      for idx = 0 to 3 do
+        let e = entries.(idx) in
+        entries.(idx) <- make_mnode p q e mzero mzero e
+      done
+    | Some pos ->
+      for idx = 0 to 3 do
+        let diag = if idx = 0 || idx = 3 then ident p q else mzero in
+        let e = entries.(idx) in
+        entries.(idx) <-
+          (if pos then make_mnode p q diag mzero mzero e
+           else make_mnode p q e mzero mzero diag)
+      done
+  done;
+  let at_target =
+    make_mnode p target entries.(0) entries.(1) entries.(2) entries.(3)
+  in
+  let rec extend q acc =
+    if q = n then acc
+    else begin
+      let acc' =
+        match control_at.(q) with
+        | None -> make_mnode p q acc mzero mzero acc
+        | Some pos ->
+          let below = ident p q in
+          if pos then make_mnode p q below mzero mzero acc
+          else make_mnode p q acc mzero mzero below
+      in
+      extend (q + 1) acc'
+    end
+  in
+  extend (target + 1) at_target
+
+let vadd_cache p = p.vadd
+let madd_cache p = p.madd
+let mv_cache p = p.mv
+let mm_cache p = p.mm
+let ip_cache p = p.ip
+let adj_cache p = p.adj
+
+let clear_caches p =
+  Hashtbl.reset p.vadd;
+  Hashtbl.reset p.madd;
+  Hashtbl.reset p.mv;
+  Hashtbl.reset p.mm;
+  Hashtbl.reset p.ip;
+  Hashtbl.reset p.adj
+
+let compact p ~vector_roots ~matrix_roots =
+  clear_caches p;
+  Hashtbl.reset p.vtab;
+  Hashtbl.reset p.mtab;
+  let vseen = Hashtbl.create 256 and mseen = Hashtbl.create 256 in
+  let rec revisit_v = function
+    | None -> ()
+    | Some n ->
+      if not (Hashtbl.mem vseen n.vid) then begin
+        Hashtbl.add vseen n.vid ();
+        Hashtbl.replace p.vtab (vkey_of n.vvar n.v0 n.v1) n;
+        if not (vedge_is_zero n.v0) then revisit_v n.v0.vt;
+        if not (vedge_is_zero n.v1) then revisit_v n.v1.vt
+      end
+  in
+  let rec revisit_m = function
+    | None -> ()
+    | Some n ->
+      if not (Hashtbl.mem mseen n.mid) then begin
+        Hashtbl.add mseen n.mid ();
+        Hashtbl.replace p.mtab (mkey_of n.mvar n.m00 n.m01 n.m10 n.m11) n;
+        let follow (e : medge) = if not (medge_is_zero e) then revisit_m e.mt in
+        follow n.m00;
+        follow n.m01;
+        follow n.m10;
+        follow n.m11
+      end
+  in
+  List.iter (fun (e : vedge) -> if not (vedge_is_zero e) then revisit_v e.vt) vector_roots;
+  List.iter (fun (e : medge) -> if not (medge_is_zero e) then revisit_m e.mt) matrix_roots;
+  (* the cached identity chain must stay valid *)
+  List.iter (fun (e : medge) -> if not (medge_is_zero e) then revisit_m e.mt) p.idents
+
+type stats =
+  { vector_nodes : int
+  ; matrix_nodes : int
+  ; weights : int
+  }
+
+let stats p =
+  { vector_nodes = Hashtbl.length p.vtab
+  ; matrix_nodes = Hashtbl.length p.mtab
+  ; weights = Ct.size p.ctab
+  }

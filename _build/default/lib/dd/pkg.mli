@@ -1,0 +1,111 @@
+(** Decision-diagram package: owns the complex table, the unique tables for
+    vector and matrix nodes, and all operation caches.
+
+    A package is the unit of state: DDs created in one package must never be
+    mixed with those of another.  Creating a package is cheap, so
+    independent tasks (tests, extraction branches run in parallel) should
+    each use their own. *)
+
+open Types
+
+type t
+
+(** [create ?tol ()] makes a fresh, empty package.  [tol] is the numerical
+    tolerance used for interning complex weights (default [1e-10]). *)
+val create : ?tol:float -> unit -> t
+
+val tol : t -> float
+val ctab : t -> Cxnum.Cx_table.t
+
+(** {1 Weights} *)
+
+(** [weight p z] interns an amplitude. *)
+val weight : t -> Cxnum.Cx.t -> weight
+
+val w_zero : weight
+val w_one : weight
+
+(** {1 Edges and nodes} *)
+
+(** The canonical zero vector / matrix of any dimension. *)
+val vzero : vedge
+
+val mzero : medge
+
+(** Scalar edges to the terminal (0-qubit vector / matrix). *)
+val vterminal : t -> Cxnum.Cx.t -> vedge
+
+val mterminal : t -> Cxnum.Cx.t -> medge
+
+(** [make_vnode p var e0 e1] builds the normalized, hash-consed node with the
+    given successors and returns the edge to it (carrying the normalization
+    factor).  Successor edges must be rooted at level [var - 1] (or be zero
+    stubs).  Normalization: successor weights are divided by their 2-norm and
+    by the phase of the first non-zero weight, so that the node's weights
+    have unit norm and the first non-zero one is real positive. *)
+val make_vnode : t -> int -> vedge -> vedge -> vedge
+
+(** [make_mnode p var e00 e01 e10 e11] is the matrix analogue.
+    Normalization divides by the largest-magnitude weight (ties broken by
+    lowest index), so the largest weight becomes exactly 1. *)
+val make_mnode : t -> int -> medge -> medge -> medge -> medge -> medge
+
+(** [vscale p z e] multiplies an edge weight by [z]. *)
+val vscale : t -> Cxnum.Cx.t -> vedge -> vedge
+
+val mscale : t -> Cxnum.Cx.t -> medge -> medge
+
+(** {1 Common diagrams} *)
+
+(** [ident p n] is the identity matrix on [n] qubits (cached). *)
+val ident : t -> int -> medge
+
+(** [basis_state p n bits] is the computational basis state |b_{n-1} ... b_0>
+    where [bits i] gives the value of qubit [i]. *)
+val basis_state : t -> int -> (int -> bool) -> vedge
+
+(** [zero_state p n] is |0...0> on [n] qubits. *)
+val zero_state : t -> int -> vedge
+
+(** [product_state p amps] builds the product state whose qubit [i] is
+    [fst amps.(i)] |0> + [snd amps.(i)] |1>.  Amplitudes need not be
+    normalized; the result is. *)
+val product_state : t -> (Cxnum.Cx.t * Cxnum.Cx.t) array -> vedge
+
+(** [gate p ~n ~controls ~target u] builds the matrix DD of the [n]-qubit
+    operator applying the single-qubit matrix [u] (row-major
+    [|u00; u01; u10; u11|]) to [target] under the given controls.  A control
+    [(q, true)] activates on |1>, [(q, false)] on |0>. *)
+val gate :
+  t -> n:int -> controls:(int * bool) list -> target:int -> Cxnum.Cx.t array -> medge
+
+(** {1 Caches}
+
+    Operation caches used by {!Vec} and {!Mat}; exposed for them only. *)
+
+val vadd_cache : t -> (int * int * int, vedge) Hashtbl.t
+val madd_cache : t -> (int * int * int, medge) Hashtbl.t
+val mv_cache : t -> (int * int, vedge) Hashtbl.t
+val mm_cache : t -> (int * int, medge) Hashtbl.t
+val ip_cache : t -> (int * int, Cxnum.Cx.t) Hashtbl.t
+val adj_cache : t -> (int, medge) Hashtbl.t
+
+(** Drop all operation caches (keeps the unique tables). *)
+val clear_caches : t -> unit
+
+(** [compact p ~vector_roots ~matrix_roots] garbage-collects the unique
+    tables: only nodes reachable from the given roots (plus the cached
+    identities) survive; all operation caches are dropped.  Edges held by
+    the caller stay valid — their nodes are re-registered — but any edge
+    not passed as a root must no longer be used with this package. *)
+val compact : t -> vector_roots:vedge list -> matrix_roots:medge list -> unit
+
+(** {1 Statistics} *)
+
+type stats =
+  { vector_nodes : int  (** live vector nodes in the unique table *)
+  ; matrix_nodes : int  (** live matrix nodes in the unique table *)
+  ; weights : int  (** interned complex values *)
+  }
+
+val stats : t -> stats

@@ -1,0 +1,60 @@
+(* Node and edge representations shared by the whole DD package.
+
+   Decision diagrams here are *quasi-reduced*: every root-to-terminal path
+   visits every variable level in order, with one exception — an edge whose
+   weight is (canonical) zero always points directly to the terminal and
+   stands for the all-zero vector/matrix of whatever dimension its context
+   requires.  This keeps every recursive algorithm a simple simultaneous
+   descent without level-skipping case analysis. *)
+
+type weight = Cxnum.Cx_table.value
+
+(* Vector DDs: a node at variable [vvar] splits on qubit [vvar]; [v0] is the
+   |0>-successor, [v1] the |1>-successor.  [vt = None] is the terminal. *)
+type vnode =
+  { vid : int
+  ; vvar : int
+  ; v0 : vedge
+  ; v1 : vedge
+  }
+
+and vedge =
+  { vw : weight
+  ; vt : vnode option
+  }
+
+(* Matrix DDs: four successors indexed row-major, [m.(2*i + j)] being the
+   block mapping |j> to |i> on qubit [mvar]. *)
+type mnode =
+  { mid : int
+  ; mvar : int
+  ; m00 : medge
+  ; m01 : medge
+  ; m10 : medge
+  ; m11 : medge
+  }
+
+and medge =
+  { mw : weight
+  ; mt : mnode option
+  }
+
+let vedge_is_zero e = Cxnum.Cx_table.is_zero e.vw
+let medge_is_zero e = Cxnum.Cx_table.is_zero e.mw
+let vnode_id = function None -> -1 | Some n -> n.vid
+let mnode_id = function None -> -1 | Some n -> n.mid
+
+(* Keys for the unique tables: variable index plus the weight ids and target
+   node ids of all successors. *)
+type vkey = int * (int * int) * (int * int)
+type mkey = int * (int * int) * (int * int) * (int * int) * (int * int)
+
+let vkey_of var (e0 : vedge) (e1 : vedge) : vkey =
+  (var, (e0.vw.id, vnode_id e0.vt), (e1.vw.id, vnode_id e1.vt))
+
+let mkey_of var (e00 : medge) (e01 : medge) (e10 : medge) (e11 : medge) : mkey =
+  ( var
+  , (e00.mw.id, mnode_id e00.mt)
+  , (e01.mw.id, mnode_id e01.mt)
+  , (e10.mw.id, mnode_id e10.mt)
+  , (e11.mw.id, mnode_id e11.mt) )

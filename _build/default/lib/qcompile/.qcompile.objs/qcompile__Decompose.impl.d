@@ -1,0 +1,1 @@
+lib/qcompile/decompose.ml: Array Circuit Cxnum Float List

@@ -1,0 +1,1 @@
+lib/qcompile/decompose.mli: Circuit Cxnum

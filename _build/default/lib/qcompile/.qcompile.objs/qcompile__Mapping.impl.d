@@ -1,0 +1,1 @@
+lib/qcompile/mapping.ml: Array Circuit Fun List Queue

@@ -1,0 +1,1 @@
+lib/qcompile/mapping.mli: Circuit

@@ -1,0 +1,1 @@
+lib/qcompile/optimize.ml: Array Circuit Cxnum Decompose Float Hashtbl List Option

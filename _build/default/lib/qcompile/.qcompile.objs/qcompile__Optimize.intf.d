@@ -1,0 +1,1 @@
+lib/qcompile/optimize.mli: Circuit

@@ -1,0 +1,166 @@
+module Cx = Cxnum.Cx
+module Op = Circuit.Op
+module Gates = Circuit.Gates
+module Circ = Circuit.Circ
+
+(* u = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta), derived from
+   u' = e^{-i alpha} u in SU(2):
+     u'00 = cos(g/2) e^{-i(b+d)/2}   u'01 = -sin(g/2) e^{-i(b-d)/2}
+     u'10 = sin(g/2) e^{ i(b-d)/2}   u'11 = cos(g/2) e^{ i(b+d)/2} *)
+let zyz u =
+  let det = Cx.sub (Cx.mul u.(0) u.(3)) (Cx.mul u.(1) u.(2)) in
+  let alpha = Cx.arg det /. 2.0 in
+  let phase = Cx.polar 1.0 (-.alpha) in
+  let a = Cx.mul phase u.(0) and c = Cx.mul phase u.(2) in
+  let gamma = 2.0 *. Float.atan2 (Cx.abs c) (Cx.abs a) in
+  let sum, diff =
+    if Cx.abs a > 1e-12 && Cx.abs c > 1e-12 then (-2.0 *. Cx.arg a, 2.0 *. Cx.arg c)
+    else if Cx.abs a > 1e-12 then (-2.0 *. Cx.arg a, 0.0) (* gamma ~ 0: only b+d matters *)
+    else (0.0, 2.0 *. Cx.arg c) (* gamma ~ pi: only b-d matters *)
+  in
+  let beta = (sum +. diff) /. 2.0 and delta = (sum -. diff) /. 2.0 in
+  (alpha, beta, gamma, delta)
+
+let rz theta q = Op.apply (Gates.RZ theta) q
+let ry theta q = Op.apply (Gates.RY theta) q
+let cx c t = Op.controlled Gates.X ~control:c ~target:t
+
+let nontrivial theta = Float.abs theta > 1e-12
+
+(* controlled-V via V = e^{ia} A X B X C with A B C = I:
+   A = Rz(b) Ry(g/2), B = Ry(-g/2) Rz(-(d+b)/2), C = Rz((d-b)/2);
+   the phase becomes P(a) on the control.  Ops are listed in application
+   order (C first). *)
+let controlled_u ~control ~target u =
+  let alpha, beta, gamma, delta = zyz u in
+  let ops =
+    List.concat
+      [ (if nontrivial ((delta -. beta) /. 2.0) then
+           [ rz ((delta -. beta) /. 2.0) target ]
+         else [])
+      ; [ cx control target ]
+      ; (if nontrivial ((delta +. beta) /. 2.0) then
+           [ rz (-.(delta +. beta) /. 2.0) target ]
+         else [])
+      ; (if nontrivial gamma then [ ry (-.gamma /. 2.0) target ] else [])
+      ; [ cx control target ]
+      ; (if nontrivial gamma then [ ry (gamma /. 2.0) target ] else [])
+      ; (if nontrivial beta then [ rz beta target ] else [])
+      ; (if nontrivial alpha then [ Op.apply (Gates.P alpha) control ] else [])
+      ]
+  in
+  ops
+
+(* textbook 6-CNOT Toffoli (controls a b, target c) *)
+let toffoli a b c =
+  [ Op.apply Gates.H c
+  ; cx b c
+  ; Op.apply Gates.Tdg c
+  ; cx a c
+  ; Op.apply Gates.T c
+  ; cx b c
+  ; Op.apply Gates.Tdg c
+  ; cx a c
+  ; Op.apply Gates.T b
+  ; Op.apply Gates.T c
+  ; Op.apply Gates.H c
+  ; cx a b
+  ; Op.apply Gates.T a
+  ; Op.apply Gates.Tdg b
+  ; cx a b
+  ]
+
+(* Principal square root of a 2x2 unitary via its Pauli-axis form:
+   U = e^{i delta} (cos a I - i sin a (n . sigma)), so
+   sqrt U = e^{i delta/2} (cos (a/2) I - i sin (a/2) (n . sigma)). *)
+let sqrt_unitary u =
+  let det = Cx.sub (Cx.mul u.(0) u.(3)) (Cx.mul u.(1) u.(2)) in
+  let delta = Cx.arg det /. 2.0 in
+  let ph = Cx.polar 1.0 (-.delta) in
+  let s = Array.map (fun z -> Cx.mul ph z) u in
+  (* s in SU(2): s00 = cos a - i nz sin a, s01 = (-i nx - ny) sin a,
+     s10 = (-i nx + ny) sin a, s11 = cos a + i nz sin a *)
+  let cos_a = (s.(0).Cx.re +. s.(3).Cx.re) /. 2.0 in
+  let snz = -.(s.(0).Cx.im -. s.(3).Cx.im) /. 2.0 in
+  let snx = -.(s.(1).Cx.im +. s.(2).Cx.im) /. 2.0 in
+  let sny = (s.(2).Cx.re -. s.(1).Cx.re) /. 2.0 in
+  let sin_a = Float.sqrt ((snx *. snx) +. (sny *. sny) +. (snz *. snz)) in
+  let a = Float.atan2 sin_a cos_a in
+  let nx, ny, nz =
+    if sin_a > 1e-12 then (snx /. sin_a, sny /. sin_a, snz /. sin_a)
+    else (0.0, 0.0, 1.0) (* s = +-I: any axis works *)
+  in
+  let c = Cx.of_float (Float.cos (a /. 2.0)) in
+  let s2 = Float.sin (a /. 2.0) in
+  let half =
+    [| Cx.sub c (Cx.make 0.0 (nz *. s2))
+     ; Cx.make (-.(ny *. s2)) (-.(nx *. s2))
+     ; Cx.make (ny *. s2) (-.(nx *. s2))
+     ; Cx.add c (Cx.make 0.0 (nz *. s2))
+    |]
+  in
+  let phase = Cx.polar 1.0 (delta /. 2.0) in
+  Array.map (fun z -> Cx.mul phase z) half
+
+let conj_2x2 u =
+  [| Cx.conj u.(0); Cx.conj u.(2); Cx.conj u.(1); Cx.conj u.(3) |]
+
+let x_2x2 = Gates.matrix Gates.X
+
+let is_x_2x2 u =
+  Cx.abs u.(0) < 1e-12
+  && Cx.abs (Cx.sub u.(1) Cx.one) < 1e-12
+  && Cx.abs (Cx.sub u.(2) Cx.one) < 1e-12
+  && Cx.abs u.(3) < 1e-12
+
+(* Barenco recursion over positive controls; ops listed in application
+   order. *)
+let rec multi_controlled ~controls ~target u =
+  match controls with
+  | [] -> invalid_arg "Decompose.multi_controlled: no controls"
+  | [ c ] -> if is_x_2x2 u then [ cx c target ] else controlled_u ~control:c ~target u
+  | [ c1; c2 ] when is_x_2x2 u -> toffoli c1 c2 target
+  | cn :: rest ->
+    let v = sqrt_unitary u in
+    List.concat
+      [ multi_controlled ~controls:[ cn ] ~target v
+      ; multi_controlled ~controls:rest ~target:cn x_2x2
+      ; multi_controlled ~controls:[ cn ] ~target (conj_2x2 v)
+      ; multi_controlled ~controls:rest ~target:cn x_2x2
+      ; multi_controlled ~controls:rest ~target v
+      ]
+
+let with_negative_controls negs ops =
+  let flips = List.map (fun q -> Op.apply Gates.X q) negs in
+  flips @ ops @ flips
+
+(* [exact] forces phase-exact output; it is set inside classical conditions,
+   where a gate's global phase becomes a relative phase once the Section 4
+   transformation turns the condition into a quantum control. *)
+let rec expand ~exact op =
+  match (op : Op.t) with
+  | Apply { gate; controls = []; target } ->
+    if exact && Gates.global_phase_to_u3 gate <> 0.0 then [ op ]
+    else [ Op.apply (Gates.to_u3 gate) target ]
+  | Apply { gate; controls; target } ->
+    let negs = List.filter_map (fun (c : Op.control) -> if c.pos then None else Some c.cq) controls in
+    let cqs = List.map (fun (c : Op.control) -> c.cq) controls in
+    let body = multi_controlled ~controls:cqs ~target (Gates.matrix gate) in
+    with_negative_controls negs body
+  | Swap (a, b) -> [ cx a b; cx b a; cx a b ]
+  | Measure _ | Reset _ | Barrier _ -> [ op ]
+  | Cond { cond; op } ->
+    List.map (fun op -> Op.Cond { cond; op }) (expand ~exact:true op)
+
+let to_basis (c : Circ.t) =
+  let ops = List.concat_map (expand ~exact:false) c.Circ.ops in
+  (* pieces emitted by the controlled decompositions (rz, ry, h, t, ...) are
+     uncontrolled, so rewriting them to u3 only moves global phase — except
+     under a classical condition, which [expand] already kept exact *)
+  let normalize op =
+    match (op : Op.t) with
+    | Apply { gate; controls = []; target } -> Op.apply (Gates.to_u3 gate) target
+    | Apply _ | Swap _ | Measure _ | Reset _ | Cond _ | Barrier _ -> op
+  in
+  Circ.make ~name:(c.Circ.name ^ "_u3cx") ~qubits:c.Circ.num_qubits
+    ~cbits:c.Circ.num_cbits (List.map normalize ops)

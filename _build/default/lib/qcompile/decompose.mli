@@ -1,0 +1,36 @@
+(** Decomposition into the IBM-style basis {u3, cx} (paper Section 2.3 /
+    Fig. 1b): arbitrary single-qubit gates become [U3], singly-controlled
+    gates go through the standard ZYZ "ABC" construction, Toffolis through
+    the textbook 6-CNOT circuit, swaps through 3 CNOTs, and negative
+    controls are conjugated with X.
+
+    The result is functionally equivalent to the input up to global phase
+    ({e exactly} equivalent for the controlled decompositions, which track
+    the relative phase on the control). *)
+
+(** [zyz u] decomposes a 2x2 unitary as
+    [u = exp(i alpha) Rz(beta) Ry(gamma) Rz(delta)], returning
+    [(alpha, beta, gamma, delta)]. *)
+val zyz : Cxnum.Cx.t array -> float * float * float * float
+
+(** [controlled_u ~control ~target u] is the {u3, cx} expansion of the
+    controlled-[u] operation. *)
+val controlled_u : control:int -> target:int -> Cxnum.Cx.t array -> Circuit.Op.t list
+
+(** [sqrt_unitary u] is the principal square root of a 2x2 unitary (computed
+    through its Pauli-axis form). *)
+val sqrt_unitary : Cxnum.Cx.t array -> Cxnum.Cx.t array
+
+(** [multi_controlled ~controls ~target u] expands a gate with any number of
+    (positive) controls by the Barenco recursion
+    [C^n(U) = C(V) . C^{n-1}(X) . C(V^dagger) . C^{n-1}(X) . C^{n-1}(V)]
+    with [V = sqrt U]; exact including phases.  Gate count grows as O(3^n), which
+    is fine for the small control counts occurring in practice.  [controls]
+    must be non-empty. *)
+val multi_controlled :
+  controls:int list -> target:int -> Cxnum.Cx.t array -> Circuit.Op.t list
+
+(** [to_basis c] rewrites the whole circuit; non-unitary operations pass
+    through (the body of a classically-controlled gate is decomposed, each
+    piece keeping the classical condition). *)
+val to_basis : Circuit.Circ.t -> Circuit.Circ.t

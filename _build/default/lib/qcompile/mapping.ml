@@ -1,0 +1,152 @@
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+
+type outcome =
+  { circuit : Circuit.Circ.t
+  ; swaps_inserted : int
+  }
+
+let ibmq_london = [ (0, 1); (1, 2); (1, 3); (3, 4) ]
+
+(* BFS over the coupling graph: predecessor array from [src], giving
+   shortest paths to every physical wire. *)
+let bfs_predecessors adjacency n src =
+  let pred = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          pred.(w) <- v;
+          Queue.add w queue
+        end)
+      adjacency.(v)
+  done;
+  pred
+
+let coupled ~edges (c : Circ.t) =
+  let n = c.Circ.num_qubits in
+  let adjacency = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n || a = b then
+        invalid_arg "Mapping.coupled: bad edge";
+      adjacency.(a) <- b :: adjacency.(a);
+      adjacency.(b) <- a :: adjacency.(b))
+    edges;
+  let phys = Array.init n (fun q -> q) in
+  let logical = Array.init n (fun q -> q) in
+  let rev_ops = ref [] in
+  let swaps = ref 0 in
+  let emit op = rev_ops := op :: !rev_ops in
+  let swap_phys a b =
+    emit (Op.controlled Circuit.Gates.X ~control:a ~target:b);
+    emit (Op.controlled Circuit.Gates.X ~control:b ~target:a);
+    emit (Op.controlled Circuit.Gates.X ~control:a ~target:b);
+    incr swaps;
+    let la = logical.(a) and lb = logical.(b) in
+    logical.(a) <- lb;
+    logical.(b) <- la;
+    phys.(la) <- b;
+    phys.(lb) <- a
+  in
+  (* move logical [l] adjacent to physical wire [goal_phys] by swapping it
+     along a shortest path *)
+  let bring_adjacent l goal_phys =
+    let here = phys.(l) in
+    if here <> goal_phys && not (List.mem goal_phys adjacency.(here)) then begin
+      let pred = bfs_predecessors adjacency n here in
+      if pred.(goal_phys) < 0 && goal_phys <> here then
+        invalid_arg "Mapping.coupled: coupling graph is disconnected";
+      (* walk back from the goal; stop one hop short of it *)
+      let rec path_to acc v = if v = here then acc else path_to (v :: acc) pred.(v) in
+      let path = path_to [] goal_phys in
+      let rec hop = function
+        | [] | [ _ ] -> ()
+        | step :: rest ->
+          swap_phys phys.(l) step;
+          hop rest
+      in
+      hop path
+    end
+  in
+  (* measurements are re-emitted after the final restore layer (where the
+     assignment is the identity again); sound because the input is static,
+     so nothing acts on a measured qubit afterwards *)
+  let measures = ref [] in
+  let step op =
+    match (op : Op.t) with
+    | Apply { gate; controls = []; target } -> emit (Op.apply gate phys.(target))
+    | Apply { gate; controls = [ ctrl ]; target } ->
+      bring_adjacent ctrl.Op.cq phys.(target);
+      emit
+        (Op.Apply
+           { gate
+           ; controls = [ { ctrl with Op.cq = phys.(ctrl.Op.cq) } ]
+           ; target = phys.(target)
+           })
+    | Swap (a, b) ->
+      bring_adjacent a phys.(b);
+      emit (Op.Swap (phys.(a), phys.(b)))
+    | Measure _ as m -> measures := m :: !measures
+    | Barrier qs -> emit (Op.Barrier (List.map (fun q -> phys.(q)) qs))
+    | Apply _ -> invalid_arg "Mapping.coupled: multi-controlled gate (decompose first)"
+    | Reset _ | Cond _ -> invalid_arg "Mapping.coupled: dynamic primitive (transform first)"
+  in
+  List.iter step c.Circ.ops;
+  (* Restore the identity assignment by routing over a BFS spanning tree:
+     wires are finalized deepest-first, and every move stays on tree paths
+     through shallower (not yet finalized) wires, so a finalized wire is
+     never disturbed and the loop provably terminates. *)
+  let parent = bfs_predecessors adjacency n 0 in
+  let depth = Array.make n 0 in
+  let rec depth_of v = if parent.(v) < 0 then 0 else 1 + depth_of parent.(v) in
+  for v = 0 to n - 1 do
+    if v <> 0 && parent.(v) < 0 then
+      invalid_arg "Mapping.coupled: coupling graph is disconnected";
+    depth.(v) <- depth_of v
+  done;
+  let tree_path a b =
+    (* the hops from [a] to [b] along the tree (excluding [a] itself):
+       climb to the lowest common ancestor, then descend *)
+    let rec root_path x acc = if x < 0 then acc else root_path parent.(x) (x :: acc) in
+    let rec strip lca pa pb =
+      match (pa, pb) with
+      | x :: xs, y :: ys when x = y -> strip x xs ys
+      | _ -> (lca, pa, pb)
+    in
+    let lca, below_a, below_b = strip (-1) (root_path a []) (root_path b []) in
+    assert (lca >= 0);
+    let upward =
+      match List.rev below_a with
+      | [] -> [] (* a is the lca itself; no climbing *)
+      | _ :: ancestors -> ancestors @ [ lca ]
+    in
+    upward @ below_b
+  in
+  let order = List.sort (fun u v -> compare depth.(v) depth.(u)) (List.init n Fun.id) in
+  List.iter
+    (fun v ->
+      if phys.(v) <> v then
+        List.iter (fun hop -> swap_phys phys.(v) hop) (tree_path phys.(v) v))
+    order;
+  List.iter emit (List.rev !measures);
+  { circuit =
+      Circ.make ~name:(c.Circ.name ^ "_mapped") ~qubits:n ~cbits:c.Circ.num_cbits
+        (List.rev !rev_ops)
+  ; swaps_inserted = !swaps
+  }
+
+let linear (c : Circ.t) =
+  let n = c.Circ.num_qubits in
+  if n <= 1 then { circuit = Circ.with_name c (c.Circ.name ^ "_lnn"); swaps_inserted = 0 }
+  else begin
+    let chain = List.init (n - 1) (fun i -> (i, i + 1)) in
+    let out = coupled ~edges:chain c in
+    { out with circuit = Circ.with_name out.circuit (c.Circ.name ^ "_lnn") }
+  end

@@ -1,0 +1,34 @@
+(** Naive qubit mapping to a linear-nearest-neighbour architecture
+    (paper Section 2.3: circuits must be mapped to the device's coupling
+    graph before execution; Fig. 1b shows such a compiled QPE circuit).
+
+    The router keeps a logical-to-physical assignment, and whenever a
+    two-qubit gate spans non-adjacent wires it inserts SWAP chains moving
+    the control next to the target.  A final layer of SWAPs restores the
+    identity assignment, so the mapped circuit is {e functionally
+    equivalent} to its input and can be handed straight to the equivalence
+    checker — the use case the paper's introduction motivates. *)
+
+type outcome =
+  { circuit : Circuit.Circ.t
+  ; swaps_inserted : int
+  }
+
+(** [linear c] maps onto the chain [0 - 1 - ... - n-1].  The input must
+    contain only single-qubit gates and singly-controlled gates (run
+    {!Decompose.to_basis} first); measurements and barriers pass through,
+    but dynamic primitives are rejected with [Invalid_argument] (map before
+    making the circuit dynamic, or transform first). *)
+val linear : Circuit.Circ.t -> outcome
+
+(** [coupled ~edges c] maps onto an arbitrary connected, undirected coupling
+    graph given as an edge list over physical wires [0 .. n-1]: whenever a
+    two-qubit gate spans non-adjacent wires, SWAP chains (3 CNOTs each) move
+    the control along a BFS shortest path.  A final layer restores the
+    identity assignment, so the output is exactly equivalent to the input.
+    Same input restrictions as {!linear}. *)
+val coupled : edges:(int * int) list -> Circuit.Circ.t -> outcome
+
+(** The five-qubit, T-shaped IBMQ London coupling of the paper's Fig. 1b:
+    [0-1, 1-2, 1-3, 3-4]. *)
+val ibmq_london : (int * int) list

@@ -1,0 +1,206 @@
+module Cx = Cxnum.Cx
+module Op = Circuit.Op
+module Gates = Circuit.Gates
+module Circ = Circuit.Circ
+
+type stats =
+  { cancelled : int
+  ; merged : int
+  ; fused : int
+  ; before : int
+  ; after : int
+  }
+
+type outcome =
+  { circuit : Circuit.Circ.t
+  ; stats : stats
+  }
+
+type counters =
+  { mutable c_cancelled : int
+  ; mutable c_merged : int
+  ; mutable c_fused : int
+  }
+
+let sorted_controls cs =
+  List.sort compare (List.map (fun (c : Op.control) -> (c.cq, c.pos)) cs)
+
+(* Two operations occupy the same "site" when cancellation/merging between
+   them is a purely local 2^k x 2^k matrix identity. *)
+let same_site a b =
+  match ((a : Op.t), (b : Op.t)) with
+  | Apply a, Apply b ->
+    a.target = b.target && sorted_controls a.controls = sorted_controls b.controls
+  | Swap (a1, a2), Swap (b1, b2) -> (a1, a2) = (b1, b2) || (a1, a2) = (b2, b1)
+  | _ -> false
+
+let angle_is_trivial a =
+  let r = Float.rem a (4.0 *. Float.pi) in
+  let r = if r < 0.0 then r +. (4.0 *. Float.pi) else r in
+  r < 1e-12 || (4.0 *. Float.pi) -. r < 1e-12
+
+(* [RX/RY/RZ] have period 4 pi (with a global sign at 2 pi, which is only a
+   global phase for *uncontrolled* gates); [P] has period 2 pi always. *)
+let rotations_merge ~controlled ga gb =
+  let trivial_rot a =
+    if controlled then angle_is_trivial a (* multiples of 4 pi only *)
+    else begin
+      let r = Float.abs (Float.rem a (2.0 *. Float.pi)) in
+      r < 1e-12 || (2.0 *. Float.pi) -. r < 1e-12
+    end
+  in
+  match ((ga : Gates.t), (gb : Gates.t)) with
+  | RX a, RX b -> Some (if trivial_rot (a +. b) then None else Some (Gates.RX (a +. b)))
+  | RY a, RY b -> Some (if trivial_rot (a +. b) then None else Some (Gates.RY (a +. b)))
+  | RZ a, RZ b -> Some (if trivial_rot (a +. b) then None else Some (Gates.RZ (a +. b)))
+  | P a, P b ->
+    let s = a +. b in
+    let r = Float.rem s (2.0 *. Float.pi) in
+    let r = if r < 0.0 then r +. (2.0 *. Float.pi) else r in
+    Some (if r < 1e-12 || (2.0 *. Float.pi) -. r < 1e-12 then None else Some (Gates.P s))
+  | _ -> None
+
+let is_adjoint_pair a b =
+  match ((a : Op.t), (b : Op.t)) with
+  | Swap _, Swap _ -> same_site a b
+  | Apply x, Apply y ->
+    same_site a b && Gates.equal ~tol:1e-12 (Gates.adjoint x.gate) y.gate
+  | _ -> false
+
+let disjoint a b =
+  let qa = Op.qubits a and qb = Op.qubits b in
+  let ca = Op.cbits_read a @ Op.cbits_written a in
+  let cb = Op.cbits_read b @ Op.cbits_written b in
+  (not (List.exists (fun q -> List.mem q qb) qa))
+  && not (List.exists (fun c -> List.mem c cb) ca)
+
+(* Cancellation / rotation-merging pass.  Operations are pushed onto an
+   "emitted" stack; a new unitary operation scans down the stack past
+   disjoint operations looking for a partner at the same site.  The scan
+   stops at the first overlapping operation, so no reordering beyond
+   commuting over disjoint qubits ever happens. *)
+let cancellation_pass counters ops =
+  let try_absorb stack op =
+    let rec scan above = function
+      | [] -> None
+      | entry :: below ->
+        if is_adjoint_pair entry op then begin
+          counters.c_cancelled <- counters.c_cancelled + 2;
+          Some (List.rev_append above below)
+        end
+        else begin
+          let merged =
+            match ((entry : Op.t), (op : Op.t)) with
+            | Apply a, Apply b when same_site entry op ->
+              (match
+                 rotations_merge ~controlled:(a.controls <> []) a.gate b.gate
+               with
+               | None -> None
+               | Some replacement ->
+                 counters.c_merged <- counters.c_merged + 1;
+                 (match replacement with
+                  | None ->
+                    counters.c_cancelled <- counters.c_cancelled + 1;
+                    Some (List.rev_append above below)
+                  | Some gate ->
+                    Some
+                      (List.rev_append above
+                         (Op.Apply { a with gate } :: below))))
+            | _ -> None
+          in
+          match merged with
+          | Some _ as r -> r
+          | None -> if disjoint entry op then scan (entry :: above) below else None
+        end
+    in
+    scan [] stack
+  in
+  let step stack op =
+    match (op : Op.t) with
+    | Apply _ | Swap _ ->
+      (match try_absorb stack op with
+       | Some stack -> stack
+       | None -> op :: stack)
+    | Measure _ | Reset _ | Cond _ | Barrier _ -> op :: stack
+  in
+  List.rev (List.fold_left step [] ops)
+
+(* Single-qubit fusion: collapse maximal runs of uncontrolled, unconditioned
+   single-qubit gates into one U3 via the ZYZ decomposition (dropping the
+   global phase).  Runs shorter than 2 stay untouched. *)
+let mat_mul a b =
+  [| Cx.add (Cx.mul a.(0) b.(0)) (Cx.mul a.(1) b.(2))
+   ; Cx.add (Cx.mul a.(0) b.(1)) (Cx.mul a.(1) b.(3))
+   ; Cx.add (Cx.mul a.(2) b.(0)) (Cx.mul a.(3) b.(2))
+   ; Cx.add (Cx.mul a.(2) b.(1)) (Cx.mul a.(3) b.(3))
+  |]
+
+let is_identity_up_to_phase m =
+  Cx.abs m.(1) < 1e-12
+  && Cx.abs m.(2) < 1e-12
+  && Cx.abs (Cx.sub m.(0) m.(3)) < 1e-12
+  && Float.abs (Cx.abs m.(0) -. 1.0) < 1e-12
+
+let fusion_pass counters ops =
+  let pending : (int, Gates.t list) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  let emit op = out := op :: !out in
+  let flush q =
+    match Hashtbl.find_opt pending q with
+    | None -> ()
+    | Some run ->
+      Hashtbl.remove pending q;
+      (match run with
+       | [] -> ()
+       | [ g ] -> emit (Op.apply g q)
+       | run ->
+         (* run is most-recent-first: the matrix product in application
+            order is head-first *)
+         let product =
+           List.fold_left (fun acc g -> mat_mul acc (Gates.matrix g)) (Gates.matrix (List.hd run)) (List.tl run)
+         in
+         counters.c_fused <- counters.c_fused + List.length run - 1;
+         if is_identity_up_to_phase product then
+           counters.c_fused <- counters.c_fused + 1
+         else begin
+           let _, beta, gamma, delta = Decompose.zyz product in
+           emit (Op.apply (Gates.U3 (gamma, beta, delta)) q)
+         end)
+  in
+  let step op =
+    match (op : Op.t) with
+    | Apply { gate; controls = []; target } ->
+      let run = Option.value ~default:[] (Hashtbl.find_opt pending target) in
+      Hashtbl.replace pending target (gate :: run)
+    | _ ->
+      List.iter flush (Op.qubits op);
+      emit op
+  in
+  List.iter step ops;
+  let remaining = Hashtbl.fold (fun q _ acc -> q :: acc) pending [] in
+  List.iter flush (List.sort compare remaining);
+  List.rev !out
+
+let unitary_count ops =
+  List.length
+    (List.filter (function Op.Apply _ | Op.Swap _ | Op.Cond _ -> true | _ -> false) ops)
+
+let run (c : Circ.t) =
+  let counters = { c_cancelled = 0; c_merged = 0; c_fused = 0 } in
+  let before = unitary_count c.Circ.ops in
+  let rec fix ops n =
+    let ops' = cancellation_pass counters ops in
+    let ops' = fusion_pass counters ops' in
+    if n = 0 || List.length ops' = List.length ops then ops' else fix ops' (n - 1)
+  in
+  let ops = fix c.Circ.ops 10 in
+  { circuit = Circ.make ~name:(c.Circ.name ^ "_opt") ~qubits:c.Circ.num_qubits
+      ~cbits:c.Circ.num_cbits ops
+  ; stats =
+      { cancelled = counters.c_cancelled
+      ; merged = counters.c_merged
+      ; fused = counters.c_fused
+      ; before
+      ; after = unitary_count ops
+      }
+  }

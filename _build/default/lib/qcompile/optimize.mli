@@ -1,0 +1,39 @@
+(** Peephole circuit optimization — the paper's second motivating use case:
+    "ensuring that alternative (e.g., optimized) realizations ... are
+    functionally equivalent to their original implementation".  Every
+    rewrite here preserves functionality up to global phase, and the test
+    suite closes the loop by checking optimizer outputs with the
+    equivalence checker itself.
+
+    Passes, applied to a fixpoint:
+    {ul
+    {- {b cancellation}: an operation meeting its own adjoint with only
+       disjoint-qubit operations in between is removed together with it
+       (covers [H H], [CX CX], [SWAP SWAP], [S Sdg], ...);}
+    {- {b rotation merging}: adjacent (same target, same controls)
+       [RX]/[RY]/[RZ]/[P] rotations merge by adding angles, vanishing when
+       the sum is a multiple of 2 pi;}
+    {- {b single-qubit fusion}: maximal runs of uncontrolled,
+       unconditioned single-qubit gates on one qubit collapse into a single
+       [U3] (runs of length 1 are kept as-is).}}
+
+    Non-unitary operations (measure / reset / classical conditions) act as
+    barriers for the qubits and classical bits they touch; gates under a
+    classical condition are never rewritten (their global phase is
+    observable after the Section 4 transformation). *)
+
+type stats =
+  { cancelled : int  (** operations removed by cancellation (pairs x 2) *)
+  ; merged : int  (** rotations merged away *)
+  ; fused : int  (** gates absorbed by single-qubit fusion *)
+  ; before : int  (** unitary operation count before *)
+  ; after : int  (** unitary operation count after *)
+  }
+
+type outcome =
+  { circuit : Circuit.Circ.t
+  ; stats : stats
+  }
+
+(** [run c] optimizes to a fixpoint. *)
+val run : Circuit.Circ.t -> outcome

@@ -1,0 +1,1 @@
+lib/qsim/classical.ml: Bytes Circuit Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/qsim/classical.mli: Bytes Circuit Hashtbl

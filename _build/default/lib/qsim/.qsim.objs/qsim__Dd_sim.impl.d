@@ -1,0 +1,1 @@
+lib/qsim/dd_sim.ml: Array Bytes Circuit Cxnum Dd Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/qsim/dd_sim.mli: Circuit Dd

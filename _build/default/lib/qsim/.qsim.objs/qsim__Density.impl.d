@@ -1,0 +1,1 @@
+lib/qsim/density.ml: Array Bool Bytes Circuit Classical Cxnum Float Hashtbl List String

@@ -1,0 +1,1 @@
+lib/qsim/extraction.ml: Array Bytes Circuit Classical Dd Dd_sim Domain Fmt Hashtbl List

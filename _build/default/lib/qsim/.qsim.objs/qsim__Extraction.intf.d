@@ -1,0 +1,1 @@
+lib/qsim/extraction.mli: Circuit Format

@@ -1,0 +1,1 @@
+lib/qsim/observable.ml: Array Circuit Cxnum Dd Density List Statevector

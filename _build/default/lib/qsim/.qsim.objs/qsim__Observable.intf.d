@@ -1,0 +1,1 @@
+lib/qsim/observable.mli: Dd Density Statevector

@@ -1,0 +1,1 @@
+lib/qsim/sampler.ml: Bytes Circuit Classical Dd Dd_sim Hashtbl List Option Random String

@@ -1,0 +1,1 @@
+lib/qsim/sampler.mli: Circuit

@@ -1,0 +1,1 @@
+lib/qsim/stabilizer.ml: Array Bytes Circuit Classical Fmt Hashtbl List Random

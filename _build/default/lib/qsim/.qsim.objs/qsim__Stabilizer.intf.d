@@ -1,0 +1,1 @@
+lib/qsim/stabilizer.mli: Circuit Random

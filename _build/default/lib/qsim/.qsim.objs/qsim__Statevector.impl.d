@@ -1,0 +1,1 @@
+lib/qsim/statevector.ml: Array Bool Bytes Circuit Classical Cxnum Float Hashtbl List

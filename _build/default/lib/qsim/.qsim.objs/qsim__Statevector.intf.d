@@ -1,0 +1,1 @@
+lib/qsim/statevector.mli: Circuit Cxnum

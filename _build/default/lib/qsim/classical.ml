@@ -1,0 +1,11 @@
+let cond_holds (cond : Circuit.Op.cond) cvals =
+  let bit_value i b = if Bytes.get cvals b = '1' then 1 lsl i else 0 in
+  List.fold_left ( + ) 0 (List.mapi bit_value cond.bits) = cond.value
+
+let add_weighted tbl key prob =
+  let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (prev +. prob)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

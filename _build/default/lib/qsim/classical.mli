@@ -1,0 +1,12 @@
+(** Classical-bit bookkeeping shared by the extraction implementations. *)
+
+(** [cond_holds cond cvals] evaluates a classical condition against the
+    current bit values ([cvals] is a byte per classical bit, ['0'] or
+    ['1']). *)
+val cond_holds : Circuit.Op.cond -> Bytes.t -> bool
+
+(** [add_weighted tbl key prob] accumulates [prob] onto [key]. *)
+val add_weighted : (string, float) Hashtbl.t -> string -> float -> unit
+
+(** [sorted_bindings tbl] lists the table sorted by key. *)
+val sorted_bindings : (string, float) Hashtbl.t -> (string * float) list

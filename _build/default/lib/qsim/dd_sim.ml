@@ -1,0 +1,69 @@
+module Cx = Cxnum.Cx
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+
+let controls_of (cs : Op.control list) = List.map (fun (c : Op.control) -> (c.cq, c.pos)) cs
+
+let op_unitary p ~n op =
+  match (op : Op.t) with
+  | Apply { gate; controls; target } ->
+    Dd.Pkg.gate p ~n ~controls:(controls_of controls) ~target (Gates.matrix gate)
+  | Swap (a, b) ->
+    let x = Gates.matrix Gates.X in
+    let cx c t = Dd.Pkg.gate p ~n ~controls:[ (c, true) ] ~target:t x in
+    let ab = cx a b and ba = cx b a in
+    Dd.Mat.mul p ab (Dd.Mat.mul p ba ab)
+  | Measure _ | Reset _ | Cond _ | Barrier _ ->
+    invalid_arg "Dd_sim.op_unitary: non-unitary operation"
+
+let apply_op p ~n state op =
+  match (op : Op.t) with
+  | Apply _ | Swap _ -> Dd.Mat.apply p (op_unitary p ~n op) state
+  | Measure _ | Reset _ | Cond _ | Barrier _ ->
+    invalid_arg "Dd_sim.apply_op: non-unitary operation"
+
+let simulate p (c : Circ.t) =
+  if Circ.is_dynamic c then
+    invalid_arg "Dd_sim.simulate: dynamic circuit (use Extraction.run)";
+  let n = c.Circ.num_qubits in
+  let step state op =
+    match (op : Op.t) with
+    | Measure _ | Barrier _ -> state
+    | Apply _ | Swap _ -> apply_op p ~n state op
+    | Reset _ | Cond _ -> assert false (* excluded by is_dynamic *)
+  in
+  List.fold_left step (Dd.Pkg.zero_state p n) c.Circ.ops
+
+let build_unitary p (c : Circ.t) =
+  let n = c.Circ.num_qubits in
+  let step acc op =
+    match (op : Op.t) with
+    | Barrier _ -> acc
+    | Apply _ | Swap _ -> Dd.Mat.mul p (op_unitary p ~n op) acc
+    | Measure _ | Reset _ | Cond _ ->
+      invalid_arg "Dd_sim.build_unitary: non-unitary operation in circuit"
+  in
+  List.fold_left step (Dd.Pkg.ident p n) c.Circ.ops
+
+let measured_distribution p state ~n ~num_cbits ~measures ?(cutoff = 1e-12)
+    ?(limit = 1 lsl 22) () =
+  let cbit_of = Hashtbl.create 16 in
+  List.iter (fun (q, cb) -> Hashtbl.replace cbit_of q cb) measures;
+  let paths = Dd.Vec.nonzero_paths p state ~n ~cutoff ~limit () in
+  let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let record (bits, prob) =
+    let key = Bytes.make num_cbits '0' in
+    Array.iteri
+      (fun q b ->
+        match Hashtbl.find_opt cbit_of q with
+        | Some cb -> if b = 1 then Bytes.set key cb '1'
+        | None -> ())
+      bits;
+    let key = Bytes.to_string key in
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt dist key) in
+    Hashtbl.replace dist key (prev +. prob)
+  in
+  List.iter record paths;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) dist []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

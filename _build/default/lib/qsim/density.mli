@@ -1,0 +1,66 @@
+(** Dense density-matrix simulation with a classical register — the
+    alternative the paper's Section 5 weighs against its extraction scheme
+    (cf. refs [38]-[40] there).
+
+    The simulator represents the joint classical/quantum state as an
+    ensemble: a map from classical-bit assignments to unnormalized density
+    matrices.  Unitaries and classically-controlled operations act on the
+    matching entries; a reset applies the channel
+    [rho -> P0 rho P0 + X P1 rho P1 X] {e without} splitting the ensemble
+    (the advantage of the mixed-state picture); a measurement splits an
+    entry into its two projected branches, keyed by the written bit.
+
+    The cost is the flip side the paper points out: every entry is a
+    [2^n x 2^n] matrix, quadratically heavier than the state vectors the
+    extraction scheme branches over, and the ensemble still grows with the
+    number of {e recorded} measurements.  The test suite uses this module
+    as a third independent oracle for the extraction scheme. *)
+
+type t
+
+(** [run c] simulates the whole (possibly dynamic) circuit from |0...0>. *)
+val run : Circuit.Circ.t -> t
+
+(** {1 Noise}
+
+    Mixed states are the natural home for decoherence (cf. [39] in the
+    paper); a {!noise} model applies single-qubit error channels to every
+    qubit an operation touches, right after the operation. *)
+
+type noise =
+  { depolarizing : float
+        (** probability of replacing the qubit with the maximally mixed
+            state component: [rho -> (1-p) rho + p/3 (X rho X + Y rho Y +
+            Z rho Z)] *)
+  ; amplitude_damping : float  (** decay probability |1> to |0> per step *)
+  }
+
+val noiseless : noise
+
+(** [run_noisy ~noise c] is {!run} with the error channels applied after
+    every gate, measurement and reset. *)
+val run_noisy : noise:noise -> Circuit.Circ.t -> t
+
+val num_qubits : t -> int
+
+(** Number of classical-ensemble entries (at most [2^measurements]). *)
+val entries : t -> int
+
+(** [distribution d] is the probability of each classical assignment —
+    directly comparable with {!Extraction.run}. *)
+val distribution : t -> (string * float) list
+
+(** [final_density d] sums the ensemble into the overall density matrix
+    (trace ~1). *)
+val final_density : t -> Cxnum.Cx.t array array
+
+(** [trace d] is the total probability mass (should be ~1). *)
+val trace : t -> float
+
+(** [purity d] is [Tr(rho^2)] of {!final_density}: 1 for pure states,
+    [1/2^n] for the maximally mixed state. *)
+val purity : t -> float
+
+(** [qubit_probability d q] is the probability that measuring qubit [q] of
+    the final mixed state yields |1>. *)
+val qubit_probability : t -> int -> float

@@ -1,0 +1,255 @@
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+
+type stats =
+  { leaves : int
+  ; branch_points : int
+  ; pruned : int
+  ; gate_applications : int
+  }
+
+type result =
+  { distribution : (string * float) list
+  ; stats : stats
+  }
+
+type counters =
+  { mutable c_leaves : int
+  ; mutable c_branch_points : int
+  ; mutable c_pruned : int
+  ; mutable c_gates : int
+  }
+
+let new_counters () = { c_leaves = 0; c_branch_points = 0; c_pruned = 0; c_gates = 0 }
+
+(* Outcome probabilities of one qubit, renormalized against accumulated
+   drift.  The state is kept normalized along every path, so p0 + p1 is 1 up
+   to rounding. *)
+let outcome_probs p state qubit =
+  let p0, p1 = Dd.Vec.probabilities p state qubit in
+  let total = p0 +. p1 in
+  (p0 /. total, p1 /. total)
+
+(* The core branching walk.  [forced] optionally prescribes outcomes for the
+   first branch points (used by the parallel driver); [on_branch] lets the
+   tree builder observe the branching structure. *)
+let walk ~pkg:p ~n ~cutoff ~counters ~record ?(forced = [||]) circuit_ops cvals_init =
+  let x_gate = Gates.matrix Gates.X in
+  let apply_x state qubit =
+    Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
+  in
+  let rec go state ops cvals prob depth =
+    match ops with
+    | [] ->
+      counters.c_leaves <- counters.c_leaves + 1;
+      record (Bytes.to_string cvals) prob
+    | op :: rest ->
+      (match (op : Op.t) with
+       | Barrier _ -> go state rest cvals prob depth
+       | Apply _ | Swap _ ->
+         counters.c_gates <- counters.c_gates + 1;
+         go (Dd_sim.apply_op p ~n state op) rest cvals prob depth
+       | Cond { cond; op } ->
+         let state =
+           if Classical.cond_holds cond cvals then begin
+             counters.c_gates <- counters.c_gates + 1;
+             Dd_sim.apply_op p ~n state op
+           end
+           else state
+         in
+         go state rest cvals prob depth
+       | Measure { qubit; cbit } ->
+         counters.c_branch_points <- counters.c_branch_points + 1;
+         let p0, p1 = outcome_probs p state qubit in
+         let take outcome p_out =
+           let state' = Dd.Vec.project p state qubit outcome in
+           let cvals' = Bytes.copy cvals in
+           Bytes.set cvals' cbit (if outcome = 1 then '1' else '0');
+           go state' rest cvals' (prob *. p_out) (depth + 1)
+         in
+         if depth < Array.length forced then begin
+           let outcome = forced.(depth) in
+           let p_out = if outcome = 1 then p1 else p0 in
+           if prob *. p_out > cutoff then take outcome p_out
+         end
+         else begin
+           if prob *. p1 > cutoff then take 1 p1
+           else counters.c_pruned <- counters.c_pruned + 1;
+           if prob *. p0 > cutoff then take 0 p0
+           else counters.c_pruned <- counters.c_pruned + 1
+         end
+       | Reset qubit ->
+         counters.c_branch_points <- counters.c_branch_points + 1;
+         let p0, p1 = outcome_probs p state qubit in
+         let take outcome p_out =
+           let state' = Dd.Vec.project p state qubit outcome in
+           let state' = if outcome = 1 then apply_x state' qubit else state' in
+           go state' rest cvals (prob *. p_out) (depth + 1)
+         in
+         if depth < Array.length forced then begin
+           let outcome = forced.(depth) in
+           let p_out = if outcome = 1 then p1 else p0 in
+           if prob *. p_out > cutoff then take outcome p_out
+         end
+         else begin
+           if prob *. p1 > cutoff then take 1 p1
+           else counters.c_pruned <- counters.c_pruned + 1;
+           if prob *. p0 > cutoff then take 0 p0
+           else counters.c_pruned <- counters.c_pruned + 1
+         end)
+  in
+  go (Dd.Pkg.zero_state p n) circuit_ops cvals_init 1.0 0
+
+let run_sequential ~cutoff (c : Circ.t) =
+  let p = Dd.Pkg.create () in
+  let counters = new_counters () in
+  let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let record = Classical.add_weighted dist in
+  walk ~pkg:p ~n:c.Circ.num_qubits ~cutoff ~counters ~record c.Circ.ops
+    (Bytes.make c.Circ.num_cbits '0');
+  { distribution = Classical.sorted_bindings dist
+  ; stats =
+      { leaves = counters.c_leaves
+      ; branch_points = counters.c_branch_points
+      ; pruned = counters.c_pruned
+      ; gate_applications = counters.c_gates
+      }
+  }
+
+(* Parallel driver: the first [depth] branch points are forced per task, so
+   the 2^depth tasks partition the branching tree; each re-simulates its
+   prefix in a private package (DD nodes cannot be shared across domains). *)
+let run_parallel ~cutoff ~domains (c : Circ.t) =
+  let branchy =
+    List.exists (function Op.Measure _ | Op.Reset _ -> true | _ -> false) c.Circ.ops
+  in
+  if not branchy then run_sequential ~cutoff c
+  else begin
+    let rec depth_for d = if 1 lsl d >= domains then d else depth_for (d + 1) in
+    let n_branches =
+      List.length
+        (List.filter (function Op.Measure _ | Op.Reset _ -> true | _ -> false) c.Circ.ops)
+    in
+    let depth = min (depth_for 0) n_branches in
+    let tasks = 1 lsl depth in
+    let task_of idx () =
+      let p = Dd.Pkg.create () in
+      let counters = new_counters () in
+      let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
+      let record = Classical.add_weighted dist in
+      let forced = Array.init depth (fun k -> (idx lsr k) land 1) in
+      walk ~pkg:p ~n:c.Circ.num_qubits ~cutoff ~counters ~record ~forced c.Circ.ops
+        (Bytes.make c.Circ.num_cbits '0');
+      (dist, counters)
+    in
+    (* run at most [domains] tasks simultaneously *)
+    let results = Array.make tasks None in
+    let next = ref 0 in
+    while !next < tasks do
+      let batch = min domains (tasks - !next) in
+      let handles =
+        List.init batch (fun i -> (!next + i, Domain.spawn (task_of (!next + i))))
+      in
+      List.iter (fun (idx, h) -> results.(idx) <- Some (Domain.join h)) handles;
+      next := !next + batch
+    done;
+    let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
+    let counters = new_counters () in
+    Array.iter
+      (function
+        | None -> ()
+        | Some (d, ctr) ->
+          Hashtbl.iter (fun k v -> Classical.add_weighted dist k v) d;
+          counters.c_leaves <- counters.c_leaves + ctr.c_leaves;
+          counters.c_branch_points <- counters.c_branch_points + ctr.c_branch_points;
+          counters.c_pruned <- counters.c_pruned + ctr.c_pruned;
+          counters.c_gates <- counters.c_gates + ctr.c_gates)
+      results;
+    { distribution = Classical.sorted_bindings dist
+    ; stats =
+        { leaves = counters.c_leaves
+        ; branch_points = counters.c_branch_points
+        ; pruned = counters.c_pruned
+        ; gate_applications = counters.c_gates
+        }
+    }
+  end
+
+let run ?(cutoff = 1e-12) ?(domains = 1) c =
+  if domains <= 1 then run_sequential ~cutoff c else run_parallel ~cutoff ~domains c
+
+type tree =
+  | Leaf of
+      { cvals : string
+      ; probability : float
+      }
+  | Branch of
+      { qubit : int
+      ; cbit : int option
+      ; p0 : float
+      ; p1 : float
+      ; zero : tree option
+      ; one : tree option
+      }
+
+let tree ?(cutoff = 1e-12) (c : Circ.t) =
+  let p = Dd.Pkg.create () in
+  let n = c.Circ.num_qubits in
+  let x_gate = Gates.matrix Gates.X in
+  let apply_x state qubit =
+    Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
+  in
+  let rec go state ops cvals prob =
+    match ops with
+    | [] -> Leaf { cvals = Bytes.to_string cvals; probability = prob }
+    | op :: rest ->
+      (match (op : Op.t) with
+       | Barrier _ -> go state rest cvals prob
+       | Apply _ | Swap _ -> go (Dd_sim.apply_op p ~n state op) rest cvals prob
+       | Cond { cond; op } ->
+         let state =
+           if Classical.cond_holds cond cvals then Dd_sim.apply_op p ~n state op
+           else state
+         in
+         go state rest cvals prob
+       | Measure { qubit; cbit } ->
+         let p0, p1 = outcome_probs p state qubit in
+         let side outcome p_out =
+           if prob *. p_out > cutoff then begin
+             let state' = Dd.Vec.project p state qubit outcome in
+             let cvals' = Bytes.copy cvals in
+             Bytes.set cvals' cbit (if outcome = 1 then '1' else '0');
+             Some (go state' rest cvals' (prob *. p_out))
+           end
+           else None
+         in
+         Branch { qubit; cbit = Some cbit; p0; p1; zero = side 0 p0; one = side 1 p1 }
+       | Reset qubit ->
+         let p0, p1 = outcome_probs p state qubit in
+         let side outcome p_out =
+           if prob *. p_out > cutoff then begin
+             let state' = Dd.Vec.project p state qubit outcome in
+             let state' = if outcome = 1 then apply_x state' qubit else state' in
+             Some (go state' rest cvals (prob *. p_out))
+           end
+           else None
+         in
+         Branch { qubit; cbit = None; p0; p1; zero = side 0 p0; one = side 1 p1 })
+  in
+  go (Dd.Pkg.zero_state p n) c.Circ.ops (Bytes.make c.Circ.num_cbits '0') 1.0
+
+let rec pp_tree ppf = function
+  | Leaf { cvals; probability } -> Fmt.pf ppf "|%s> : %.4f" cvals probability
+  | Branch { qubit; cbit; p0; p1; zero; one } ->
+    let what =
+      match cbit with
+      | Some cb -> Fmt.str "measure q%d -> c%d" qubit cb
+      | None -> Fmt.str "reset q%d" qubit
+    in
+    let pp_side ppf (label, prob, side) =
+      match side with
+      | None -> Fmt.pf ppf "%s (p=%.4f): pruned" label prob
+      | Some t -> Fmt.pf ppf "@[<v 2>%s (p=%.4f):@,%a@]" label prob pp_tree t
+    in
+    Fmt.pf ppf "@[<v>%s@,%a@,%a@]" what pp_side ("0", p0, zero) pp_side ("1", p1, one)

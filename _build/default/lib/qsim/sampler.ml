@@ -1,0 +1,58 @@
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+
+type result =
+  { counts : (string * int) list
+  ; shots : int
+  }
+
+let one_shot ~rng p ~n (c : Circ.t) =
+  let x_gate = Gates.matrix Gates.X in
+  let apply_x state qubit =
+    Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
+  in
+  let cvals = Bytes.make c.Circ.num_cbits '0' in
+  let sample state qubit =
+    let p0, p1 = Dd.Vec.probabilities p state qubit in
+    let outcome = if Random.State.float rng (p0 +. p1) < p0 then 0 else 1 in
+    (outcome, Dd.Vec.project p state qubit outcome)
+  in
+  let step state op =
+    match (op : Op.t) with
+    | Barrier _ -> state
+    | Apply _ | Swap _ -> Dd_sim.apply_op p ~n state op
+    | Cond { cond; op } ->
+      if Classical.cond_holds cond cvals then Dd_sim.apply_op p ~n state op else state
+    | Measure { qubit; cbit } ->
+      let outcome, state = sample state qubit in
+      Bytes.set cvals cbit (if outcome = 1 then '1' else '0');
+      state
+    | Reset qubit ->
+      let outcome, state = sample state qubit in
+      if outcome = 1 then apply_x state qubit else state
+  in
+  ignore (List.fold_left step (Dd.Pkg.zero_state p n) c.Circ.ops);
+  Bytes.to_string cvals
+
+let run ~seed ~shots (c : Circ.t) =
+  let rng = Random.State.make [| seed; shots; 0x5a0d |] in
+  let n = c.Circ.num_qubits in
+  let counts = Hashtbl.create 64 in
+  (* one package for all shots: states from different shots share nodes,
+     which is exactly what makes repeated runs affordable *)
+  let p = Dd.Pkg.create () in
+  for _ = 1 to shots do
+    let key = one_shot ~rng p ~n c in
+    let prev = Option.value ~default:0 (Hashtbl.find_opt counts key) in
+    Hashtbl.replace counts key (prev + 1)
+  done;
+  let counts =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { counts; shots }
+
+let empirical r =
+  let total = float_of_int r.shots in
+  List.map (fun (k, v) -> (k, float_of_int v /. total)) r.counts

@@ -1,0 +1,47 @@
+(** Stabilizer (Clifford) simulation in the Aaronson–Gottesman tableau
+    formalism — a substrate where the paper's non-unitary primitives are
+    native and polynomial: measurement outcomes of stabilizer states are
+    always deterministic or unbiased coin flips, so the Section 5 branching
+    extraction runs without any amplitude bookkeeping at all.
+
+    Only Clifford operations are supported ([H S Sdg X Y Z SX SXdg], [CX CZ],
+    [Swap], single-qubit Paulis under any Clifford control are {e not} —
+    controls are restricted to [CX]/[CZ] as usual).  Use
+    {!is_clifford_circuit} to test applicability; the DD backend covers the
+    general case. *)
+
+type t
+
+(** [init n] is the stabilizer state |0...0>. *)
+val init : int -> t
+
+val num_qubits : t -> int
+val copy : t -> t
+
+(** [is_clifford_gate g] — gates this backend can apply (uncontrolled). *)
+val is_clifford_gate : Circuit.Gates.t -> bool
+
+(** [is_clifford_circuit c] — every operation (including conditioned ones)
+    is Clifford; measurements and resets are always fine. *)
+val is_clifford_circuit : Circuit.Circ.t -> bool
+
+(** [apply_unitary_op st op] applies a Clifford gate/swap.  Raises
+    [Invalid_argument] on anything else. *)
+val apply_unitary_op : t -> Circuit.Op.t -> unit
+
+(** [measure_probabilities st q] is [(p0, p1)] — always [(1, 0)], [(0, 1)]
+    or [(0.5, 0.5)] for stabilizer states. *)
+val measure_probabilities : t -> int -> float * float
+
+(** [project st q outcome] collapses qubit [q].  Raises [Invalid_argument]
+    if the outcome has probability 0. *)
+val project : t -> int -> int -> unit
+
+(** [extract_distribution c] — the Section 5 scheme on the tableau backend:
+    deterministic measurements do not branch, random ones branch into two
+    probability-1/2 successors.  Exact, polynomial per branch. *)
+val extract_distribution : Circuit.Circ.t -> (string * float) list
+
+(** [run_shot ~rng c] samples one end-to-end execution, returning the
+    classical bits. *)
+val run_shot : rng:Random.State.t -> Circuit.Circ.t -> string

@@ -1,0 +1,72 @@
+(** Dense state-vector simulator.
+
+    The reference backend: exponential in qubits, but simple enough to trust,
+    so every decision-diagram result is cross-checked against it in the test
+    suite.  Index convention: basis state [i] has qubit [q] equal to bit [q]
+    of [i] (qubit 0 least significant). *)
+
+type t =
+  { n : int
+  ; amps : Cxnum.Cx.t array  (** length [2^n], mutated in place *)
+  }
+
+(** [init n] is |0...0>. *)
+val init : int -> t
+
+(** [of_bits n bits] is the computational basis state with qubit [q] set to
+    [bits q]. *)
+val of_bits : int -> (int -> bool) -> t
+
+val copy : t -> t
+
+(** {1 Evolution} *)
+
+(** [apply_gate sv ~controls ~target u] applies the 2x2 matrix [u]
+    (row-major) to [target] under the given [(qubit, polarity)] controls. *)
+val apply_gate : t -> controls:(int * bool) list -> target:int -> Cxnum.Cx.t array -> unit
+
+(** [apply_unitary_op sv op] applies a gate or swap.  Raises
+    [Invalid_argument] on non-unitary operations. *)
+val apply_unitary_op : t -> Circuit.Op.t -> unit
+
+(** [run_unitary c] simulates a unitary circuit (measurements at the end are
+    ignored) from |0...0>.  Raises [Invalid_argument] if [c] is dynamic. *)
+val run_unitary : Circuit.Circ.t -> t
+
+(** {1 Measurement} *)
+
+(** [probabilities sv q] is [(p0, p1)] for qubit [q]. *)
+val probabilities : t -> int -> float * float
+
+(** [project sv q outcome] collapses qubit [q] (renormalizing).  Raises
+    [Invalid_argument] when the outcome probability is ~0. *)
+val project : t -> int -> int -> unit
+
+(** [probability_of sv bits] is the probability of the full basis outcome
+    [bits]. *)
+val probability_of : t -> (int -> bool) -> float
+
+(** [norm sv] is the 2-norm. *)
+val norm : t -> float
+
+(** [fidelity a b] is |<a|b>|^2. *)
+val fidelity : t -> t -> float
+
+(** {1 Dense extraction oracle}
+
+    An independent (dense) implementation of the paper's Section 5 scheme,
+    used to validate the decision-diagram implementation in {!Extraction}. *)
+
+(** [extract_distribution c] simulates the (possibly dynamic) circuit,
+    branching at measurements and resets, and returns the measurement
+    outcome distribution as [(classical bits as a '0'/'1' string indexed by
+    cbit, probability)] pairs, probabilities above [cutoff] (default
+    [1e-12]). *)
+val extract_distribution : ?cutoff:float -> Circuit.Circ.t -> (string * float) list
+
+(** {1 Dense functional oracle} *)
+
+(** [unitary_matrix c] is the full [2^n x 2^n] system matrix of a unitary
+    circuit (row-major), for cross-checking DD construction on small
+    circuits. *)
+val unitary_matrix : Circuit.Circ.t -> Cxnum.Cx.t array array

@@ -1,0 +1,1 @@
+lib/transform/deferral.ml: Circuit Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/transform/deferral.mli: Circuit

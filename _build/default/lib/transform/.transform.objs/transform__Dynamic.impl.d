@@ -1,0 +1,1 @@
+lib/transform/dynamic.ml: Circuit Deferral Resets

@@ -1,0 +1,1 @@
+lib/transform/dynamic.mli: Circuit

@@ -1,0 +1,1 @@
+lib/transform/resets.ml: Array Circuit List

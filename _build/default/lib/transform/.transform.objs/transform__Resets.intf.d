@@ -1,0 +1,1 @@
+lib/transform/resets.mli: Circuit

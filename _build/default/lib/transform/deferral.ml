@@ -1,0 +1,94 @@
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+
+type outcome =
+  { circuit : Circuit.Circ.t
+  ; measurements_deferred : int
+  ; conditions_replaced : int
+  }
+
+(* Replace a classical condition by quantum controls on the qubits that were
+   measured into the condition's bits: bit k of the expected value gives the
+   polarity of the control on the qubit behind [cond.bits] entry k. *)
+let quantum_controls qubit_of_cbit (cond : Op.cond) =
+  List.mapi
+    (fun k bit ->
+      let qubit =
+        match Hashtbl.find_opt qubit_of_cbit bit with
+        | Some q -> q
+        | None ->
+          invalid_arg
+            (Fmt.str "Deferral.defer: condition reads c[%d] before it is measured" bit)
+      in
+      { Op.cq = qubit; pos = (cond.value lsr k) land 1 = 1 })
+    cond.bits
+
+let add_controls extra op =
+  match (op : Op.t) with
+  | Apply { gate; controls; target } -> [ Op.Apply { gate; controls = extra @ controls; target } ]
+  | Swap (a, b) ->
+    (* a controlled product of the three CNOTs is a controlled swap *)
+    let cnot c t = Op.Apply { gate = Circuit.Gates.X; controls = ({ Op.cq = c; pos = true } :: extra); target = t } in
+    [ cnot a b; cnot b a; cnot a b ]
+  | Measure _ | Reset _ | Cond _ | Barrier _ ->
+    invalid_arg "Deferral: condition on a non-unitary operation"
+
+let defer (c : Circ.t) =
+  if (Circ.op_counts c).Circ.resets > 0 then
+    invalid_arg "Deferral.defer: eliminate resets first";
+  let qubit_of_cbit : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let measured : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let deferred = ref [] (* measurements, in program order, reversed *) in
+  let rev_ops = ref [] in
+  let conditions = ref 0 in
+  let check_not_reused op =
+    let bad q =
+      if Hashtbl.mem measured q then
+        invalid_arg
+          (Fmt.str
+             "Deferral.defer: qubit %d is used as a gate target/swap operand after \
+              being measured; the circuit has no unitary reconstruction"
+             q)
+    in
+    match (op : Op.t) with
+    | Apply { target; _ } -> bad target
+    | Swap (a, b) ->
+      bad a;
+      bad b
+    | Measure _ | Reset _ | Cond _ | Barrier _ -> ()
+  in
+  let step op =
+    match (op : Op.t) with
+    | Reset _ -> assert false (* excluded above *)
+    | Barrier _ -> ()
+    | Measure { qubit; cbit } ->
+      if Hashtbl.mem qubit_of_cbit cbit then
+        invalid_arg
+          (Fmt.str "Deferral.defer: classical bit %d is written twice" cbit);
+      if Hashtbl.mem measured qubit then
+        invalid_arg (Fmt.str "Deferral.defer: qubit %d is measured twice" qubit);
+      Hashtbl.replace qubit_of_cbit cbit qubit;
+      Hashtbl.replace measured qubit ();
+      deferred := (qubit, cbit) :: !deferred
+    | Cond { cond; op = inner } ->
+      incr conditions;
+      check_not_reused inner;
+      let extra = quantum_controls qubit_of_cbit cond in
+      List.iter (fun op -> rev_ops := op :: !rev_ops) (add_controls extra inner)
+    | Apply _ | Swap _ ->
+      check_not_reused op;
+      rev_ops := op :: !rev_ops
+  in
+  List.iter step c.Circ.ops;
+  let measures =
+    List.rev !deferred
+    |> List.sort (fun (_, c1) (_, c2) -> compare c1 c2)
+    |> List.map (fun (q, cb) -> Op.Measure { qubit = q; cbit = cb })
+  in
+  let ops = List.rev_append !rev_ops measures in
+  { circuit =
+      Circ.make ~name:(c.Circ.name ^ "_deferred") ~qubits:c.Circ.num_qubits
+        ~cbits:c.Circ.num_cbits ops
+  ; measurements_deferred = List.length measures
+  ; conditions_replaced = !conditions
+  }

@@ -1,0 +1,24 @@
+(** Deferred measurement — the second half of the paper's Section 4 scheme.
+
+    All mid-circuit measurements are delayed to the end of the circuit;
+    classically-controlled operations along the way are replaced by proper
+    quantum-controlled operations whose controls are the measured qubits
+    (with negative polarity where the condition expects a 0 bit).
+
+    Preconditions (checked, [Invalid_argument] otherwise):
+    {ul
+    {- the circuit contains no resets (run {!Resets.eliminate} first);}
+    {- no classical bit is written twice;}
+    {- once measured, a qubit is never again the target of a gate or part
+       of a swap (being a control is fine — controls commute with the
+       Z-basis measurement, which is what makes the principle sound).}} *)
+
+type outcome =
+  { circuit : Circuit.Circ.t
+        (** the unitary part followed by all measurements, in classical-bit
+            order *)
+  ; measurements_deferred : int
+  ; conditions_replaced : int
+  }
+
+val defer : Circuit.Circ.t -> outcome

@@ -1,0 +1,20 @@
+type outcome =
+  { circuit : Circuit.Circ.t
+  ; resets_eliminated : int
+  ; measurements_deferred : int
+  ; conditions_replaced : int
+  ; qubits_added : int
+  }
+
+let to_static c =
+  let r = Resets.eliminate c in
+  let d = Deferral.defer r.Resets.circuit in
+  { circuit =
+      Circuit.Circ.with_name d.Deferral.circuit (c.Circuit.Circ.name ^ "_static")
+  ; resets_eliminated = r.Resets.resets_eliminated
+  ; measurements_deferred = d.Deferral.measurements_deferred
+  ; conditions_replaced = d.Deferral.conditions_replaced
+  ; qubits_added = r.Resets.resets_eliminated
+  }
+
+let transform c = (to_static c).circuit

@@ -1,0 +1,19 @@
+(** The complete Section 4 pipeline: reset elimination followed by the
+    deferred measurement principle.  Any dynamic circuit becomes a circuit
+    of unitary operations followed only by measurements, suitable for
+    functional equivalence checking with any existing (static) method. *)
+
+type outcome =
+  { circuit : Circuit.Circ.t  (** unitary prefix + final measurements *)
+  ; resets_eliminated : int
+  ; measurements_deferred : int
+  ; conditions_replaced : int
+  ; qubits_added : int
+  }
+
+(** [to_static c] transforms [c].  Raises [Invalid_argument] when the
+    circuit has no unitary reconstruction (see {!Deferral.defer}). *)
+val to_static : Circuit.Circ.t -> outcome
+
+(** [transform c] is [to_static c] keeping only the circuit. *)
+val transform : Circuit.Circ.t -> Circuit.Circ.t

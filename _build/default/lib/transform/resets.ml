@@ -1,0 +1,30 @@
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+
+type outcome =
+  { circuit : Circuit.Circ.t
+  ; resets_eliminated : int
+  ; wire_of : int array
+  }
+
+let eliminate (c : Circ.t) =
+  let n = c.Circ.num_qubits in
+  let resets = (Circ.op_counts c).Circ.resets in
+  let wire_of = Array.init n (fun q -> q) in
+  let next_fresh = ref n in
+  let rev_ops = ref [] in
+  let route op = Op.map_qubits (fun q -> wire_of.(q)) op in
+  let step op =
+    match (op : Op.t) with
+    | Reset q ->
+      wire_of.(q) <- !next_fresh;
+      incr next_fresh
+    | Apply _ | Swap _ | Measure _ | Cond _ | Barrier _ ->
+      rev_ops := route op :: !rev_ops
+  in
+  List.iter step c.Circ.ops;
+  let circuit =
+    Circ.make ~name:(c.Circ.name ^ "_noreset") ~qubits:(n + resets)
+      ~cbits:c.Circ.num_cbits (List.rev !rev_ops)
+  in
+  { circuit; resets_eliminated = resets; wire_of }

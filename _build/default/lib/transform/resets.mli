@@ -1,0 +1,17 @@
+(** Reset elimination — the first half of the paper's Section 4 scheme.
+
+    Every [reset q] is replaced by a fresh qubit: all operations after the
+    reset that would have touched [q] are rerouted to the new qubit, which
+    starts in |0> as the reset demands.  An [n]-qubit circuit with [r]
+    resets becomes an [(n + r)]-qubit circuit with none.  Fresh qubits are
+    appended after the original ones, in reset order. *)
+
+type outcome =
+  { circuit : Circuit.Circ.t
+  ; resets_eliminated : int
+  ; wire_of : int array
+        (** final physical wire of each original qubit (the wire carrying
+            its value at the end of the circuit) *)
+  }
+
+val eliminate : Circuit.Circ.t -> outcome

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Algorithms Array Circuit Cxnum Dd Fmt List Qsim String Util

@@ -1,0 +1,1 @@
+test/test_cx.ml: Alcotest Cxnum Float QCheck Util

@@ -1,0 +1,1 @@
+test/test_dd.ml: Alcotest Algorithms Array Circuit Cxnum Dd Float Fmt List QCheck Qsim String Util

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Algorithms Circuit Dd Float List Qcec Qsim String Transform Util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Algorithms Array Circuit Cxnum Float Fmt List QCheck Qcec Qcompile Qsim Transform Util

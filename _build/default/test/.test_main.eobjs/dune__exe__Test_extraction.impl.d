@@ -1,0 +1,1 @@
+test/test_extraction.ml: Alcotest Algorithms Circuit Float Fmt List QCheck Qcec Qsim String Util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Algorithms Circuit QCheck Qcec Qcompile Qsim Transform Util

@@ -1,0 +1,1 @@
+test/test_observable.ml: Alcotest Algorithms Circuit Dd Float Fmt QCheck Qsim Util

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Algorithms Circuit Float List QCheck Qcec Qcompile Qsim Util

@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Algorithms Circuit Dd Float List Qsim Util

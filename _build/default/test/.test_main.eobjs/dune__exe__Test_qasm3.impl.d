@@ -1,0 +1,1 @@
+test/test_qasm3.ml: Alcotest Algorithms Circuit List Qcec Qsim Util

@@ -1,0 +1,1 @@
+test/test_qcompile.ml: Alcotest Algorithms Array Circuit Cxnum Fmt List QCheck Qcec Qcompile Qsim Util

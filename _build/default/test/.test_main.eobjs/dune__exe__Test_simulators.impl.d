@@ -1,0 +1,1 @@
+test/test_simulators.ml: Alcotest Algorithms Array Circuit Cxnum Dd Float Fmt List QCheck Qcec Qsim String Util

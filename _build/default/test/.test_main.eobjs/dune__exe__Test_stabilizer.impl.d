@@ -1,0 +1,1 @@
+test/test_stabilizer.ml: Alcotest Algorithms Array Circuit Dd Float Fmt List QCheck Qcec Qsim Random String Util

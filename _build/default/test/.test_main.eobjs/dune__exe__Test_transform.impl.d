@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Algorithms Array Circuit Dd List QCheck Qcec Qsim Transform Util

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Algorithms Circuit Float Fmt List QCheck Qcec Transform Util

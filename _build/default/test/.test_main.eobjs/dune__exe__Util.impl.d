@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Circuit Cxnum Dd Float Fmt QCheck_alcotest Qcec Qsim

@@ -1,0 +1,240 @@
+(* Circuit IR tests: validation, queries, transformations, gate counts of
+   the paper's benchmark families, drawing. *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+module B = Circuit.Builder
+
+let test_validation () =
+  let mk ops = Circ.make ~name:"t" ~qubits:2 ~cbits:1 ops in
+  let expect_invalid msg ops =
+    match mk ops with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "expected rejection: %s" msg
+  in
+  expect_invalid "target out of range" [ Op.apply Gates.X 2 ];
+  expect_invalid "control = target" [ Op.controlled Gates.X ~control:1 ~target:1 ];
+  expect_invalid "swap with itself" [ Op.Swap (0, 0) ];
+  expect_invalid "cbit out of range" [ Op.Measure { qubit = 0; cbit = 3 } ];
+  expect_invalid "condition on measure"
+    [ Op.Cond
+        { cond = { bits = [ 0 ]; value = 1 }; op = Op.Measure { qubit = 0; cbit = 0 } }
+    ];
+  expect_invalid "condition value out of range"
+    [ Op.Cond { cond = { bits = [ 0 ]; value = 2 }; op = Op.apply Gates.X 0 } ];
+  expect_invalid "duplicate controls"
+    [ Op.Apply
+        { gate = Gates.X
+        ; controls = [ { cq = 0; pos = true }; { cq = 0; pos = false } ]
+        ; target = 1
+        }
+    ];
+  (* and a valid circuit goes through *)
+  ignore
+    (mk [ Op.apply Gates.H 0; Op.Measure { qubit = 0; cbit = 0 };
+          Op.if_bit ~bit:0 ~value:true (Op.apply Gates.X 1) ])
+
+let test_is_dynamic () =
+  let static =
+    Circ.make ~name:"s" ~qubits:2 ~cbits:2
+      [ Op.apply Gates.H 0
+      ; Op.Measure { qubit = 0; cbit = 0 }
+      ; Op.Measure { qubit = 1; cbit = 1 }
+      ]
+  in
+  Alcotest.(check bool) "final measurements are static" false (Circ.is_dynamic static);
+  let reset =
+    Circ.make ~name:"r" ~qubits:1 ~cbits:0 [ Op.apply Gates.H 0; Op.Reset 0 ]
+  in
+  Alcotest.(check bool) "reset is dynamic" true (Circ.is_dynamic reset);
+  let midmeas =
+    Circ.make ~name:"m" ~qubits:2 ~cbits:1
+      [ Op.Measure { qubit = 0; cbit = 0 }; Op.apply Gates.X 0 ]
+  in
+  Alcotest.(check bool) "mid-circuit measurement is dynamic" true
+    (Circ.is_dynamic midmeas);
+  let meas_then_other =
+    Circ.make ~name:"m2" ~qubits:2 ~cbits:1
+      [ Op.Measure { qubit = 0; cbit = 0 }; Op.apply Gates.X 1 ]
+  in
+  Alcotest.(check bool) "measurement before unrelated gate is static" false
+    (Circ.is_dynamic meas_then_other)
+
+let test_op_counts_paper_formulas () =
+  (* Table 1's |G| columns follow closed forms our generators must hit *)
+  let qft = Algorithms.Qft.static 23 in
+  Alcotest.(check int) "QFT23 gate count" 276 (Circ.gate_count qft);
+  let qft_dyn = Algorithms.Qft.dynamic 23 in
+  Alcotest.(check int) "dynamic QFT23 total ops" 321 (Circ.total_ops qft_dyn);
+  let qpe = Algorithms.Qpe.static ~theta:0.3 ~bits:42 in
+  Alcotest.(check int) "QPE(n=43) gate count" 988 (Circ.gate_count qpe);
+  let qpe_dyn = Algorithms.Qpe.dynamic ~theta:0.3 ~bits:42 in
+  Alcotest.(check int) "dynamic QPE(n=43) total ops" 1071 (Circ.total_ops qpe_dyn);
+  let s = Algorithms.Bv.hidden_string ~seed:3 121 in
+  let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s in
+  let bv = Algorithms.Bv.static s in
+  Alcotest.(check int) "BV121 gate count" (2 + 242 + ones) (Circ.gate_count bv);
+  let bv_dyn = Algorithms.Bv.dynamic s in
+  Alcotest.(check int) "dynamic BV121 total ops"
+    (2 + (3 * 121) + ones + 120)
+    (Circ.total_ops bv_dyn)
+
+let test_inverse () =
+  let c =
+    Circ.make ~name:"c" ~qubits:2 ~cbits:0
+      [ Op.apply Gates.H 0
+      ; Op.apply (Gates.RZ 0.4) 1
+      ; Op.controlled Gates.X ~control:0 ~target:1
+      ; Op.apply Gates.S 0
+      ]
+  in
+  let composed = Circ.append c (Circ.inverse c) in
+  Util.check_circuit_unitary "inverse composes to identity-equal DD" composed;
+  let p = Dd.Pkg.create () in
+  let u = Qsim.Dd_sim.build_unitary p composed in
+  Alcotest.(check bool) "C * C^-1 = I" true
+    (Dd.Mat.is_identity p u ~n:2 ~up_to_phase:false)
+
+let test_inverse_rejects_non_unitary () =
+  let c =
+    Circ.make ~name:"c" ~qubits:1 ~cbits:1 [ Op.Measure { qubit = 0; cbit = 0 } ]
+  in
+  match Circ.inverse c with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected inverse to reject measurements"
+
+let test_remap () =
+  let c =
+    Circ.make ~name:"c" ~qubits:3 ~cbits:0
+      [ Op.apply Gates.X 0; Op.controlled Gates.X ~control:1 ~target:2 ]
+  in
+  let r = Circ.remap c ~perm:[| 2; 0; 1 |] in
+  (match r.Circ.ops with
+   | [ Op.Apply { target = 2; _ }; Op.Apply { controls = [ { cq = 0; _ } ]; target = 1; _ } ] ->
+     ()
+   | _ -> Alcotest.fail "remap did not rename as expected");
+  (match Circ.remap c ~perm:[| 0; 0; 1 |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected non-permutation rejection")
+
+let test_gate_adjoints () =
+  (* g * adjoint g = identity matrix, for the whole alphabet *)
+  let gates =
+    [ Gates.I; Gates.X; Gates.Y; Gates.Z; Gates.H; Gates.S; Gates.Sdg; Gates.T
+    ; Gates.Tdg; Gates.SX; Gates.SXdg; Gates.RX 0.3; Gates.RY 1.7; Gates.RZ (-0.6)
+    ; Gates.P 2.1; Gates.U2 (0.5, 1.5); Gates.U3 (0.8, -0.2, 0.9)
+    ]
+  in
+  let module Cx = Cxnum.Cx in
+  List.iter
+    (fun g ->
+      let u = Gates.matrix g and v = Gates.matrix (Gates.adjoint g) in
+      (* product v * u must be the 2x2 identity *)
+      let prod i j =
+        Cx.add (Cx.mul v.((2 * i) + 0) u.(j)) (Cx.mul v.((2 * i) + 1) u.(2 + j))
+      in
+      Util.check_cx (Gates.name g ^ " adj 00") Cx.one (prod 0 0);
+      Util.check_cx (Gates.name g ^ " adj 01") Cx.zero (prod 0 1);
+      Util.check_cx (Gates.name g ^ " adj 10") Cx.zero (prod 1 0);
+      Util.check_cx (Gates.name g ^ " adj 11") Cx.one (prod 1 1))
+    gates
+
+let test_to_u3 () =
+  let module Cx = Cxnum.Cx in
+  let gates =
+    [ Gates.X; Gates.Y; Gates.Z; Gates.H; Gates.S; Gates.T; Gates.SX; Gates.SXdg
+    ; Gates.RX 0.9; Gates.RY (-0.4); Gates.RZ 1.3; Gates.P 0.2; Gates.U2 (1.0, -1.0)
+    ]
+  in
+  List.iter
+    (fun g ->
+      let u = Gates.matrix g in
+      let v = Gates.matrix (Gates.to_u3 g) in
+      let alpha = Gates.global_phase_to_u3 g in
+      let phase = Cx.polar 1.0 alpha in
+      Array.iteri
+        (fun i x ->
+          Util.check_cx (Fmt.str "%s to_u3 entry %d" (Gates.name g) i) x
+            (Cx.mul phase v.(i)))
+        u)
+    gates
+
+let test_builder_and_counts () =
+  let b = B.create ~qubits:3 ~cbits:2 "demo" in
+  B.h b 0;
+  B.cx b 0 1;
+  B.ccx b 0 1 2;
+  B.swap b 1 2;
+  B.measure b 0 0;
+  B.reset b 1;
+  B.if_bit b ~bit:0 ~value:true (Op.apply Gates.Z 2);
+  B.barrier b [ 0; 1; 2 ];
+  let c = B.finish b in
+  let counts = Circ.op_counts c in
+  Alcotest.(check int) "gates" 5 counts.Circ.gates;
+  Alcotest.(check int) "measurements" 1 counts.Circ.measurements;
+  Alcotest.(check int) "resets" 1 counts.Circ.resets;
+  Alcotest.(check int) "conditioned" 1 counts.Circ.conditioned;
+  Alcotest.(check int) "barriers" 1 counts.Circ.barriers;
+  Alcotest.(check int) "total" 8 (Circ.total_ops c)
+
+let test_draw () =
+  let pair = Algorithms.Qpe.paper_example () in
+  let lines = Circuit.Draw.render pair.Algorithms.Pair.dynamic_circuit in
+  Alcotest.(check bool) "drawing has lines" true (List.length lines >= 3);
+  let any_box =
+    List.exists (fun l -> String.length l > 0 && String.contains l '[') lines
+  in
+  Alcotest.(check bool) "drawing contains gate boxes" true any_box;
+  (* angles render as pi fractions *)
+  let text = String.concat "\n" lines in
+  let contains_sub hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pi fraction label" true (contains_sub text "pi")
+
+let test_stats () =
+  let c =
+    Circ.make ~name:"st" ~qubits:3 ~cbits:2
+      [ Op.apply Gates.H 0
+      ; Op.apply Gates.H 1 (* parallel with the first: same layer *)
+      ; Op.controlled Gates.X ~control:0 ~target:1
+      ; Op.apply Gates.T 2 (* independent: still layer 1 *)
+      ; Op.Measure { qubit = 0; cbit = 0 }
+      ; Op.if_bit ~bit:0 ~value:true (Op.apply Gates.Z 2)
+      ]
+  in
+  let s = Circuit.Stats.compute c in
+  Alcotest.(check int) "two-qubit gates" 1 s.Circuit.Stats.two_qubit_gates;
+  Alcotest.(check int) "unitary gates" 5 s.Circuit.Stats.unitary_gates;
+  Alcotest.(check int) "measurements" 1 s.Circuit.Stats.measurements;
+  (* depth: h(1) -> cx(2) -> measure(3) -> conditioned z(4): the condition
+     chains through classical bit 0 even though qubit 2 was at layer 1 *)
+  Alcotest.(check int) "depth includes classical dependency" 4 s.Circuit.Stats.depth;
+  Alcotest.(check (array int)) "activity" [| 3; 2; 2 |] s.Circuit.Stats.qubit_activity
+
+let test_stats_families () =
+  (* QFT depth grows linearly-ish, never exceeds gate count *)
+  let c = Algorithms.Qft.static 6 in
+  let s = Circuit.Stats.compute c in
+  Alcotest.(check bool) "depth <= ops" true (s.Circuit.Stats.depth <= Circ.total_ops c);
+  Alcotest.(check int) "cp gates are two-qubit" 15 s.Circuit.Stats.two_qubit_gates
+
+let suite =
+  [ Alcotest.test_case "operation validation" `Quick test_validation
+  ; Alcotest.test_case "circuit statistics" `Quick test_stats
+  ; Alcotest.test_case "statistics on families" `Quick test_stats_families
+  ; Alcotest.test_case "is_dynamic" `Quick test_is_dynamic
+  ; Alcotest.test_case "paper gate-count formulas" `Quick test_op_counts_paper_formulas
+  ; Alcotest.test_case "circuit inverse" `Quick test_inverse
+  ; Alcotest.test_case "inverse rejects non-unitary" `Quick
+      test_inverse_rejects_non_unitary
+  ; Alcotest.test_case "remap" `Quick test_remap
+  ; Alcotest.test_case "gate adjoints" `Quick test_gate_adjoints
+  ; Alcotest.test_case "to_u3 phases" `Quick test_to_u3
+  ; Alcotest.test_case "builder and op counts" `Quick test_builder_and_counts
+  ; Alcotest.test_case "ascii drawing" `Quick test_draw
+  ]

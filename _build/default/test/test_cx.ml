@@ -1,0 +1,112 @@
+(* Complex kernel and tolerance-interning tests. *)
+
+module Cx = Cxnum.Cx
+module Ct = Cxnum.Cx_table
+
+let test_constants () =
+  Util.check_cx "one" (Cx.make 1.0 0.0) Cx.one;
+  Util.check_cx "i*i" Cx.minus_one (Cx.mul Cx.i Cx.i);
+  Util.check_float "sqrt2_inv" (1.0 /. Float.sqrt 2.0) Cx.sqrt2_inv
+
+let test_arithmetic () =
+  let a = Cx.make 1.5 (-2.0) and b = Cx.make (-0.25) 3.0 in
+  Util.check_cx "add" (Cx.make 1.25 1.0) (Cx.add a b);
+  Util.check_cx "sub" (Cx.make 1.75 (-5.0)) (Cx.sub a b);
+  Util.check_cx "mul" (Cx.make 5.625 5.0) (Cx.mul a b);
+  Util.check_cx "div-roundtrip" a (Cx.mul (Cx.div a b) b);
+  Util.check_cx "inv" Cx.one (Cx.mul a (Cx.inv a));
+  Util.check_cx "conj-involution" a (Cx.conj (Cx.conj a));
+  Util.check_float "abs2" (Cx.abs2 a) (Cx.abs a *. Cx.abs a)
+
+let test_e_i_pi_exact () =
+  (* multiples of pi/4 must be bit-exact *)
+  let v = Cx.e_i_pi 0.0 in
+  Alcotest.(check bool) "e^0 exact" true (v = Cx.one);
+  let v = Cx.e_i_pi 1.0 in
+  Alcotest.(check bool) "e^{i pi} exact" true (v = Cx.minus_one);
+  let v = Cx.e_i_pi 0.5 in
+  Alcotest.(check bool) "e^{i pi/2} exact" true (v = Cx.i);
+  let v = Cx.e_i_pi 0.25 in
+  Util.check_cx "e^{i pi/4}" (Cx.make Cx.sqrt2_inv Cx.sqrt2_inv) v;
+  Alcotest.(check bool) "components exact"
+    true
+    (v.Cx.re = Cx.sqrt2_inv && v.Cx.im = Cx.sqrt2_inv);
+  (* negative arguments and periodicity *)
+  Util.check_cx "e^{-i pi/2}" (Cx.neg Cx.i) (Cx.e_i_pi (-0.5));
+  Util.check_cx "periodicity" (Cx.e_i_pi 0.3) (Cx.e_i_pi 2.3)
+
+let test_polar () =
+  let z = Cx.polar 2.0 (Float.pi /. 6.0) in
+  Util.check_float "polar abs" 2.0 (Cx.abs z);
+  Util.check_float "polar arg" (Float.pi /. 6.0) (Cx.arg z);
+  Util.check_cx "sqrt" z (Cx.mul (Cx.sqrt z) (Cx.sqrt z))
+
+let test_table_identifies_close_values () =
+  let t = Ct.create ~tol:1e-10 ()
+  in
+  let a = Ct.lookup t (Cx.make 0.5 0.25) in
+  let b = Ct.lookup t (Cx.make (0.5 +. 1e-12) (0.25 -. 1e-12)) in
+  Alcotest.(check int) "same id for close values" a.Ct.id b.Ct.id;
+  let c = Ct.lookup t (Cx.make 0.5001 0.25) in
+  Alcotest.(check bool) "distinct id for far values" true (a.Ct.id <> c.Ct.id)
+
+let test_table_relative_scale () =
+  (* values at magnitude 1e-20 must intern non-zero and identify relatively *)
+  let t = Ct.create () in
+  let tiny = 5.4e-20 in
+  let a = Ct.lookup t (Cx.make tiny 0.0) in
+  Alcotest.(check bool) "tiny value is not zero" false (Ct.is_zero a);
+  let b = Ct.lookup t (Cx.make (tiny *. (1.0 +. 1e-12)) 0.0) in
+  Alcotest.(check int) "relative identification at 1e-20" a.Ct.id b.Ct.id;
+  let c = Ct.lookup t (Cx.make (tiny *. 1.001) 0.0) in
+  Alcotest.(check bool) "relative distinction at 1e-20" true (a.Ct.id <> c.Ct.id)
+
+let test_table_zero_one () =
+  let t = Ct.create () in
+  Alcotest.(check bool) "0 interns to zero" true (Ct.is_zero (Ct.lookup t Cx.zero));
+  Alcotest.(check bool) "1 interns to one" true (Ct.is_one (Ct.lookup t Cx.one));
+  let near_one = Ct.lookup t (Cx.make (1.0 +. 1e-13) 1e-13) in
+  Alcotest.(check bool) "value near 1 interns to one" true (Ct.is_one near_one);
+  let sub = Ct.lookup t (Cx.make 1e-300 0.0) in
+  Alcotest.(check bool) "below hard floor is zero" true (Ct.is_zero sub)
+
+let prop_interning_idempotent =
+  QCheck.Test.make ~name:"interning is idempotent" ~count:500
+    QCheck.(pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (re, im) ->
+      let t = Ct.create () in
+      let a = Ct.lookup t (Cx.make re im) in
+      let b = Ct.lookup t (Ct.to_cx a) in
+      a.Ct.id = b.Ct.id)
+
+let prop_mul_commutes =
+  QCheck.Test.make ~name:"multiplication commutes" ~count:500
+    QCheck.(
+      quad (float_range (-2.) 2.) (float_range (-2.) 2.) (float_range (-2.) 2.)
+        (float_range (-2.) 2.))
+    (fun (a, b, c, d) ->
+      let x = Cx.make a b and y = Cx.make c d in
+      Util.cx_close (Cx.mul x y) (Cx.mul y x))
+
+let prop_abs_multiplicative =
+  QCheck.Test.make ~name:"|xy| = |x||y|" ~count:500
+    QCheck.(
+      quad (float_range (-2.) 2.) (float_range (-2.) 2.) (float_range (-2.) 2.)
+        (float_range (-2.) 2.))
+    (fun (a, b, c, d) ->
+      let x = Cx.make a b and y = Cx.make c d in
+      Float.abs (Cx.abs (Cx.mul x y) -. (Cx.abs x *. Cx.abs y)) < 1e-9)
+
+let suite =
+  [ Alcotest.test_case "constants" `Quick test_constants
+  ; Alcotest.test_case "arithmetic" `Quick test_arithmetic
+  ; Alcotest.test_case "e_i_pi exactness" `Quick test_e_i_pi_exact
+  ; Alcotest.test_case "polar form" `Quick test_polar
+  ; Alcotest.test_case "table identifies close values" `Quick
+      test_table_identifies_close_values
+  ; Alcotest.test_case "table works at tiny scales" `Quick test_table_relative_scale
+  ; Alcotest.test_case "table zero/one handling" `Quick test_table_zero_one
+  ; Util.qtest prop_interning_idempotent
+  ; Util.qtest prop_mul_commutes
+  ; Util.qtest prop_abs_multiplicative
+  ]

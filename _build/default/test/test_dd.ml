@@ -1,0 +1,339 @@
+(* Decision-diagram package tests: every operation is cross-checked against
+   the dense state-vector / matrix oracle on small circuits, plus structural
+   properties (canonicity, node sharing, normalization). *)
+
+module Cx = Cxnum.Cx
+module Gates = Circuit.Gates
+module Op = Circuit.Op
+
+let gate_matrix g = Gates.matrix g
+
+let test_basis_states () =
+  let p = Dd.Pkg.create () in
+  let s = Dd.Pkg.basis_state p 3 (fun q -> q = 1) in
+  let arr = Dd.Vec.to_array p s ~n:3 in
+  Array.iteri
+    (fun i z ->
+      let expected = if i = 2 then Cx.one else Cx.zero in
+      Util.check_cx (Fmt.str "amp %d" i) expected z)
+    arr
+
+let test_product_state () =
+  let p = Dd.Pkg.create () in
+  let a = (Cx.of_float 0.6, Cx.of_float 0.8) in
+  let s = Dd.Pkg.product_state p [| a; (Cx.one, Cx.zero) |] in
+  let arr = Dd.Vec.to_array p s ~n:2 in
+  Util.check_cx "p00" (Cx.of_float 0.6) arr.(0);
+  Util.check_cx "p01" (Cx.of_float 0.8) arr.(1);
+  Util.check_cx "p10" Cx.zero arr.(2);
+  Util.check_float "normalized" 1.0 (Dd.Vec.norm p s)
+
+let test_vec_roundtrip () =
+  let p = Dd.Pkg.create () in
+  let v =
+    [| Cx.make 0.1 0.2; Cx.make (-0.3) 0.0; Cx.make 0.0 0.5; Cx.make 0.7 (-0.1) |]
+  in
+  let dd = Dd.Vec.of_array p v in
+  let back = Dd.Vec.to_array p dd ~n:2 in
+  Array.iteri (fun i z -> Util.check_cx (Fmt.str "amp %d" i) v.(i) z) back
+
+let test_mat_roundtrip () =
+  let p = Dd.Pkg.create () in
+  let m =
+    [| [| Cx.one; Cx.zero; Cx.i; Cx.zero |]
+     ; [| Cx.zero; Cx.make 0.5 0.5; Cx.zero; Cx.zero |]
+     ; [| Cx.minus_one; Cx.zero; Cx.make 0.0 (-1.0); Cx.one |]
+     ; [| Cx.zero; Cx.of_float 2.0; Cx.zero; Cx.make 0.25 0.0 |]
+    |]
+  in
+  let dd = Dd.Mat.of_array p m in
+  let back = Dd.Mat.to_array p dd ~n:2 in
+  Alcotest.(check bool) "matrix round trip" true (Util.matrices_equal m back)
+
+let test_gate_construction_matches_dense () =
+  (* every gate, on each target of a 3-qubit register *)
+  let gates =
+    [ Gates.I; Gates.X; Gates.Y; Gates.Z; Gates.H; Gates.S; Gates.Sdg; Gates.T
+    ; Gates.Tdg; Gates.SX; Gates.SXdg; Gates.RX 0.7; Gates.RY (-1.2); Gates.RZ 2.5
+    ; Gates.P 0.9; Gates.U2 (0.3, -0.8); Gates.U3 (1.1, 0.4, -2.2)
+    ]
+  in
+  List.iter
+    (fun g ->
+      for target = 0 to 2 do
+        let c =
+          Circuit.Circ.make ~name:"g" ~qubits:3 ~cbits:0 [ Op.apply g target ]
+        in
+        Util.check_circuit_unitary (Fmt.str "%s on q%d" (Gates.name g) target) c
+      done)
+    gates
+
+let test_controlled_gates_match_dense () =
+  let cases =
+    [ Op.controlled Gates.X ~control:0 ~target:2
+    ; Op.controlled Gates.X ~control:2 ~target:0
+    ; Op.controlled (Gates.P 0.77) ~control:1 ~target:2
+    ; Op.controlled Gates.H ~control:2 ~target:1
+    ; Op.Apply
+        { gate = Gates.X
+        ; controls = [ { cq = 0; pos = false } ]
+        ; target = 1
+        } (* negative control *)
+    ; Op.Apply
+        { gate = Gates.Y
+        ; controls = [ { cq = 2; pos = false }; { cq = 0; pos = true } ]
+        ; target = 1
+        }
+    ; Op.Apply
+        { gate = Gates.X
+        ; controls = [ { cq = 0; pos = true }; { cq = 1; pos = true } ]
+        ; target = 2
+        } (* toffoli *)
+    ; Op.Swap (0, 2)
+    ]
+  in
+  List.iteri
+    (fun i op ->
+      let c = Circuit.Circ.make ~name:"c" ~qubits:3 ~cbits:0 [ op ] in
+      Util.check_circuit_unitary (Fmt.str "controlled case %d" i) c)
+    cases
+
+let test_identity_properties () =
+  let p = Dd.Pkg.create () in
+  let id4 = Dd.Pkg.ident p 4 in
+  Alcotest.(check bool) "I is identity" true
+    (Dd.Mat.is_identity p id4 ~n:4 ~up_to_phase:false);
+  Util.check_cx "tr I4 = 16" (Cx.of_float 16.0) (Dd.Mat.trace p id4 ~n:4);
+  let h = Dd.Pkg.gate p ~n:4 ~controls:[] ~target:2 (gate_matrix Gates.H) in
+  Alcotest.(check bool) "H*H = I" true
+    (Dd.Mat.is_identity p (Dd.Mat.mul p h h) ~n:4 ~up_to_phase:false);
+  let ha = Dd.Mat.adjoint p h in
+  Alcotest.(check bool) "H = H^dagger" true (Dd.Mat.equal p h ha)
+
+let test_canonicity_sharing () =
+  (* the same state built along two different gate sequences must be the
+     same node *)
+  let p = Dd.Pkg.create () in
+  let n = 2 in
+  let h0 = Dd.Pkg.gate p ~n ~controls:[] ~target:0 (gate_matrix Gates.H) in
+  let h1 = Dd.Pkg.gate p ~n ~controls:[] ~target:1 (gate_matrix Gates.H) in
+  let s1 = Dd.Mat.apply p h1 (Dd.Mat.apply p h0 (Dd.Pkg.zero_state p n)) in
+  let s2 = Dd.Mat.apply p h0 (Dd.Mat.apply p h1 (Dd.Pkg.zero_state p n)) in
+  Alcotest.(check bool) "same node for |++>" true
+    (match (s1.Dd.Types.vt, s2.Dd.Types.vt) with
+     | Some a, Some b -> a == b
+     | _ -> false);
+  Util.check_cx "same weight" (Cxnum.Cx_table.to_cx s1.Dd.Types.vw)
+    (Cxnum.Cx_table.to_cx s2.Dd.Types.vw)
+
+let test_probabilities_and_project () =
+  let p = Dd.Pkg.create () in
+  let n = 2 in
+  (* (|00> + |11>)/sqrt2 *)
+  let h = Dd.Pkg.gate p ~n ~controls:[] ~target:0 (gate_matrix Gates.H) in
+  let cx = Dd.Pkg.gate p ~n ~controls:[ (0, true) ] ~target:1 (gate_matrix Gates.X) in
+  let bell = Dd.Mat.apply p cx (Dd.Mat.apply p h (Dd.Pkg.zero_state p n)) in
+  let p0, p1 = Dd.Vec.probabilities p bell 1 in
+  Util.check_float "bell p0" 0.5 p0;
+  Util.check_float "bell p1" 0.5 p1;
+  let collapsed = Dd.Vec.project p bell 0 1 in
+  let arr = Dd.Vec.to_array p collapsed ~n in
+  Util.check_cx "collapse to |11>" Cx.one arr.(3);
+  Util.check_float "renormalized" 1.0 (Dd.Vec.norm p collapsed)
+
+let test_project_zero_probability_rejected () =
+  let p = Dd.Pkg.create () in
+  let s = Dd.Pkg.zero_state p 2 in
+  Alcotest.check_raises "projecting impossible outcome"
+    (Invalid_argument "Vec.project: outcome has zero probability") (fun () ->
+      ignore (Dd.Vec.project p s 0 1))
+
+let test_inner_product () =
+  let p = Dd.Pkg.create () in
+  let plus = Dd.Pkg.product_state p [| (Cx.of_float Cx.sqrt2_inv, Cx.of_float Cx.sqrt2_inv) |] in
+  let minus = Dd.Pkg.product_state p [| (Cx.of_float Cx.sqrt2_inv, Cx.of_float (-.Cx.sqrt2_inv)) |] in
+  Util.check_cx "<+|-> = 0" Cx.zero (Dd.Vec.inner_product p plus minus);
+  Util.check_float "<+|+> = 1" 1.0 (Cx.abs (Dd.Vec.inner_product p plus plus));
+  Util.check_float "fidelity orthogonal" 0.0 (Dd.Vec.fidelity p plus minus)
+
+let test_deep_chain_weights () =
+  (* the regression behind the relative interning: a 128-qubit Hadamard
+     layer has root weight (1/sqrt2)^128 ~ 5e-20 and must not collapse *)
+  let p = Dd.Pkg.create () in
+  let n = 128 in
+  let layer =
+    List.fold_left
+      (fun acc t ->
+        Dd.Mat.mul p (Dd.Pkg.gate p ~n ~controls:[] ~target:t (gate_matrix Gates.H)) acc)
+      (Dd.Pkg.ident p n)
+      (List.init n (fun q -> q))
+  in
+  Alcotest.(check bool) "H^128 layer is not zero" false
+    (Dd.Types.medge_is_zero layer);
+  let squared = Dd.Mat.mul p layer layer in
+  Alcotest.(check bool) "H^128 squared is identity" true
+    (Dd.Mat.is_identity p squared ~n ~up_to_phase:false)
+
+let test_node_counts () =
+  let p = Dd.Pkg.create () in
+  let n = 20 in
+  let s = Dd.Pkg.zero_state p n in
+  Alcotest.(check int) "basis state has n nodes" n (Dd.Vec.node_count s);
+  let id = Dd.Pkg.ident p n in
+  Alcotest.(check int) "identity has n nodes" n (Dd.Mat.node_count id)
+
+let test_process_fidelity () =
+  let p = Dd.Pkg.create () in
+  let n = 3 in
+  let x1 = Dd.Pkg.gate p ~n ~controls:[] ~target:1 (gate_matrix Gates.X) in
+  let z1 = Dd.Pkg.gate p ~n ~controls:[] ~target:1 (gate_matrix Gates.Z) in
+  Util.check_float "pf(X,X)=1" 1.0 (Dd.Mat.process_fidelity p x1 x1 ~n);
+  Util.check_float "pf(X,Z)=0" 0.0 (Dd.Mat.process_fidelity p x1 z1 ~n)
+
+(* property: random circuit DD simulation equals dense simulation *)
+let prop_simulation_matches_dense =
+  QCheck.Test.make ~name:"DD simulation = dense simulation (random circuits)"
+    ~count:60
+    QCheck.(pair (int_range 1 5) (int_range 0 10000))
+    (fun (qubits, seed) ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits ~gates:25 in
+      let p = Dd.Pkg.create () in
+      let dd = Dd.Vec.to_array p (Qsim.Dd_sim.simulate p c) ~n:qubits in
+      let dense = (Qsim.Statevector.run_unitary c).Qsim.Statevector.amps in
+      Array.for_all2 (fun a b -> Util.cx_close ~tol:1e-8 a b) dd dense)
+
+let prop_unitary_matches_dense =
+  QCheck.Test.make ~name:"DD unitary = dense unitary (random circuits)" ~count:40
+    QCheck.(pair (int_range 1 4) (int_range 0 10000))
+    (fun (qubits, seed) ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits ~gates:15 in
+      let p = Dd.Pkg.create () in
+      let dd =
+        Dd.Mat.to_array p (Qsim.Dd_sim.build_unitary p c) ~n:qubits
+      in
+      Util.matrices_equal ~tol:1e-8 dd (Qsim.Statevector.unitary_matrix c))
+
+let prop_probabilities_sum_to_one =
+  QCheck.Test.make ~name:"measurement probabilities sum to 1" ~count:40
+    QCheck.(triple (int_range 1 5) (int_range 0 1000) (int_range 0 4))
+    (fun (qubits, seed, q) ->
+      QCheck.assume (q < qubits);
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits ~gates:20 in
+      let p = Dd.Pkg.create () in
+      let s = Qsim.Dd_sim.simulate p c in
+      let p0, p1 = Dd.Vec.probabilities p s q in
+      Float.abs (p0 +. p1 -. 1.0) < 1e-9)
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"vector addition commutes" ~count:40
+    QCheck.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (s1, s2) ->
+      let qubits = 3 in
+      let p = Dd.Pkg.create () in
+      let mk seed =
+        Qsim.Dd_sim.simulate p (Algorithms.Random_circuit.unitary ~seed ~qubits ~gates:10)
+      in
+      let a = mk s1 and b = mk s2 in
+      let ab = Dd.Vec.add p a b and ba = Dd.Vec.add p b a in
+      let x = Dd.Vec.to_array p ab ~n:qubits and y = Dd.Vec.to_array p ba ~n:qubits in
+      Array.for_all2 (fun u v -> Util.cx_close ~tol:1e-9 u v) x y)
+
+let prop_adjoint_involution =
+  QCheck.Test.make ~name:"matrix adjoint is an involution" ~count:30
+    QCheck.(pair (int_range 1 4) (int_range 0 1000))
+    (fun (qubits, seed) ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits ~gates:12 in
+      let p = Dd.Pkg.create () in
+      let u = Qsim.Dd_sim.build_unitary p c in
+      Dd.Mat.equal p u (Dd.Mat.adjoint p (Dd.Mat.adjoint p u)))
+
+let prop_unitary_times_adjoint_is_identity =
+  QCheck.Test.make ~name:"U * U^dagger = I" ~count:30
+    QCheck.(pair (int_range 1 4) (int_range 0 1000))
+    (fun (qubits, seed) ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits ~gates:12 in
+      let p = Dd.Pkg.create () in
+      let u = Qsim.Dd_sim.build_unitary p c in
+      Dd.Mat.is_identity p
+        (Dd.Mat.mul p u (Dd.Mat.adjoint p u))
+        ~n:qubits ~up_to_phase:false)
+
+let prop_mul_associative_on_states =
+  QCheck.Test.make ~name:"(A B) v = A (B v)" ~count:30
+    QCheck.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (s1, s2) ->
+      let qubits = 3 in
+      let p = Dd.Pkg.create () in
+      let u c = Qsim.Dd_sim.build_unitary p (Algorithms.Random_circuit.unitary ~seed:c ~qubits ~gates:8) in
+      let a = u s1 and b = u s2 in
+      let v = Qsim.Dd_sim.simulate p (Algorithms.Random_circuit.unitary ~seed:(s1 + s2) ~qubits ~gates:8) in
+      let lhs = Dd.Mat.apply p (Dd.Mat.mul p a b) v in
+      let rhs = Dd.Mat.apply p a (Dd.Mat.apply p b v) in
+      Dd.Vec.fidelity p lhs rhs > 1.0 -. 1e-9)
+
+let prop_adjoint_reverses_products =
+  QCheck.Test.make ~name:"(A B)^d = B^d A^d" ~count:30
+    QCheck.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (s1, s2) ->
+      let qubits = 3 in
+      let p = Dd.Pkg.create () in
+      let u c = Qsim.Dd_sim.build_unitary p (Algorithms.Random_circuit.unitary ~seed:c ~qubits ~gates:8) in
+      let a = u s1 and b = u s2 in
+      let lhs = Dd.Mat.adjoint p (Dd.Mat.mul p a b) in
+      let rhs = Dd.Mat.mul p (Dd.Mat.adjoint p b) (Dd.Mat.adjoint p a) in
+      Dd.Mat.equal p lhs rhs)
+
+let prop_inner_product_unitary_invariant =
+  QCheck.Test.make ~name:"<Ua|Ub> = <a|b>" ~count:30
+    QCheck.(triple (int_range 0 1000) (int_range 0 1000) (int_range 0 1000))
+    (fun (s1, s2, s3) ->
+      let qubits = 3 in
+      let p = Dd.Pkg.create () in
+      let v c = Qsim.Dd_sim.simulate p (Algorithms.Random_circuit.unitary ~seed:c ~qubits ~gates:8) in
+      let a = v s1 and b = v s2 in
+      let u = Qsim.Dd_sim.build_unitary p (Algorithms.Random_circuit.unitary ~seed:s3 ~qubits ~gates:8) in
+      let before = Dd.Vec.inner_product p a b in
+      let after = Dd.Vec.inner_product p (Dd.Mat.apply p u a) (Dd.Mat.apply p u b) in
+      Util.cx_close ~tol:1e-8 before after)
+
+let test_dot_export () =
+  let p = Dd.Pkg.create () in
+  let s = Dd.Pkg.basis_state p 2 (fun _ -> true) in
+  let text = Fmt.str "%a" Dd.Dot.vector s in
+  Alcotest.(check bool) "dot has digraph" true
+    (String.length text > 0
+     && String.sub text 0 7 = "digraph");
+  let m = Dd.Pkg.ident p 2 in
+  let text = Fmt.str "%a" Dd.Dot.matrix m in
+  Alcotest.(check bool) "matrix dot nonempty" true (String.length text > 20)
+
+let suite =
+  [ Alcotest.test_case "basis states" `Quick test_basis_states
+  ; Alcotest.test_case "product state" `Quick test_product_state
+  ; Alcotest.test_case "vector round trip" `Quick test_vec_roundtrip
+  ; Alcotest.test_case "matrix round trip" `Quick test_mat_roundtrip
+  ; Alcotest.test_case "gate construction vs dense" `Quick
+      test_gate_construction_matches_dense
+  ; Alcotest.test_case "controlled gates vs dense" `Quick
+      test_controlled_gates_match_dense
+  ; Alcotest.test_case "identity properties" `Quick test_identity_properties
+  ; Alcotest.test_case "canonicity: node sharing" `Quick test_canonicity_sharing
+  ; Alcotest.test_case "probabilities and projection" `Quick
+      test_probabilities_and_project
+  ; Alcotest.test_case "impossible projection rejected" `Quick
+      test_project_zero_probability_rejected
+  ; Alcotest.test_case "inner products" `Quick test_inner_product
+  ; Alcotest.test_case "deep chains keep tiny weights" `Quick test_deep_chain_weights
+  ; Alcotest.test_case "node counts" `Quick test_node_counts
+  ; Alcotest.test_case "process fidelity" `Quick test_process_fidelity
+  ; Alcotest.test_case "dot export" `Quick test_dot_export
+  ; Util.qtest prop_simulation_matches_dense
+  ; Util.qtest prop_unitary_matches_dense
+  ; Util.qtest prop_probabilities_sum_to_one
+  ; Util.qtest prop_add_commutes
+  ; Util.qtest prop_adjoint_involution
+  ; Util.qtest prop_unitary_times_adjoint_is_identity
+  ; Util.qtest prop_mul_associative_on_states
+  ; Util.qtest prop_adjoint_reverses_products
+  ; Util.qtest prop_inner_product_unitary_invariant
+  ]

@@ -1,0 +1,136 @@
+(* Boundary-condition tests across the whole stack: empty circuits,
+   single-qubit registers, measurement-only circuits, and degenerate
+   parameters. *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+
+let test_empty_circuit () =
+  let c = Circ.make ~name:"empty" ~qubits:2 ~cbits:0 [] in
+  Alcotest.(check bool) "not dynamic" false (Circ.is_dynamic c);
+  let p = Dd.Pkg.create () in
+  let u = Qsim.Dd_sim.build_unitary p c in
+  Alcotest.(check bool) "unitary is identity" true
+    (Dd.Mat.is_identity p u ~n:2 ~up_to_phase:false);
+  let r = Qcec.Verify.functional c c in
+  Alcotest.(check bool) "empty = empty" true r.Qcec.Verify.equivalent;
+  let s = Circuit.Stats.compute c in
+  Alcotest.(check int) "zero depth" 0 s.Circuit.Stats.depth
+
+let test_zero_qubit_register () =
+  let c = Circ.make ~name:"none" ~qubits:0 ~cbits:0 [] in
+  Alcotest.(check int) "no ops" 0 (Circ.total_ops c);
+  let p = Dd.Pkg.create () in
+  let v = Dd.Pkg.zero_state p 0 in
+  Util.check_float "norm of scalar state" 1.0 (Dd.Vec.norm p v)
+
+let test_single_qubit_everything () =
+  let dyn =
+    Circ.make ~name:"one" ~qubits:1 ~cbits:2
+      [ Op.apply Gates.H 0
+      ; Op.Measure { qubit = 0; cbit = 0 }
+      ; Op.Reset 0
+      ; Op.if_bit ~bit:0 ~value:true (Op.apply Gates.X 0)
+      ; Op.Measure { qubit = 0; cbit = 1 }
+      ]
+  in
+  let dist = (Qsim.Extraction.run dyn).Qsim.Extraction.distribution in
+  (* c1 = c0: X applied iff the first measurement was 1 *)
+  Util.check_distributions "copy via classical control"
+    [ ("00", 0.5); ("11", 0.5) ]
+    dist;
+  let dense = Qsim.Statevector.extract_distribution dyn in
+  Util.check_distributions "matches dense" dense dist;
+  let density = Qsim.Density.distribution (Qsim.Density.run dyn) in
+  Util.check_distributions "matches density" density dist
+
+let test_extraction_on_static_circuit () =
+  (* no dynamic primitive at all: extraction = final-state marginal *)
+  let c = Algorithms.Ghz.static 3 in
+  let dist = (Qsim.Extraction.run c).Qsim.Extraction.distribution in
+  Util.check_distributions "GHZ outcome" [ ("000", 0.5); ("111", 0.5) ] dist
+
+let test_measure_only_circuit () =
+  let c =
+    Circ.make ~name:"m" ~qubits:2 ~cbits:2
+      [ Op.Measure { qubit = 0; cbit = 0 }; Op.Measure { qubit = 1; cbit = 1 } ]
+  in
+  let dist = (Qsim.Extraction.run c).Qsim.Extraction.distribution in
+  Util.check_distributions "measuring |00>" [ ("00", 1.0) ] dist
+
+let test_qpe_one_bit () =
+  (* smallest possible instance of the running example *)
+  let pair = Algorithms.Qpe.make ~theta:0.5 ~bits:1 in
+  let r =
+    Qcec.Verify.functional ~perm:pair.Algorithms.Pair.dyn_to_static
+      pair.Algorithms.Pair.static_circuit pair.Algorithms.Pair.dynamic_circuit
+  in
+  Alcotest.(check bool) "1-bit QPE equivalent" true r.Qcec.Verify.equivalent;
+  let d =
+    Qcec.Verify.distribution pair.Algorithms.Pair.dynamic_circuit
+      pair.Algorithms.Pair.static_circuit
+  in
+  Util.check_distributions "theta = 1/2 detected" [ ("1", 1.0) ]
+    d.Qcec.Verify.dynamic_distribution
+
+let test_bv_empty_string () =
+  (* n = 1 with hidden bit 0: the oracle is the identity *)
+  let pair = Algorithms.Bv.make [| false |] in
+  let r =
+    Qcec.Verify.functional ~perm:pair.Algorithms.Pair.dyn_to_static
+      pair.Algorithms.Pair.static_circuit pair.Algorithms.Pair.dynamic_circuit
+  in
+  Alcotest.(check bool) "trivial BV equivalent" true r.Qcec.Verify.equivalent
+
+let test_transform_of_static_circuit_is_identity_action () =
+  let c = Algorithms.Ghz.static 3 in
+  let out = Transform.Dynamic.to_static c in
+  Alcotest.(check int) "no resets to eliminate" 0
+    out.Transform.Dynamic.resets_eliminated;
+  Alcotest.(check int) "same qubit count" 3
+    out.Transform.Dynamic.circuit.Circ.num_qubits
+
+let test_angle_wrapping () =
+  (* p(2 pi) equals identity; p(4 pi) too; rz(2 pi) only up to phase *)
+  let mk g = Circ.make ~name:"a" ~qubits:1 ~cbits:0 [ Op.apply g 0 ] in
+  let id = Circ.make ~name:"i" ~qubits:1 ~cbits:0 [] in
+  let r = Qcec.Verify.functional (mk (Gates.P (2.0 *. Float.pi))) id in
+  Alcotest.(check bool) "p(2pi) = I exactly" true r.Qcec.Verify.exactly_equal;
+  let r = Qcec.Verify.functional (mk (Gates.RZ (2.0 *. Float.pi))) id in
+  Alcotest.(check bool) "rz(2pi) = I up to phase" true r.Qcec.Verify.equivalent;
+  Alcotest.(check bool) "rz(2pi) = -I, not I" false r.Qcec.Verify.exactly_equal
+
+let test_draw_wide_circuit_truncation () =
+  let c = Algorithms.Qft.static 9 in
+  let lines = Circuit.Draw.render ~max_columns:5 c in
+  Alcotest.(check bool) "truncated marker" true
+    (List.exists
+       (fun l -> String.length l >= 3 && String.sub l (String.length l - 3) 3 = "...")
+       lines)
+
+let test_extraction_cutoff_extremes () =
+  let dyn = Algorithms.Qft.dynamic 4 in
+  (* a cutoff of 0.9 kills every branch: mass collapses to zero *)
+  let r = Qsim.Extraction.run ~cutoff:0.9 dyn in
+  Util.check_float "everything pruned" 0.0
+    (Qcec.Distribution.mass r.Qsim.Extraction.distribution);
+  Alcotest.(check bool) "prune counter saw it" true
+    (r.Qsim.Extraction.stats.Qsim.Extraction.pruned > 0)
+
+let suite =
+  [ Alcotest.test_case "empty circuit" `Quick test_empty_circuit
+  ; Alcotest.test_case "zero-qubit register" `Quick test_zero_qubit_register
+  ; Alcotest.test_case "single-qubit dynamics" `Quick test_single_qubit_everything
+  ; Alcotest.test_case "extraction of static circuit" `Quick
+      test_extraction_on_static_circuit
+  ; Alcotest.test_case "measure-only circuit" `Quick test_measure_only_circuit
+  ; Alcotest.test_case "1-bit QPE" `Quick test_qpe_one_bit
+  ; Alcotest.test_case "trivial BV" `Quick test_bv_empty_string
+  ; Alcotest.test_case "transform of static circuit" `Quick
+      test_transform_of_static_circuit_is_identity_action
+  ; Alcotest.test_case "angle wrapping" `Quick test_angle_wrapping
+  ; Alcotest.test_case "drawing truncation" `Quick test_draw_wide_circuit_truncation
+  ; Alcotest.test_case "extreme extraction cutoff" `Quick
+      test_extraction_cutoff_extremes
+  ]

@@ -1,0 +1,174 @@
+(* Section 5 scheme tests: the DD-based branching extraction against the
+   dense oracle, pruning, statistics, the Fig. 4 tree, and the parallel
+   driver. *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+
+let extract c = (Qsim.Extraction.run c).Qsim.Extraction.distribution
+
+let test_paper_fig4_numbers () =
+  (* theta = 3/16: first measurement is unbiased, and the probability of
+     estimate |001> is 1/2 * 0.85 * 0.96 ~ 0.408 (paper Example 7) *)
+  let dyn = Algorithms.Qpe.dynamic ~theta:(3.0 /. 16.0) ~bits:3 in
+  let tree = Qsim.Extraction.tree dyn in
+  (match tree with
+   | Qsim.Extraction.Branch { p0; p1; _ } ->
+     Util.check_float ~tol:1e-9 "first checkpoint p0" 0.5 p0;
+     Util.check_float ~tol:1e-9 "first checkpoint p1" 0.5 p1
+   | Qsim.Extraction.Leaf _ -> Alcotest.fail "expected a branch");
+  let dist = extract dyn in
+  (* classical bits are indexed c0 c1 c2; estimate 0.c2c1c0 = 001 means
+     c0 = 1, c1 = 0, c2 = 0 *)
+  let p001 = List.assoc "100" dist in
+  Util.check_float ~tol:1e-3 "P(estimate 001)" 0.4105 p001;
+  let p010 = List.assoc "010" dist in
+  Util.check_float ~tol:1e-3 "P(estimate 010)" 0.4105 p010;
+  (* success probability of QPE is at least 4/pi^2 ~ 0.405 (paper 2.2) *)
+  Alcotest.(check bool) "QPE success bound" true (p001 >= 4.0 /. (Float.pi *. Float.pi))
+
+let test_exact_theta_deterministic () =
+  (* representable phase: the algorithm succeeds with certainty and the
+     extraction collapses to a single path *)
+  let theta = 5.0 /. 8.0 in
+  let dyn = Algorithms.Qpe.dynamic ~theta ~bits:3 in
+  let r = Qsim.Extraction.run dyn in
+  Alcotest.(check int) "single leaf" 1 r.Qsim.Extraction.stats.Qsim.Extraction.leaves;
+  match r.Qsim.Extraction.distribution with
+  | [ (bits, p) ] ->
+    Util.check_float "probability 1" 1.0 p;
+    (* 5/8 = 0.101: c2=1 c1=0 c0=1 *)
+    Alcotest.(check string) "estimate bits" "101" bits
+  | _ -> Alcotest.fail "expected a deterministic outcome"
+
+let test_pruning_counts () =
+  let theta = 5.0 /. 8.0 in
+  let dyn = Algorithms.Qpe.dynamic ~theta ~bits:3 in
+  let r = Qsim.Extraction.run dyn in
+  (* every measurement and reset has a zero-probability side: all pruned *)
+  Alcotest.(check bool) "pruned branches recorded" true
+    (r.Qsim.Extraction.stats.Qsim.Extraction.pruned > 0)
+
+let test_mass_conservation () =
+  let dyn = Algorithms.Qft.dynamic 5 in
+  let r = Qsim.Extraction.run dyn in
+  Util.check_float "total mass 1" 1.0
+    (Qcec.Distribution.mass r.Qsim.Extraction.distribution);
+  Alcotest.(check int) "uniform over 32 outcomes" 32
+    (List.length r.Qsim.Extraction.distribution)
+
+let test_bare_reset_merges_branches () =
+  (* reset of an unmeasured superposed qubit: both branches carry mass into
+     the same classical assignment *)
+  let c =
+    Circ.make ~name:"bare" ~qubits:1 ~cbits:1
+      [ Op.apply Gates.H 0
+      ; Op.Reset 0
+      ; Op.apply Gates.H 0
+      ; Op.Measure { qubit = 0; cbit = 0 }
+      ]
+  in
+  let dist = extract c in
+  Util.check_distributions "reset then H is unbiased"
+    [ ("0", 0.5); ("1", 0.5) ]
+    dist;
+  let dense = Qsim.Statevector.extract_distribution c in
+  Util.check_distributions "matches dense oracle" dense dist
+
+let test_ghz_parity () =
+  let c = Algorithms.Ghz.with_parity_check 3 in
+  let dist = extract c in
+  (* parity bit (cbit 3) is always 0; data is 000 or 111 *)
+  Util.check_distributions "GHZ parity distribution"
+    [ ("0000", 0.5); ("1110", 0.5) ]
+    dist
+
+let test_teleport_distribution () =
+  let prep = [ Gates.RY 1.1; Gates.RZ 0.4 ] in
+  let tele = Algorithms.Teleport.circuit ~prep in
+  let reference = Algorithms.Teleport.reference ~prep in
+  let out = Qcec.Distribution.marginalize (extract tele) ~bits:[ 2 ] in
+  let ref_dist = extract reference in
+  Util.check_distributions "teleported marginal = direct preparation" ref_dist out;
+  (* Bell measurement outcomes are uniform *)
+  let bell = Qcec.Distribution.marginalize (extract tele) ~bits:[ 0; 1 ] in
+  Util.check_distributions "Bell outcomes uniform"
+    [ ("00", 0.25); ("01", 0.25); ("10", 0.25); ("11", 0.25) ]
+    bell
+
+let test_tree_structure () =
+  let dyn = Algorithms.Bv.dynamic [| true; false |] in
+  let rec depth = function
+    | Qsim.Extraction.Leaf _ -> 0
+    | Qsim.Extraction.Branch { zero; one; _ } ->
+      let d side = match side with None -> 0 | Some t -> depth t in
+      1 + max (d zero) (d one)
+  in
+  let t = Qsim.Extraction.tree dyn in
+  (* 2 measurements + 1 reset = depth 3 along the surviving path *)
+  Alcotest.(check int) "tree depth" 3 (depth t);
+  let rendered = Fmt.str "%a" Qsim.Extraction.pp_tree t in
+  Alcotest.(check bool) "render mentions measure" true
+    (String.length rendered > 0 && String.sub rendered 0 7 = "measure")
+
+let test_parallel_matches_sequential () =
+  let dyn = Algorithms.Qft.dynamic 6 in
+  let seq = Qsim.Extraction.run dyn in
+  let par = Qsim.Extraction.run ~domains:4 dyn in
+  Util.check_distributions "parallel = sequential"
+    seq.Qsim.Extraction.distribution par.Qsim.Extraction.distribution;
+  Alcotest.(check int) "same leaf count"
+    seq.Qsim.Extraction.stats.Qsim.Extraction.leaves
+    par.Qsim.Extraction.stats.Qsim.Extraction.leaves
+
+let prop_extraction_matches_dense =
+  QCheck.Test.make ~name:"DD extraction = dense extraction (random dynamic)"
+    ~count:80
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let dyn =
+        Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:3 ~ops:15
+      in
+      let dd = extract dyn in
+      let dense = Qsim.Statevector.extract_distribution dyn in
+      Qcec.Distribution.total_variation dd dense < 1e-8)
+
+let prop_mass_is_one =
+  QCheck.Test.make ~name:"extracted mass is 1" ~count:80
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let dyn =
+        Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:4 ~ops:18
+      in
+      Float.abs (Qcec.Distribution.mass (extract dyn) -. 1.0) < 1e-8)
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~name:"parallel extraction = sequential" ~count:12
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let dyn =
+        Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:3 ~ops:12
+      in
+      let s = Qsim.Extraction.run dyn in
+      let p = Qsim.Extraction.run ~domains:2 dyn in
+      Qcec.Distribution.total_variation s.Qsim.Extraction.distribution
+        p.Qsim.Extraction.distribution
+      < 1e-9)
+
+let suite =
+  [ Alcotest.test_case "paper Fig. 4 checkpoints" `Quick test_paper_fig4_numbers
+  ; Alcotest.test_case "exact phase is deterministic" `Quick
+      test_exact_theta_deterministic
+  ; Alcotest.test_case "pruning statistics" `Quick test_pruning_counts
+  ; Alcotest.test_case "mass conservation (dense QFT)" `Quick test_mass_conservation
+  ; Alcotest.test_case "bare reset merges branches" `Quick
+      test_bare_reset_merges_branches
+  ; Alcotest.test_case "GHZ parity check" `Quick test_ghz_parity
+  ; Alcotest.test_case "teleportation distribution" `Quick test_teleport_distribution
+  ; Alcotest.test_case "branching tree structure" `Quick test_tree_structure
+  ; Alcotest.test_case "parallel driver" `Quick test_parallel_matches_sequential
+  ; Util.qtest prop_extraction_matches_dense
+  ; Util.qtest prop_mass_is_one
+  ; Util.qtest prop_parallel_matches_sequential
+  ]

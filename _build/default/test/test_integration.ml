@@ -1,0 +1,91 @@
+(* Cross-cutting integration tests: whole tool-chains wired end to end,
+   the way a user would compose them. *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+
+(* The grand tour: dynamic IQPE -> OpenQASM 3 -> parse -> Section 4
+   transform -> peephole optimizer -> {u3,cx} decomposition -> routing onto
+   the IBMQ London coupling -> equivalence check against the original
+   static algorithm.  Every arrow is a separate subsystem; the checker
+   closes the loop over all of them at once. *)
+let test_grand_tour () =
+  let pair = Algorithms.Qpe.paper_example () in
+  let dynamic = pair.Algorithms.Pair.dynamic_circuit in
+  (* ship as OpenQASM 3 and read it back *)
+  let shipped = Circuit.Qasm3_printer.to_string dynamic in
+  let received = Circuit.Qasm3_parser.parse_any shipped in
+  (* unitary reconstruction (Section 4) *)
+  let static = Transform.Dynamic.transform received in
+  Alcotest.(check bool) "reconstruction is static" false (Circ.is_dynamic static);
+  (* optimize, decompose, route on the paper's device *)
+  let optimized = (Qcompile.Optimize.run static).Qcompile.Optimize.circuit in
+  let basis = Qcompile.Decompose.to_basis optimized in
+  let padded = Circ.make ~name:"padded" ~qubits:5 ~cbits:basis.Circ.num_cbits basis.Circ.ops in
+  let routed =
+    (Qcompile.Mapping.coupled ~edges:Qcompile.Mapping.ibmq_london padded)
+      .Qcompile.Mapping.circuit
+  in
+  (* the original static QPE, padded to the device size *)
+  let reference = pair.Algorithms.Pair.static_circuit in
+  let r = Qcec.Verify.functional reference routed in
+  Alcotest.(check bool) "grand tour preserves functionality" true
+    r.Qcec.Verify.equivalent
+
+(* All five simulation backends on the same dynamic Clifford circuit. *)
+let test_five_backends_agree () =
+  let prep = [ Gates.H; Gates.S ] in
+  let tele = Algorithms.Teleport.circuit ~prep in
+  let extraction = (Qsim.Extraction.run tele).Qsim.Extraction.distribution in
+  let dense = Qsim.Statevector.extract_distribution tele in
+  let density = Qsim.Density.distribution (Qsim.Density.run tele) in
+  let tableau = Qsim.Stabilizer.extract_distribution tele in
+  Util.check_distributions "dense" dense extraction;
+  Util.check_distributions "density" density extraction;
+  Util.check_distributions "tableau" tableau extraction;
+  let sampled = Qsim.Sampler.empirical (Qsim.Sampler.run ~seed:5 ~shots:20000 tele) in
+  Alcotest.(check bool) "sampler within statistical error" true
+    (Qcec.Distribution.total_variation sampled extraction < 0.05)
+
+(* Scheme 1 and scheme 2 must never disagree on equivalent pairs, and the
+   distribution scheme must accept whatever the transformation scheme
+   produced (the paper's two views of the same fact). *)
+let prop_schemes_consistent =
+  QCheck.Test.make ~name:"scheme 1 accepts -> scheme 2 accepts" ~count:25
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let dyn = Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:3 ~ops:12 in
+      let static = Transform.Dynamic.transform dyn in
+      let s1 = (Qcec.Verify.functional static dyn).Qcec.Verify.equivalent in
+      let s2 = (Qcec.Verify.distribution dyn static).Qcec.Verify.distributions_equal in
+      s1 && s2)
+
+(* Optimizing a dynamic circuit then transforming equals transforming then
+   comparing against the optimized-then-transformed version. *)
+let prop_optimize_commutes_with_transform =
+  QCheck.Test.make ~name:"optimize and transform commute (as functionality)"
+    ~count:20
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let dyn = Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:2 ~ops:12 in
+      let a = Transform.Dynamic.transform (Qcompile.Optimize.run dyn).Qcompile.Optimize.circuit in
+      let b = Transform.Dynamic.transform dyn in
+      (Qcec.Verify.functional a b).Qcec.Verify.equivalent)
+
+let test_qasm2_and_qasm3_pipelines_agree () =
+  let dyn = Algorithms.Bv.dynamic (Algorithms.Bv.hidden_string ~seed:4 5) in
+  let via2 = Circuit.Qasm3_parser.parse_any (Circuit.Qasm_printer.to_string dyn) in
+  let via3 = Circuit.Qasm3_parser.parse_any (Circuit.Qasm3_printer.to_string dyn) in
+  let d2 = (Qsim.Extraction.run via2).Qsim.Extraction.distribution in
+  let d3 = (Qsim.Extraction.run via3).Qsim.Extraction.distribution in
+  Util.check_distributions "both serializations behave alike" d2 d3
+
+let suite =
+  [ Alcotest.test_case "grand tour" `Quick test_grand_tour
+  ; Alcotest.test_case "five backends agree" `Quick test_five_backends_agree
+  ; Alcotest.test_case "qasm2/qasm3 pipelines agree" `Quick
+      test_qasm2_and_qasm3_pipelines_agree
+  ; Util.qtest prop_schemes_consistent
+  ; Util.qtest prop_optimize_commutes_with_transform
+  ]

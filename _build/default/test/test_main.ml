@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "non-unitary equivalence checking"
+    [ ("complex numbers", Test_cx.suite)
+    ; ("decision diagrams", Test_dd.suite)
+    ; ("circuit IR", Test_circuit.suite)
+    ; ("openqasm", Test_qasm.suite)
+    ; ("openqasm 3", Test_qasm3.suite)
+    ; ("transformation (section 4)", Test_transform.suite)
+    ; ("extraction (section 5)", Test_extraction.suite)
+    ; ("verification flows", Test_verify.suite)
+    ; ("compilation", Test_qcompile.suite)
+    ; ("alternative simulators", Test_simulators.suite)
+    ; ("optimizer", Test_optimize.suite)
+    ; ("extensions", Test_extensions.suite)
+    ; ("observables", Test_observable.suite)
+    ; ("stabilizer backend", Test_stabilizer.suite)
+    ; ("edge cases", Test_edge_cases.suite)
+    ; ("integration", Test_integration.suite)
+    ]

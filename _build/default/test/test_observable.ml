@@ -1,0 +1,119 @@
+(* Observable / expectation-value tests across all three backends. *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+module Obs = Qsim.Observable
+
+let dd_expectation c obs =
+  let p = Dd.Pkg.create () in
+  let state = Qsim.Dd_sim.simulate p c in
+  Obs.expectation p state ~n:c.Circ.num_qubits obs
+
+let test_basis_states () =
+  let zero = Circ.make ~name:"z" ~qubits:2 ~cbits:0 [] in
+  Util.check_float "<Z0> on |00>" 1.0 (dd_expectation zero (Obs.z 0));
+  let one = Circ.make ~name:"o" ~qubits:2 ~cbits:0 [ Op.apply Gates.X 1 ] in
+  Util.check_float "<Z1> on |10>" (-1.0) (dd_expectation one (Obs.z 1));
+  Util.check_float "<Z0> unaffected" 1.0 (dd_expectation one (Obs.z 0));
+  Util.check_float "number operator" 1.0 (dd_expectation one (Obs.number [ 0; 1 ]))
+
+let test_superposition () =
+  let plus = Circ.make ~name:"p" ~qubits:1 ~cbits:0 [ Op.apply Gates.H 0 ] in
+  Util.check_float "<Z> on |+>" 0.0 (dd_expectation plus (Obs.z 0));
+  Util.check_float "<X> on |+>" 1.0
+    (dd_expectation plus [ { Obs.coefficient = 1.0; paulis = [ (0, Obs.X) ] } ]);
+  let y_state =
+    (* |0> + i|1> is the +1 eigenstate of Y: H then S *)
+    Circ.make ~name:"y" ~qubits:1 ~cbits:0 [ Op.apply Gates.H 0; Op.apply Gates.S 0 ]
+  in
+  Util.check_float "<Y> eigenstate" 1.0
+    (dd_expectation y_state [ { Obs.coefficient = 1.0; paulis = [ (0, Obs.Y) ] } ])
+
+let test_bell_correlations () =
+  let bell =
+    Circ.make ~name:"b" ~qubits:2 ~cbits:0
+      [ Op.apply Gates.H 0; Op.controlled Gates.X ~control:0 ~target:1 ]
+  in
+  Util.check_float "<Z0 Z1> on Bell" 1.0 (dd_expectation bell (Obs.zz 0 1));
+  Util.check_float "<Z0> on Bell" 0.0 (dd_expectation bell (Obs.z 0));
+  Util.check_float "parity" 1.0 (dd_expectation bell (Obs.parity [ 0; 1 ]));
+  Util.check_float "<X0 X1> on Bell" 1.0
+    (dd_expectation bell
+       [ { Obs.coefficient = 1.0; paulis = [ (0, Obs.X); (1, Obs.X) ] } ])
+
+let test_combinators () =
+  let c = Circ.make ~name:"c" ~qubits:2 ~cbits:0 [ Op.apply Gates.X 0 ] in
+  let obs = Obs.add (Obs.scale 2.0 (Obs.z 0)) (Obs.scale 3.0 (Obs.z 1)) in
+  Util.check_float "2<Z0> + 3<Z1>" 1.0 (dd_expectation c obs)
+
+let test_density_backend () =
+  (* mixed state: H then recorded measurement -> <Z> = 0, <X> = 0 *)
+  let c =
+    Circ.make ~name:"m" ~qubits:1 ~cbits:1
+      [ Op.apply Gates.H 0; Op.Measure { qubit = 0; cbit = 0 } ]
+  in
+  let d = Qsim.Density.run c in
+  Util.check_float "<Z> of mixture" 0.0 (Obs.expectation_density d (Obs.z 0));
+  Util.check_float "<X> decohered" 0.0
+    (Obs.expectation_density d [ { Obs.coefficient = 1.0; paulis = [ (0, Obs.X) ] } ])
+
+let test_rejects_duplicates () =
+  let c = Circ.make ~name:"d" ~qubits:1 ~cbits:0 [] in
+  match
+    dd_expectation c [ { Obs.coefficient = 1.0; paulis = [ (0, Obs.Z); (0, Obs.X) ] } ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-qubit rejection"
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"DD = dense = density expectations (random)" ~count:40
+    QCheck.(pair (int_range 0 100000) (int_range 0 2))
+    (fun (seed, which) ->
+      let qubits = 3 in
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits ~gates:12 in
+      let obs =
+        match which with
+        | 0 -> Obs.z (seed mod qubits)
+        | 1 -> Obs.zz 0 2
+        | _ ->
+          [ { Obs.coefficient = 0.7; paulis = [ (0, Obs.X); (1, Obs.Y) ] }
+          ; { Obs.coefficient = -0.3; paulis = [ (2, Obs.Z) ] }
+          ]
+      in
+      let p = Dd.Pkg.create () in
+      let dd = Obs.expectation p (Qsim.Dd_sim.simulate p c) ~n:qubits obs in
+      let dense = Obs.expectation_dense (Qsim.Statevector.run_unitary c) obs in
+      let density = Obs.expectation_density (Qsim.Density.run c) obs in
+      Float.abs (dd -. dense) < 1e-8 && Float.abs (dd -. density) < 1e-8)
+
+let test_compaction () =
+  (* exercise Pkg.compact: build junk, keep one root, table shrinks *)
+  let p = Dd.Pkg.create () in
+  let n = 6 in
+  let keep = Qsim.Dd_sim.simulate p (Algorithms.Random_circuit.unitary ~seed:1 ~qubits:n ~gates:30) in
+  for seed = 2 to 12 do
+    ignore (Qsim.Dd_sim.simulate p (Algorithms.Random_circuit.unitary ~seed ~qubits:n ~gates:30))
+  done;
+  let before = (Dd.Pkg.stats p).Dd.Pkg.vector_nodes in
+  Dd.Pkg.compact p ~vector_roots:[ keep ] ~matrix_roots:[];
+  let after = (Dd.Pkg.stats p).Dd.Pkg.vector_nodes in
+  Alcotest.(check bool) (Fmt.str "table shrank (%d -> %d)" before after) true
+    (after < before);
+  Alcotest.(check int) "exactly the root's nodes survive" (Dd.Vec.node_count keep) after;
+  (* the package must still be fully usable *)
+  let h = Dd.Pkg.gate p ~n ~controls:[] ~target:0 (Gates.matrix Gates.H) in
+  let moved = Dd.Mat.apply p h keep in
+  let back = Dd.Mat.apply p h moved in
+  Util.check_float "round trip after compaction" 1.0 (Dd.Vec.fidelity p keep back)
+
+let suite =
+  [ Alcotest.test_case "basis-state expectations" `Quick test_basis_states
+  ; Alcotest.test_case "superpositions" `Quick test_superposition
+  ; Alcotest.test_case "bell correlations" `Quick test_bell_correlations
+  ; Alcotest.test_case "combinators" `Quick test_combinators
+  ; Alcotest.test_case "density backend" `Quick test_density_backend
+  ; Alcotest.test_case "duplicate qubits rejected" `Quick test_rejects_duplicates
+  ; Alcotest.test_case "table compaction" `Quick test_compaction
+  ; Util.qtest prop_backends_agree
+  ]

@@ -1,0 +1,184 @@
+(* Optimizer tests: every rewrite must be verified by the equivalence
+   checker (the paper's "optimized realizations" use case), plus targeted
+   cases for each pass. *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+
+let optimize c = Qcompile.Optimize.run c
+
+let test_cancellation () =
+  let c =
+    Circ.make ~name:"cc" ~qubits:2 ~cbits:0
+      [ Op.apply Gates.H 0
+      ; Op.controlled Gates.X ~control:0 ~target:1
+      ; Op.controlled Gates.X ~control:0 ~target:1
+      ; Op.apply Gates.H 0
+      ; Op.apply Gates.S 1
+      ; Op.apply Gates.Sdg 1
+      ]
+  in
+  let out = optimize c in
+  Alcotest.(check int) "everything cancels" 0
+    (Circ.gate_count out.Qcompile.Optimize.circuit);
+  Alcotest.(check int) "six ops cancelled" 6
+    out.Qcompile.Optimize.stats.Qcompile.Optimize.cancelled
+
+let test_cancellation_through_disjoint () =
+  (* the pair is separated by gates on other qubits *)
+  let c =
+    Circ.make ~name:"cd" ~qubits:3 ~cbits:0
+      [ Op.Swap (0, 2)
+      ; Op.apply Gates.T 1
+      ; Op.apply (Gates.RX 0.4) 1
+      ; Op.Swap (0, 2)
+      ]
+  in
+  let out = optimize c in
+  let remaining = out.Qcompile.Optimize.circuit.Circ.ops in
+  Alcotest.(check bool) "swaps cancelled through disjoint gates" true
+    (List.for_all (function Op.Swap _ -> false | _ -> true) remaining)
+
+let test_no_cancellation_through_overlap () =
+  (* an overlapping gate in between must block the cancellation *)
+  let c =
+    Circ.make ~name:"no" ~qubits:2 ~cbits:0
+      [ Op.controlled Gates.X ~control:0 ~target:1
+      ; Op.apply Gates.H 1
+      ; Op.controlled Gates.X ~control:0 ~target:1
+      ]
+  in
+  let out = optimize c in
+  Alcotest.(check int) "nothing cancelled" 0
+    out.Qcompile.Optimize.stats.Qcompile.Optimize.cancelled
+
+let test_rotation_merging () =
+  let c =
+    Circ.make ~name:"rm" ~qubits:1 ~cbits:0
+      [ Op.apply (Gates.RZ 0.4) 0; Op.apply (Gates.RZ 0.6) 0 ]
+  in
+  let out = optimize c in
+  (match out.Qcompile.Optimize.circuit.Circ.ops with
+   | [ Op.Apply { gate; _ } ] ->
+     (* merging happens first, single-gate runs are kept verbatim *)
+     Alcotest.(check bool) "merged angle" true (Gates.equal ~tol:1e-12 gate (Gates.RZ 1.0))
+   | _ -> Alcotest.fail "expected one merged rotation")
+
+let test_controlled_rotation_merging () =
+  let cp a = Op.controlled (Gates.P a) ~control:0 ~target:1 in
+  let c = Circ.make ~name:"cpm" ~qubits:2 ~cbits:0 [ cp 0.3; cp (-0.3) ] in
+  let out = optimize c in
+  Alcotest.(check int) "controlled phases vanish" 0
+    (Circ.gate_count out.Qcompile.Optimize.circuit)
+
+let test_controlled_rx_2pi_not_dropped () =
+  (* CRX(2 pi) = controlled(-I) is NOT the identity: it is a CZ-like
+     relative phase.  The optimizer must keep it. *)
+  let crx a = Op.controlled (Gates.RX a) ~control:0 ~target:1 in
+  let c = Circ.make ~name:"crx" ~qubits:2 ~cbits:0 [ crx Float.pi; crx Float.pi ] in
+  let out = optimize c in
+  Alcotest.(check int) "merged but kept" 1 (Circ.gate_count out.Qcompile.Optimize.circuit);
+  let r = Qcec.Verify.functional c out.Qcompile.Optimize.circuit in
+  Alcotest.(check bool) "still equivalent" true r.Qcec.Verify.equivalent
+
+let test_fusion () =
+  let c =
+    Circ.make ~name:"fu" ~qubits:2 ~cbits:0
+      [ Op.apply Gates.H 0
+      ; Op.apply Gates.T 0
+      ; Op.apply (Gates.RY 0.3) 0
+      ; Op.controlled Gates.X ~control:0 ~target:1
+      ]
+  in
+  let out = optimize c in
+  Alcotest.(check int) "three singles fused into one u3" 2
+    (Circ.gate_count out.Qcompile.Optimize.circuit);
+  let r = Qcec.Verify.functional c out.Qcompile.Optimize.circuit in
+  Alcotest.(check bool) "equivalent after fusion" true r.Qcec.Verify.equivalent
+
+let test_conditioned_gates_untouched () =
+  let c =
+    Circ.make ~name:"cond" ~qubits:2 ~cbits:1
+      [ Op.apply Gates.H 0
+      ; Op.Measure { qubit = 0; cbit = 0 }
+      ; Op.if_bit ~bit:0 ~value:true (Op.apply (Gates.RZ 0.2) 1)
+      ; Op.if_bit ~bit:0 ~value:true (Op.apply (Gates.RZ (-0.2)) 1)
+      ]
+  in
+  let out = optimize c in
+  (* conditioned rotations must not merge: their global phases are
+     observable after transformation *)
+  Alcotest.(check int) "conditions preserved" 2
+    (Circ.op_counts out.Qcompile.Optimize.circuit).Circ.conditioned
+
+let test_measurement_blocks () =
+  let c =
+    Circ.make ~name:"mb" ~qubits:1 ~cbits:2
+      [ Op.apply Gates.H 0
+      ; Op.Measure { qubit = 0; cbit = 0 }
+      ; Op.apply Gates.H 0
+      ]
+  in
+  let out = optimize c in
+  Alcotest.(check int) "hadamards not cancelled across measurement" 2
+    (Circ.gate_count out.Qcompile.Optimize.circuit)
+
+let test_optimizes_decomposed_circuits () =
+  (* decompose + optimize: the round trip must stay equivalent and shrink *)
+  let original = Circ.strip_measurements (Algorithms.Qft.static 5) in
+  let decomposed = Qcompile.Decompose.to_basis original in
+  let out = optimize decomposed in
+  Alcotest.(check bool) "got smaller" true
+    (Circ.gate_count out.Qcompile.Optimize.circuit <= Circ.gate_count decomposed);
+  let r = Qcec.Verify.functional original out.Qcompile.Optimize.circuit in
+  Alcotest.(check bool) "equivalent" true r.Qcec.Verify.equivalent
+
+let prop_optimize_preserves_functionality =
+  QCheck.Test.make ~name:"optimizer preserves functionality (checker-verified)"
+    ~count:40
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits:3 ~gates:25 in
+      let out = optimize c in
+      (Qcec.Verify.functional c out.Qcompile.Optimize.circuit).Qcec.Verify.equivalent)
+
+let prop_optimize_preserves_distributions =
+  QCheck.Test.make ~name:"optimizer preserves dynamic distributions" ~count:30
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let dyn = Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:2 ~ops:15 in
+      let out = optimize dyn in
+      let d1 = Qsim.Statevector.extract_distribution dyn in
+      let d2 = Qsim.Statevector.extract_distribution out.Qcompile.Optimize.circuit in
+      Qcec.Distribution.total_variation d1 d2 < 1e-8)
+
+let prop_optimize_idempotent =
+  QCheck.Test.make ~name:"optimizer is idempotent" ~count:30
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits:3 ~gates:20 in
+      let once = (optimize c).Qcompile.Optimize.circuit in
+      let twice = (optimize once).Qcompile.Optimize.circuit in
+      Circ.gate_count once = Circ.gate_count twice)
+
+let suite =
+  [ Alcotest.test_case "adjacent cancellation" `Quick test_cancellation
+  ; Alcotest.test_case "cancellation through disjoint gates" `Quick
+      test_cancellation_through_disjoint
+  ; Alcotest.test_case "overlap blocks cancellation" `Quick
+      test_no_cancellation_through_overlap
+  ; Alcotest.test_case "rotation merging" `Quick test_rotation_merging
+  ; Alcotest.test_case "controlled rotation merging" `Quick
+      test_controlled_rotation_merging
+  ; Alcotest.test_case "controlled RX 2pi kept" `Quick test_controlled_rx_2pi_not_dropped
+  ; Alcotest.test_case "single-qubit fusion" `Quick test_fusion
+  ; Alcotest.test_case "conditioned gates untouched" `Quick
+      test_conditioned_gates_untouched
+  ; Alcotest.test_case "measurement blocks rewrites" `Quick test_measurement_blocks
+  ; Alcotest.test_case "decompose + optimize round trip" `Quick
+      test_optimizes_decomposed_circuits
+  ; Util.qtest prop_optimize_preserves_functionality
+  ; Util.qtest prop_optimize_preserves_distributions
+  ; Util.qtest prop_optimize_idempotent
+  ]

@@ -1,0 +1,211 @@
+(* Compiler tests: basis decomposition and linear mapping must both preserve
+   functionality — verified with the equivalence checker itself, plus dense
+   oracles for the primitive decompositions. *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+module Cx = Cxnum.Cx
+
+let test_zyz_reconstruction () =
+  let gates =
+    [ Gates.H; Gates.S; Gates.T; Gates.SX; Gates.X; Gates.Y; Gates.Z
+    ; Gates.RX 0.7; Gates.RY (-1.3); Gates.RZ 2.1; Gates.P 0.5
+    ; Gates.U3 (0.9, -0.4, 1.8); Gates.U2 (0.2, 0.6); Gates.I
+    ]
+  in
+  List.iter
+    (fun g ->
+      let u = Gates.matrix g in
+      let alpha, beta, gamma, delta = Qcompile.Decompose.zyz u in
+      (* rebuild e^{i alpha} Rz(beta) Ry(gamma) Rz(delta) *)
+      let mul a b =
+        [| Cx.add (Cx.mul a.(0) b.(0)) (Cx.mul a.(1) b.(2))
+         ; Cx.add (Cx.mul a.(0) b.(1)) (Cx.mul a.(1) b.(3))
+         ; Cx.add (Cx.mul a.(2) b.(0)) (Cx.mul a.(3) b.(2))
+         ; Cx.add (Cx.mul a.(2) b.(1)) (Cx.mul a.(3) b.(3))
+        |]
+      in
+      let m =
+        mul (Gates.matrix (Gates.RZ beta))
+          (mul (Gates.matrix (Gates.RY gamma)) (Gates.matrix (Gates.RZ delta)))
+      in
+      let phase = Cx.polar 1.0 alpha in
+      Array.iteri
+        (fun i x ->
+          Util.check_cx (Fmt.str "zyz %s entry %d" (Gates.name g) i) x
+            (Cx.mul phase m.(i)))
+        u)
+    gates
+
+let test_controlled_u_matches_dense () =
+  let gates =
+    [ Gates.H; Gates.T; Gates.Y; Gates.RX 0.8; Gates.U3 (1.2, 0.3, -0.7); Gates.P 1.1
+    ; Gates.Z; Gates.RZ 0.9
+    ]
+  in
+  List.iter
+    (fun g ->
+      let direct =
+        Circ.make ~name:"direct" ~qubits:2 ~cbits:0
+          [ Op.controlled g ~control:0 ~target:1 ]
+      in
+      let decomposed =
+        Circ.make ~name:"dec" ~qubits:2 ~cbits:0
+          (Qcompile.Decompose.controlled_u ~control:0 ~target:1 (Gates.matrix g))
+      in
+      let a = Qsim.Statevector.unitary_matrix direct in
+      let b = Qsim.Statevector.unitary_matrix decomposed in
+      if not (Util.matrices_equal ~tol:1e-8 a b) then
+        Alcotest.failf "controlled-%s decomposition differs (exactly)" (Gates.name g))
+    gates
+
+let test_toffoli_swap_exact () =
+  let direct =
+    Circ.make ~name:"d" ~qubits:3 ~cbits:0
+      [ Op.Apply
+          { gate = Gates.X
+          ; controls = [ { cq = 0; pos = true }; { cq = 1; pos = true } ]
+          ; target = 2
+          }
+      ; Op.Swap (0, 2)
+      ]
+  in
+  let decomposed = Qcompile.Decompose.to_basis direct in
+  let a = Qsim.Statevector.unitary_matrix direct in
+  let b = Qsim.Statevector.unitary_matrix decomposed in
+  Alcotest.(check bool) "toffoli+swap exact" true (Util.matrices_equal ~tol:1e-8 a b)
+
+let test_to_basis_gate_set () =
+  let c = Algorithms.Qpe.static ~theta:0.3 ~bits:4 in
+  let out = Qcompile.Decompose.to_basis c in
+  let ok_op op =
+    match (op : Op.t) with
+    | Apply { gate = Gates.U3 _; controls = []; _ } -> true
+    | Apply { gate = Gates.X; controls = [ { pos = true; _ } ]; _ } -> true
+    | Measure _ | Barrier _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "only u3 and cx remain" true (List.for_all ok_op out.Circ.ops)
+
+let prop_decompose_preserves_functionality =
+  QCheck.Test.make ~name:"to_basis preserves functionality (up to phase)" ~count:30
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits:3 ~gates:12 in
+      let out = Qcompile.Decompose.to_basis c in
+      let a = Qsim.Statevector.unitary_matrix c in
+      let b = Qsim.Statevector.unitary_matrix out in
+      Util.matrices_equal_up_to_phase ~tol:1e-7 a b)
+
+let prop_decompose_dynamic_preserves_distribution =
+  QCheck.Test.make ~name:"to_basis preserves dynamic distributions" ~count:30
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let dyn = Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:2 ~ops:10 in
+      let out = Qcompile.Decompose.to_basis dyn in
+      let d1 = Qsim.Statevector.extract_distribution dyn in
+      let d2 = Qsim.Statevector.extract_distribution out in
+      Qcec.Distribution.total_variation d1 d2 < 1e-8)
+
+let test_mapping_adjacency () =
+  let c = Algorithms.Ghz.static 5 in
+  let mapped = (Qcompile.Mapping.linear c).Qcompile.Mapping.circuit in
+  let adjacent op =
+    match (op : Op.t) with
+    | Apply { controls = [ { cq; _ } ]; target; _ } -> abs (cq - target) = 1
+    | Apply { controls = []; _ } | Measure _ | Barrier _ -> true
+    | Swap (a, b) -> abs (a - b) = 1
+    | _ -> false
+  in
+  Alcotest.(check bool) "all 2q gates adjacent" true
+    (List.for_all adjacent mapped.Circ.ops)
+
+let test_mapping_preserves_functionality () =
+  (* long-range entangler forces routing; the checker closes the loop *)
+  let c =
+    Circ.make ~name:"lr" ~qubits:4 ~cbits:0
+      [ Op.apply Gates.H 0
+      ; Op.controlled Gates.X ~control:0 ~target:3
+      ; Op.controlled (Gates.P 0.6) ~control:3 ~target:1
+      ; Op.apply Gates.H 2
+      ; Op.controlled Gates.X ~control:2 ~target:0
+      ]
+  in
+  let out = Qcompile.Mapping.linear (Qcompile.Decompose.to_basis c) in
+  Alcotest.(check bool) "swaps were inserted" true (out.Qcompile.Mapping.swaps_inserted > 0);
+  let r = Qcec.Verify.functional c out.Qcompile.Mapping.circuit in
+  Alcotest.(check bool) "mapped circuit equivalent" true r.Qcec.Verify.equivalent
+
+let prop_mapping_preserves_functionality =
+  QCheck.Test.make ~name:"linear mapping preserves functionality" ~count:20
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits:4 ~gates:10 in
+      let basis = Qcompile.Decompose.to_basis c in
+      let out = Qcompile.Mapping.linear basis in
+      (Qcec.Verify.functional c out.Qcompile.Mapping.circuit).Qcec.Verify.equivalent)
+
+let test_coupled_mapping_adjacency () =
+  let edges = Qcompile.Mapping.ibmq_london in
+  let adjacent a b = List.mem (a, b) edges || List.mem (b, a) edges in
+  let c =
+    Circ.make ~name:"t" ~qubits:5 ~cbits:0
+      [ Op.apply Gates.H 0
+      ; Op.controlled Gates.X ~control:0 ~target:4 (* distance 3 on the T *)
+      ; Op.controlled Gates.X ~control:2 ~target:4
+      ; Op.controlled (Gates.P 0.4) ~control:0 ~target:2
+      ]
+  in
+  let out = Qcompile.Mapping.coupled ~edges c in
+  let ok op =
+    match (op : Op.t) with
+    | Apply { controls = [ { cq; _ } ]; target; _ } -> adjacent cq target
+    | Apply { controls = []; _ } | Measure _ | Barrier _ -> true
+    | Swap (a, b) -> adjacent a b
+    | _ -> false
+  in
+  Alcotest.(check bool) "all 2q gates on coupled edges" true
+    (List.for_all ok out.Qcompile.Mapping.circuit.Circ.ops);
+  let r = Qcec.Verify.functional c out.Qcompile.Mapping.circuit in
+  Alcotest.(check bool) "coupled mapping equivalent" true r.Qcec.Verify.equivalent
+
+let prop_coupled_mapping_preserves_functionality =
+  QCheck.Test.make ~name:"T-coupling mapping preserves functionality" ~count:15
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits:5 ~gates:12 in
+      let basis = Qcompile.Decompose.to_basis c in
+      let out = Qcompile.Mapping.coupled ~edges:Qcompile.Mapping.ibmq_london basis in
+      (Qcec.Verify.functional c out.Qcompile.Mapping.circuit).Qcec.Verify.equivalent)
+
+let test_compile_then_verify_dynamic_qpe () =
+  (* the full use case from the paper's introduction: compile a dynamic
+     circuit (decompose only — mapping needs no routing on 2 qubits) and
+     verify it against the original static algorithm *)
+  let pair = Algorithms.Qpe.paper_example () in
+  let compiled = Qcompile.Decompose.to_basis pair.Algorithms.Pair.dynamic_circuit in
+  let r =
+    Qcec.Verify.functional ~perm:pair.Algorithms.Pair.dyn_to_static
+      pair.Algorithms.Pair.static_circuit compiled
+  in
+  Alcotest.(check bool) "compiled dynamic QPE equivalent to static" true
+    r.Qcec.Verify.equivalent
+
+let suite =
+  [ Alcotest.test_case "ZYZ reconstruction" `Quick test_zyz_reconstruction
+  ; Alcotest.test_case "controlled-U decomposition exact" `Quick
+      test_controlled_u_matches_dense
+  ; Alcotest.test_case "toffoli and swap exact" `Quick test_toffoli_swap_exact
+  ; Alcotest.test_case "to_basis gate set" `Quick test_to_basis_gate_set
+  ; Alcotest.test_case "mapping adjacency" `Quick test_mapping_adjacency
+  ; Alcotest.test_case "mapping preserves functionality" `Quick
+      test_mapping_preserves_functionality
+  ; Alcotest.test_case "coupled (T-graph) mapping" `Quick test_coupled_mapping_adjacency
+  ; Util.qtest prop_coupled_mapping_preserves_functionality
+  ; Alcotest.test_case "compile+verify dynamic QPE" `Quick
+      test_compile_then_verify_dynamic_qpe
+  ; Util.qtest prop_decompose_preserves_functionality
+  ; Util.qtest prop_decompose_dynamic_preserves_distribution
+  ; Util.qtest prop_mapping_preserves_functionality
+  ]

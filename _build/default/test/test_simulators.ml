@@ -1,0 +1,182 @@
+(* Tests for the alternative simulation backends the paper's Section 5
+   discusses: the density-matrix simulator (with classical register) and the
+   stochastic shot sampler — both must agree with the extraction scheme. *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+module Cx = Cxnum.Cx
+
+let extraction c = (Qsim.Extraction.run c).Qsim.Extraction.distribution
+
+(* -- density matrix ---------------------------------------------------- *)
+
+let test_density_pure_state () =
+  let c = Circ.make ~name:"bell" ~qubits:2 ~cbits:0
+      [ Op.apply Gates.H 0; Op.controlled Gates.X ~control:0 ~target:1 ]
+  in
+  let d = Qsim.Density.run c in
+  Util.check_float "trace" 1.0 (Qsim.Density.trace d);
+  Util.check_float "purity of a pure state" 1.0 (Qsim.Density.purity d);
+  Util.check_float "P(q1=1)" 0.5 (Qsim.Density.qubit_probability d 1);
+  let rho = Qsim.Density.final_density d in
+  Util.check_cx "rho_00,11 coherence" (Cx.of_float 0.5) rho.(0).(3)
+
+let test_density_reset_decoheres () =
+  (* H then reset: the measurement inside the reset destroys coherence but
+     the channel keeps the state pure |0> *)
+  let c = Circ.make ~name:"hr" ~qubits:1 ~cbits:0 [ Op.apply Gates.H 0; Op.Reset 0 ] in
+  let d = Qsim.Density.run c in
+  Util.check_float "purity" 1.0 (Qsim.Density.purity d);
+  Util.check_float "back to |0>" 0.0 (Qsim.Density.qubit_probability d 0);
+  Alcotest.(check int) "reset does not split the ensemble" 1 (Qsim.Density.entries d)
+
+let test_density_measurement_dephasing () =
+  (* H then measure (recorded): the overall state becomes maximally mixed *)
+  let c =
+    Circ.make ~name:"hm" ~qubits:1 ~cbits:1
+      [ Op.apply Gates.H 0; Op.Measure { qubit = 0; cbit = 0 } ]
+  in
+  let d = Qsim.Density.run c in
+  Util.check_float "half purity" 0.5 (Qsim.Density.purity d);
+  Alcotest.(check int) "two ensemble entries" 2 (Qsim.Density.entries d);
+  Util.check_distributions "unbiased" [ ("0", 0.5); ("1", 0.5) ]
+    (Qsim.Density.distribution d)
+
+let test_density_matches_extraction_iqpe () =
+  let dyn = Algorithms.Qpe.dynamic ~theta:(3.0 /. 16.0) ~bits:3 in
+  let d = Qsim.Density.run dyn in
+  Util.check_distributions "IQPE density = extraction" (extraction dyn)
+    (Qsim.Density.distribution d)
+
+let test_density_teleport () =
+  let prep = [ Gates.RY 0.9 ] in
+  let tele = Algorithms.Teleport.circuit ~prep in
+  let d = Qsim.Density.run tele in
+  Util.check_distributions "teleport density = extraction" (extraction tele)
+    (Qsim.Density.distribution d)
+
+let prop_density_matches_extraction =
+  QCheck.Test.make ~name:"density simulation = extraction (random dynamic)" ~count:40
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let dyn = Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:3 ~ops:12 in
+      let d = Qsim.Density.run dyn in
+      Qcec.Distribution.total_variation (extraction dyn) (Qsim.Density.distribution d)
+      < 1e-8)
+
+let prop_density_trace_preserved =
+  QCheck.Test.make ~name:"density simulation is trace preserving" ~count:40
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let dyn = Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:2 ~ops:14 in
+      Float.abs (Qsim.Density.trace (Qsim.Density.run dyn) -. 1.0) < 1e-9)
+
+(* -- sampler ------------------------------------------------------------ *)
+
+let test_sampler_deterministic_circuit () =
+  (* representable phase: IQPE is deterministic, so every shot agrees *)
+  let dyn = Algorithms.Qpe.dynamic ~theta:(5.0 /. 8.0) ~bits:3 in
+  let r = Qsim.Sampler.run ~seed:1 ~shots:64 dyn in
+  (match r.Qsim.Sampler.counts with
+   | [ ("101", 64) ] -> ()
+   | _ -> Alcotest.fail "expected all shots on 101");
+  Util.check_distributions "empirical = exact" (extraction dyn)
+    (Qsim.Sampler.empirical r)
+
+let test_sampler_converges () =
+  let dyn = Algorithms.Qpe.dynamic ~theta:(3.0 /. 16.0) ~bits:3 in
+  let exact = extraction dyn in
+  let r = Qsim.Sampler.run ~seed:7 ~shots:20000 dyn in
+  let tv = Qcec.Distribution.total_variation exact (Qsim.Sampler.empirical r) in
+  (* O(1/sqrt shots): ~0.007 expected spread over 8 outcomes; be generous *)
+  Alcotest.(check bool) (Fmt.str "TVD %.4f within statistical error" tv) true (tv < 0.05)
+
+let test_sampler_reproducible () =
+  let dyn = Algorithms.Teleport.circuit ~prep:[ Gates.RY 0.4 ] in
+  let a = Qsim.Sampler.run ~seed:42 ~shots:100 dyn in
+  let b = Qsim.Sampler.run ~seed:42 ~shots:100 dyn in
+  Alcotest.(check bool) "same seed, same counts" true
+    (a.Qsim.Sampler.counts = b.Qsim.Sampler.counts)
+
+let prop_sampler_within_statistical_error =
+  QCheck.Test.make ~name:"sampler converges to extraction" ~count:10
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let dyn = Algorithms.Random_circuit.dynamic ~seed ~qubits:2 ~cbits:2 ~ops:8 in
+      let exact = extraction dyn in
+      let r = Qsim.Sampler.run ~seed ~shots:4000 dyn in
+      Qcec.Distribution.total_variation exact (Qsim.Sampler.empirical r) < 0.1)
+
+(* -- new algorithm families against the oracles ------------------------- *)
+
+let test_deutsch_jozsa_outcomes () =
+  let n = 5 in
+  (* constant: all-zero outcome with certainty *)
+  let c = Algorithms.Deutsch_jozsa.dynamic (Algorithms.Deutsch_jozsa.Constant true) n in
+  (match extraction c with
+   | [ (bits, p) ] ->
+     Alcotest.(check string) "constant -> all zeros" (String.make n '0') bits;
+     Util.check_float "certainty" 1.0 p
+   | _ -> Alcotest.fail "expected deterministic outcome");
+  (* balanced: never the all-zero outcome *)
+  let oracle = Algorithms.Deutsch_jozsa.random_balanced ~seed:5 n in
+  let c = Algorithms.Deutsch_jozsa.dynamic oracle n in
+  List.iter
+    (fun (bits, p) ->
+      if bits = String.make n '0' && p > 1e-9 then
+        Alcotest.fail "balanced oracle produced all-zero outcome")
+    (extraction c)
+
+let test_deutsch_jozsa_equivalence () =
+  let n = 5 in
+  List.iter
+    (fun oracle ->
+      let pair = Algorithms.Deutsch_jozsa.make oracle n in
+      let r =
+        Qcec.Verify.functional ~perm:pair.Algorithms.Pair.dyn_to_static
+          pair.Algorithms.Pair.static_circuit pair.Algorithms.Pair.dynamic_circuit
+      in
+      Alcotest.(check bool) "DJ static = dynamic" true r.Qcec.Verify.equivalent)
+    [ Algorithms.Deutsch_jozsa.Constant false
+    ; Algorithms.Deutsch_jozsa.Constant true
+    ; Algorithms.Deutsch_jozsa.random_balanced ~seed:9 n
+    ]
+
+let test_grover_success_probability () =
+  let qubits = 4 in
+  let iterations = Algorithms.Grover.default_iterations ~qubits in
+  let c = Algorithms.Grover.static ~marked:11 ~qubits ~iterations () in
+  let p = Dd.Pkg.create () in
+  let final = Qsim.Dd_sim.simulate p c in
+  let measured = Dd.Vec.amplitude p final ~n:qubits (fun q -> (11 lsr q) land 1 = 1) in
+  let expected = Algorithms.Grover.success_probability ~qubits ~iterations in
+  Util.check_float ~tol:1e-9 "analytic success probability" expected
+    (Cxnum.Cx.abs2 measured);
+  Alcotest.(check bool) "high success" true (Cxnum.Cx.abs2 measured > 0.9)
+
+let test_grover_matches_dense () =
+  let c = Algorithms.Grover.static ~marked:5 ~qubits:3 ~iterations:2 () in
+  Util.check_circuit_unitary "grover DD vs dense" c
+
+let suite =
+  [ Alcotest.test_case "density: pure state" `Quick test_density_pure_state
+  ; Alcotest.test_case "density: reset channel" `Quick test_density_reset_decoheres
+  ; Alcotest.test_case "density: measurement dephasing" `Quick
+      test_density_measurement_dephasing
+  ; Alcotest.test_case "density: IQPE distribution" `Quick
+      test_density_matches_extraction_iqpe
+  ; Alcotest.test_case "density: teleport" `Quick test_density_teleport
+  ; Alcotest.test_case "sampler: deterministic circuit" `Quick
+      test_sampler_deterministic_circuit
+  ; Alcotest.test_case "sampler: convergence" `Quick test_sampler_converges
+  ; Alcotest.test_case "sampler: reproducible" `Quick test_sampler_reproducible
+  ; Alcotest.test_case "deutsch-jozsa outcomes" `Quick test_deutsch_jozsa_outcomes
+  ; Alcotest.test_case "deutsch-jozsa equivalence" `Quick test_deutsch_jozsa_equivalence
+  ; Alcotest.test_case "grover success probability" `Quick
+      test_grover_success_probability
+  ; Alcotest.test_case "grover vs dense oracle" `Quick test_grover_matches_dense
+  ; Util.qtest prop_density_matches_extraction
+  ; Util.qtest prop_density_trace_preserved
+  ; Util.qtest prop_sampler_within_statistical_error
+  ]

@@ -1,0 +1,143 @@
+(* Stabilizer-backend tests: tableau mechanics, agreement with the DD
+   extraction on Clifford dynamic circuits, and the polynomial-time win on
+   wide instances. *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+module Stab = Qsim.Stabilizer
+
+let test_basic_measurements () =
+  let st = Stab.init 2 in
+  Util.check_float "fresh |0>" 1.0 (fst (Stab.measure_probabilities st 0));
+  Stab.apply_unitary_op st (Op.apply Gates.X 0);
+  Util.check_float "after X" 1.0 (snd (Stab.measure_probabilities st 0));
+  Stab.apply_unitary_op st (Op.apply Gates.H 1);
+  let p0, p1 = Stab.measure_probabilities st 1 in
+  Util.check_float "H gives 1/2" 0.5 p0;
+  Util.check_float "H gives 1/2 (b)" 0.5 p1
+
+let test_bell_correlations () =
+  let st = Stab.init 2 in
+  Stab.apply_unitary_op st (Op.apply Gates.H 0);
+  Stab.apply_unitary_op st (Op.controlled Gates.X ~control:0 ~target:1);
+  let p0, _ = Stab.measure_probabilities st 0 in
+  Util.check_float "bell unbiased" 0.5 p0;
+  Stab.project st 0 1;
+  Util.check_float "collapse propagates" 1.0 (snd (Stab.measure_probabilities st 1))
+
+let test_project_impossible () =
+  let st = Stab.init 1 in
+  match Stab.project st 0 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected impossible-outcome rejection"
+
+let test_clifford_detection () =
+  Alcotest.(check bool) "H is clifford" true (Stab.is_clifford_gate Gates.H);
+  Alcotest.(check bool) "T is not" false (Stab.is_clifford_gate Gates.T);
+  let good = Algorithms.Teleport.circuit ~prep:[ Gates.H; Gates.S ] in
+  Alcotest.(check bool) "teleport with Clifford prep" true
+    (Stab.is_clifford_circuit good);
+  let bad = Algorithms.Qpe.dynamic ~theta:0.3 ~bits:2 in
+  Alcotest.(check bool) "IQPE is not Clifford" false (Stab.is_clifford_circuit bad)
+
+let test_ghz_parity () =
+  let dist = Stab.extract_distribution (Algorithms.Ghz.with_parity_check 4) in
+  Util.check_distributions "GHZ parity via tableau"
+    [ ("00000", 0.5); ("11110", 0.5) ]
+    dist
+
+let test_teleport () =
+  let tele = Algorithms.Teleport.circuit ~prep:[ Gates.H ] in
+  let stab = Stab.extract_distribution tele in
+  let dd = (Qsim.Extraction.run tele).Qsim.Extraction.distribution in
+  Util.check_distributions "teleport tableau = DD" dd stab
+
+let test_dynamic_bv_wide () =
+  (* 64-bit dynamic Bernstein-Vazirani: 65 measurements, all deterministic
+     except trivial branches; the tableau extraction is instant *)
+  let s = Algorithms.Bv.hidden_string ~seed:12 64 in
+  let dyn = Algorithms.Bv.dynamic s in
+  Alcotest.(check bool) "dynamic BV is Clifford" true (Stab.is_clifford_circuit dyn);
+  match Stab.extract_distribution dyn with
+  | [ (bits, p) ] ->
+    Util.check_float "deterministic" 1.0 p;
+    String.iteri
+      (fun k ch ->
+        Alcotest.(check char) (Fmt.str "bit %d" k) (if s.(k) then '1' else '0') ch)
+      bits
+  | _ -> Alcotest.fail "expected a single outcome"
+
+let test_run_shot_deterministic () =
+  let s = Algorithms.Bv.hidden_string ~seed:3 10 in
+  let dyn = Algorithms.Bv.dynamic s in
+  let rng = Random.State.make [| 1 |] in
+  let bits = Stab.run_shot ~rng dyn in
+  String.iteri
+    (fun k ch ->
+      Alcotest.(check char) (Fmt.str "bit %d" k) (if s.(k) then '1' else '0') ch)
+    bits
+
+let prop_matches_dd_extraction =
+  QCheck.Test.make ~name:"tableau extraction = DD extraction (random Clifford)"
+    ~count:60
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let dyn =
+        Algorithms.Random_circuit.clifford_dynamic ~seed ~qubits:4 ~cbits:4 ~ops:18
+      in
+      let stab = Stab.extract_distribution dyn in
+      let dd = (Qsim.Extraction.run dyn).Qsim.Extraction.distribution in
+      Qcec.Distribution.total_variation stab dd < 1e-9)
+
+let prop_unitary_matches_dd =
+  QCheck.Test.make ~name:"tableau probabilities = DD probabilities" ~count:60
+    QCheck.(pair (int_range 0 100000) (int_range 0 3))
+    (fun (seed, q) ->
+      let qubits = 4 in
+      let dyn =
+        Algorithms.Random_circuit.clifford_dynamic ~seed ~qubits ~cbits:0 ~ops:15
+      in
+      (* keep only the unitary prefix *)
+      let unitary_ops =
+        List.filter (function Op.Apply _ | Op.Swap _ -> true | _ -> false)
+          dyn.Circ.ops
+      in
+      let c = Circ.make ~name:"u" ~qubits ~cbits:0 unitary_ops in
+      let st = Stab.init qubits in
+      List.iter (Stab.apply_unitary_op st) c.Circ.ops;
+      let sp0, _ = Stab.measure_probabilities st q in
+      let p = Dd.Pkg.create () in
+      let dp0, _ = Dd.Vec.probabilities p (Qsim.Dd_sim.simulate p c) q in
+      Float.abs (sp0 -. dp0) < 1e-9)
+
+let prop_probabilities_are_clifford =
+  QCheck.Test.make ~name:"stabilizer outcome probabilities are 0, 1/2 or 1"
+    ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let dist =
+        Stab.extract_distribution
+          (Algorithms.Random_circuit.clifford_dynamic ~seed ~qubits:3 ~cbits:3
+             ~ops:14)
+      in
+      List.for_all
+        (fun (_, p) ->
+          (* every leaf probability is a dyadic fraction 2^-k *)
+          let log = Float.log p /. Float.log 2.0 in
+          Float.abs (log -. Float.round log) < 1e-9)
+        dist)
+
+let suite =
+  [ Alcotest.test_case "basic measurements" `Quick test_basic_measurements
+  ; Alcotest.test_case "bell correlations" `Quick test_bell_correlations
+  ; Alcotest.test_case "impossible projection" `Quick test_project_impossible
+  ; Alcotest.test_case "clifford detection" `Quick test_clifford_detection
+  ; Alcotest.test_case "GHZ parity" `Quick test_ghz_parity
+  ; Alcotest.test_case "teleportation" `Quick test_teleport
+  ; Alcotest.test_case "wide dynamic BV" `Quick test_dynamic_bv_wide
+  ; Alcotest.test_case "shot sampling" `Quick test_run_shot_deterministic
+  ; Util.qtest prop_matches_dd_extraction
+  ; Util.qtest prop_unitary_matches_dd
+  ; Util.qtest prop_probabilities_are_clifford
+  ]

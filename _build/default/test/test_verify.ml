@@ -1,0 +1,176 @@
+(* End-to-end verification tests: both schemes on the paper's three
+   benchmark families, every strategy, and negative cases (the checker must
+   catch genuinely inequivalent circuits). *)
+
+module Op = Circuit.Op
+module Circ = Circuit.Circ
+module Gates = Circuit.Gates
+module Pair = Algorithms.Pair
+
+let check_pair ?strategy (pair : Pair.t) =
+  Qcec.Verify.functional ?strategy ~perm:pair.Pair.dyn_to_static
+    pair.Pair.static_circuit pair.Pair.dynamic_circuit
+
+let test_bv_functional () =
+  List.iter
+    (fun n ->
+      let pair = Algorithms.Bv.make (Algorithms.Bv.hidden_string ~seed:11 n) in
+      let r = check_pair pair in
+      Alcotest.(check bool) (Fmt.str "BV %d equivalent" n) true r.Qcec.Verify.equivalent;
+      Alcotest.(check int)
+        (Fmt.str "BV %d transformed qubits" n)
+        (n + 1) r.Qcec.Verify.transformed_qubits)
+    [ 1; 2; 5; 9 ]
+
+let test_qft_functional () =
+  List.iter
+    (fun n ->
+      let r = check_pair (Algorithms.Qft.make n) in
+      Alcotest.(check bool) (Fmt.str "QFT %d equivalent" n) true r.Qcec.Verify.equivalent)
+    [ 1; 2; 4; 7 ]
+
+let test_qpe_functional () =
+  List.iter
+    (fun m ->
+      let theta = Algorithms.Qpe.random_theta ~seed:23 ~bits:m in
+      let r = check_pair (Algorithms.Qpe.make ~theta ~bits:m) in
+      Alcotest.(check bool) (Fmt.str "QPE %d equivalent" m) true r.Qcec.Verify.equivalent;
+      let r = check_pair (Algorithms.Qpe.make_textbook ~theta ~bits:m) in
+      Alcotest.(check bool)
+        (Fmt.str "textbook QPE %d equivalent" m)
+        true r.Qcec.Verify.equivalent)
+    [ 2; 4; 6 ]
+
+let test_strategies_agree () =
+  let pair = Algorithms.Qpe.paper_example () in
+  List.iter
+    (fun strategy ->
+      let r = check_pair ~strategy pair in
+      Alcotest.(check bool)
+        (Fmt.str "%s finds equivalence" (Qcec.Strategy.name strategy))
+        true r.Qcec.Verify.equivalent)
+    [ Qcec.Strategy.Construction; Qcec.Strategy.Proportional; Qcec.Strategy.Simulation 8 ]
+
+let mutate_one_gate (c : Circ.t) =
+  (* flip the angle of the first parameterized gate — a subtle bug *)
+  let changed = ref false in
+  let ops =
+    List.map
+      (fun op ->
+        match (op : Op.t) with
+        | Apply { gate = Gates.P lam; controls; target } when not !changed ->
+          changed := true;
+          Op.Apply { gate = Gates.P (lam +. 0.1); controls; target }
+        | _ -> op)
+      c.Circ.ops
+  in
+  assert !changed;
+  { c with Circ.ops }
+
+let test_negative_functional () =
+  let pair = Algorithms.Qpe.paper_example () in
+  let broken = mutate_one_gate pair.Pair.dynamic_circuit in
+  List.iter
+    (fun strategy ->
+      let r =
+        Qcec.Verify.functional ~strategy ~perm:pair.Pair.dyn_to_static
+          pair.Pair.static_circuit broken
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s catches mutation" (Qcec.Strategy.name strategy))
+        false r.Qcec.Verify.equivalent)
+    [ Qcec.Strategy.Construction; Qcec.Strategy.Proportional; Qcec.Strategy.Simulation 8 ]
+
+let test_negative_distribution () =
+  let pair = Algorithms.Qpe.paper_example () in
+  let broken = mutate_one_gate pair.Pair.dynamic_circuit in
+  let r = Qcec.Verify.distribution broken pair.Pair.static_circuit in
+  Alcotest.(check bool) "distribution check catches mutation" false
+    r.Qcec.Verify.distributions_equal
+
+let test_distribution_families () =
+  List.iter
+    (fun (name, (pair : Pair.t)) ->
+      let r =
+        Qcec.Verify.distribution pair.Pair.dynamic_circuit pair.Pair.static_circuit
+      in
+      Alcotest.(check bool) (name ^ " distributions equal") true
+        r.Qcec.Verify.distributions_equal)
+    [ ("BV", Algorithms.Bv.make (Algorithms.Bv.hidden_string ~seed:2 7))
+    ; ("QFT", Algorithms.Qft.make 6)
+    ; ("QPE", Algorithms.Qpe.make ~theta:(Algorithms.Qpe.random_theta ~seed:3 ~bits:6) ~bits:6)
+    ]
+
+let test_global_phase_freedom () =
+  (* two circuits equal only up to a global phase: RZ(pi) vs P(pi)=Z *)
+  let a = Circ.make ~name:"a" ~qubits:1 ~cbits:0 [ Op.apply (Gates.RZ Float.pi) 0 ] in
+  let b = Circ.make ~name:"b" ~qubits:1 ~cbits:0 [ Op.apply Gates.Z 0 ] in
+  let r = Qcec.Verify.functional ~strategy:Qcec.Strategy.Construction a b in
+  Alcotest.(check bool) "equivalent up to phase" true r.Qcec.Verify.equivalent;
+  Alcotest.(check bool) "not exactly equal" false r.Qcec.Verify.exactly_equal
+
+let test_qubit_count_mismatch () =
+  (* differing widths are padded with idle wires: GHZ-2 is then compared
+     against GHZ-3 on three qubits and correctly found inequivalent *)
+  let a = Algorithms.Ghz.static 2 and b = Algorithms.Ghz.static 3 in
+  let r = Qcec.Verify.functional a b in
+  Alcotest.(check bool) "padded comparison says no" false r.Qcec.Verify.equivalent;
+  (* but a circuit really ignoring its extra wire is equivalent *)
+  let wide =
+    Circ.make ~name:"wide" ~qubits:3 ~cbits:2 (Algorithms.Ghz.static 2).Circ.ops
+  in
+  let r = Qcec.Verify.functional wide (Algorithms.Ghz.static 2) in
+  Alcotest.(check bool) "idle wire accepted" true r.Qcec.Verify.equivalent
+
+let test_distribution_helpers () =
+  let d1 = [ ("00", 0.5); ("11", 0.5) ] in
+  let d2 = [ ("00", 0.25); ("01", 0.25); ("10", 0.25); ("11", 0.25) ] in
+  Util.check_float "TVD" 0.5 (Qcec.Distribution.total_variation d1 d2);
+  Util.check_float "TVD self" 0.0 (Qcec.Distribution.total_variation d1 d1);
+  Util.check_float "fidelity self" 1.0 (Qcec.Distribution.fidelity d1 d1);
+  Util.check_float "fidelity" (Float.sqrt 0.125 *. 2.0) (Qcec.Distribution.fidelity d1 d2);
+  let marg = Qcec.Distribution.marginalize d2 ~bits:[ 1 ] in
+  Util.check_distributions "marginal" [ ("0", 0.5); ("1", 0.5) ] marg;
+  (match Qcec.Distribution.most_probable ~count:1 d1 with
+   | [ (_, p) ] -> Util.check_float "top-1" 0.5 p
+   | _ -> Alcotest.fail "most_probable size")
+
+(* property: random unitary circuit is equivalent to itself composed with
+   identity-preserving rewrites, and inequivalent to a mutated version *)
+let prop_self_equivalence =
+  QCheck.Test.make ~name:"random circuit equivalent to itself (all strategies)"
+    ~count:25
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits:4 ~gates:20 in
+      List.for_all
+        (fun strategy -> (Qcec.Verify.functional ~strategy c c).Qcec.Verify.equivalent)
+        [ Qcec.Strategy.Construction; Qcec.Strategy.Proportional; Qcec.Strategy.Simulation 3 ])
+
+let prop_transform_then_check_random_dynamic =
+  QCheck.Test.make ~name:"random dynamic circuit equivalent to its own transform"
+    ~count:25
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let dyn = Algorithms.Random_circuit.dynamic ~seed ~qubits:3 ~cbits:2 ~ops:10 in
+      let static = Transform.Dynamic.transform dyn in
+      (* the functional flow transforms [dyn] internally; compare to the
+         pre-transformed version *)
+      (Qcec.Verify.functional static dyn).Qcec.Verify.equivalent)
+
+let suite =
+  [ Alcotest.test_case "BV functional" `Quick test_bv_functional
+  ; Alcotest.test_case "QFT functional" `Quick test_qft_functional
+  ; Alcotest.test_case "QPE functional (both variants)" `Quick test_qpe_functional
+  ; Alcotest.test_case "strategies agree" `Quick test_strategies_agree
+  ; Alcotest.test_case "mutations caught (functional)" `Quick test_negative_functional
+  ; Alcotest.test_case "mutations caught (distribution)" `Quick
+      test_negative_distribution
+  ; Alcotest.test_case "distribution equivalence families" `Quick
+      test_distribution_families
+  ; Alcotest.test_case "global phase freedom" `Quick test_global_phase_freedom
+  ; Alcotest.test_case "register width padding" `Quick test_qubit_count_mismatch
+  ; Alcotest.test_case "distribution helpers" `Quick test_distribution_helpers
+  ; Util.qtest prop_self_equivalence
+  ; Util.qtest prop_transform_then_check_random_dynamic
+  ]
