@@ -9,12 +9,23 @@
 
    Run everything:       dune exec bench/main.exe
    One section:          dune exec bench/main.exe -- table1
-   Paper-scale sizes:    dune exec bench/main.exe -- table1 --full *)
+   Paper-scale sizes:    dune exec bench/main.exe -- table1 --full
+   CI smoke sizes:       dune exec bench/main.exe -- table1 --quick
+   Machine-readable:     dune exec bench/main.exe -- table1 --json bench.json *)
 
 module Circ = Circuit.Circ
 module Pair = Algorithms.Pair
 
 let pr fmt = Fmt.pr fmt
+
+(* Equivalence failures no longer abort the run: they are recorded (so a
+   --json report still covers every row) and turn the exit code non-zero,
+   which is what the CI bench-smoke job gates on. *)
+let failures = ref 0
+
+let report_failure fmt =
+  incr failures;
+  Fmt.epr fmt
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                            *)
@@ -29,6 +40,9 @@ type row =
   ; t_ver : float option
   ; t_extract : float option
   ; t_sim : float option
+  ; equivalent : bool option  (* functional check verdict, if run *)
+  ; distributions_equal : bool option  (* distribution check verdict, if run *)
+  ; metrics : Obs.Metrics.snapshot  (* DD counters for this row (--json only) *)
   }
 
 let pp_time ppf = function
@@ -47,33 +61,38 @@ let print_header () =
 (* One Table 1 row: functional verification via the Section 4 scheme and,
    when requested, the Section 5 extraction against plain simulation. *)
 let bench_pair ?(extract = true) ?(verify = true) (pair : Pair.t) =
+  let m0 = Obs.Metrics.snapshot () in
   let static = pair.Pair.static_circuit and dyn = pair.Pair.dynamic_circuit in
-  let t_trans, t_ver =
+  let t_trans, t_ver, equivalent =
     if verify then begin
       let r = Qcec.Verify.functional ~perm:pair.Pair.dyn_to_static static dyn in
       if not r.Qcec.Verify.equivalent then
-        failwith (Fmt.str "%s: NOT equivalent!" static.Circ.name);
-      (Some r.Qcec.Verify.t_transform, Some r.Qcec.Verify.t_check)
+        report_failure "%s: NOT equivalent!@." static.Circ.name;
+      ( Some r.Qcec.Verify.t_transform
+      , Some r.Qcec.Verify.t_check
+      , Some r.Qcec.Verify.equivalent )
     end
     else begin
       (* still time the transformation itself *)
       let t0 = Qcec.Verify.now () in
       ignore (Transform.Dynamic.transform dyn);
-      (Some (Qcec.Verify.now () -. t0), None)
+      (Some (Qcec.Verify.now () -. t0), None, None)
     end
   in
-  let t_extract, t_sim =
+  let t_extract, t_sim, distributions_equal =
     if extract then begin
       let r = Qcec.Verify.distribution dyn static in
       if not r.Qcec.Verify.distributions_equal then
-        failwith (Fmt.str "%s: distributions differ!" static.Circ.name);
-      (Some r.Qcec.Verify.t_extract, Some r.Qcec.Verify.t_simulate)
+        report_failure "%s: distributions differ!@." static.Circ.name;
+      ( Some r.Qcec.Verify.t_extract
+      , Some r.Qcec.Verify.t_simulate
+      , Some r.Qcec.Verify.distributions_equal )
     end
     else begin
       let p = Dd.Pkg.create () in
       let t0 = Qcec.Verify.now () in
       ignore (Qsim.Dd_sim.simulate p static);
-      (None, Some (Qcec.Verify.now () -. t0))
+      (None, Some (Qcec.Verify.now () -. t0), None)
     end
   in
   { n_static = static.Circ.num_qubits
@@ -84,9 +103,70 @@ let bench_pair ?(extract = true) ?(verify = true) (pair : Pair.t) =
   ; t_ver
   ; t_extract
   ; t_sim
+  ; equivalent
+  ; distributions_equal
+  ; metrics = Obs.Metrics.diff ~before:m0 ~after:(Obs.Metrics.snapshot ())
   }
 
 let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+
+(* ------------------------------------------------------------------ *)
+(* JSON sink (schema qcec-bench/v1, documented in docs/OBSERVABILITY.md):
+   Table 1 rows plus the DD counters attributable to each row, written as
+   one document at exit.  Enabling it also enables metrics collection.    *)
+
+let json_path : string option ref = ref None
+let json_rows : (string * row) list ref = ref []
+
+let collect family row =
+  if !json_path <> None then json_rows := (family, row) :: !json_rows
+
+let row_json (r : row) =
+  let time = function None -> Obs.Json.Null | Some t -> Obs.Json.Float t in
+  let verdict = function None -> Obs.Json.Null | Some b -> Obs.Json.Bool b in
+  Obs.Json.Obj
+    [ ("n", Obs.Json.Int r.n_static)
+    ; ("g_static", Obs.Json.Int r.g_static)
+    ; ("n_dyn", Obs.Json.Int r.n_dyn)
+    ; ("g_dyn", Obs.Json.Int r.g_dyn)
+    ; ("t_trans", time r.t_trans)
+    ; ("t_ver", time r.t_ver)
+    ; ("t_extract", time r.t_extract)
+    ; ("t_sim", time r.t_sim)
+    ; ("equivalent", verdict r.equivalent)
+    ; ("distributions_equal", verdict r.distributions_equal)
+    ; ("metrics", Obs.Metrics.to_json r.metrics)
+    ]
+
+let write_json ~mode path =
+  (* group collected rows by family, preserving encounter order *)
+  let families = ref [] in
+  List.iter
+    (fun (family, row) ->
+      match List.assoc_opt family !families with
+      | Some rows -> rows := row :: !rows
+      | None -> families := !families @ [ (family, ref [ row ]) ])
+    (List.rev !json_rows);
+  let table1 =
+    List.map
+      (fun (family, rows) ->
+        Obs.Json.Obj
+          [ ("family", Obs.Json.String family)
+          ; ("rows", Obs.Json.List (List.rev_map row_json !rows))
+          ])
+      !families
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.String "qcec-bench/v1")
+      ; ("mode", Obs.Json.String mode)
+      ; ("table1", Obs.Json.List table1)
+      ; ("failures", Obs.Json.Int !failures)
+      ; ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()))
+      ; ("spans", Obs.Span.to_json ())
+      ]
+  in
+  Obs.Json.to_file path doc
 
 (* Optional CSV sink for downstream plotting: one file per Table 1 block. *)
 let csv_dir : string option ref = ref None
@@ -105,13 +185,14 @@ let with_csv block f =
     in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f write)
 
-let table1 ~full () =
+let table1 ~full ~quick () =
   pr "@.== Table 1: handling non-unitaries in equivalence checking ==@.";
   pr "(columns as in the paper; sizes scaled to this implementation,@.";
-  pr " --full uses paper-scale ranges where feasible)@.@.";
+  pr " --full uses paper-scale ranges where feasible, --quick CI-smoke sizes)@.@.";
 
   pr "Bernstein-Vazirani@.";
   print_header ();
+  let bv_range = if quick then range 8 10 else range 121 128 in
   with_csv "bv" (fun write ->
     List.iter
       (fun n ->
@@ -119,40 +200,45 @@ let table1 ~full () =
         let pair = Algorithms.Bv.make (Algorithms.Bv.hidden_string ~seed:n (n - 1)) in
         let row = bench_pair pair in
         write row;
+        collect "bv" row;
         print_row row)
-      (range 121 128));
+      bv_range);
 
   pr "@.Quantum Fourier Transform (extraction regime: dense output)@.";
   print_header ();
-  let qft_small = if full then range 17 20 else range 13 16 in
+  let qft_small = if quick then range 6 8 else if full then range 17 20 else range 13 16 in
   with_csv "qft_extraction" (fun write ->
     List.iter
       (fun n ->
         let row = bench_pair (Algorithms.Qft.make n) in
         write row;
+        collect "qft_extraction" row;
         print_row row)
       qft_small);
 
   pr "@.Quantum Fourier Transform (functional regime, extraction skipped)@.";
   print_header ();
+  let qft_large = if quick then range 10 12 else range 125 128 in
   with_csv "qft_functional" (fun write ->
     List.iter
       (fun n ->
         let row = bench_pair ~extract:false (Algorithms.Qft.make n) in
         write row;
+        collect "qft_functional" row;
         print_row row)
-      (range 125 128));
+      qft_large);
 
   pr "@.Quantum Phase Estimation (textbook static generator; t_ver grows@.";
   pr "steeply with the precision, as in the paper)@.";
   print_header ();
-  let qpe_bits = if full then range 8 15 else range 8 13 in
+  let qpe_bits = if quick then range 4 6 else if full then range 8 15 else range 8 13 in
   with_csv "qpe" (fun write ->
     List.iter
       (fun m ->
         let theta = Algorithms.Qpe.random_theta ~seed:m ~bits:m in
         let row = bench_pair (Algorithms.Qpe.make_textbook ~theta ~bits:m) in
         write row;
+        collect "qpe" row;
         print_row row)
       qpe_bits);
   pr "@.note: the paper reports QPE at n = 43..50 on a 64 GiB C++ setup; the@.";
@@ -418,23 +504,28 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let rec extract_csv acc = function
+  let quick = List.mem "--quick" args in
+  let rec extract_opts acc = function
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
-      extract_csv acc rest
-    | x :: rest -> extract_csv (x :: acc) rest
+      extract_opts acc rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      extract_opts acc rest
+    | x :: rest -> extract_opts (x :: acc) rest
     | [] -> List.rev acc
   in
-  let args = extract_csv [] args in
-  let sections = List.filter (fun a -> a <> "--full") args in
+  let args = extract_opts [] args in
+  if !json_path <> None then Obs.Metrics.set_enabled true;
+  let sections = List.filter (fun a -> a <> "--full" && a <> "--quick") args in
   let sections = if sections = [] then [ "all" ] else sections in
   let run = function
-    | "table1" -> table1 ~full ()
+    | "table1" -> table1 ~full ~quick ()
     | "fig4" -> fig4 ()
     | "ablation" -> ablation ~full ()
     | "micro" -> micro ()
     | "all" ->
-      table1 ~full ();
+      table1 ~full ~quick ();
       fig4 ();
       ablation ~full ();
       micro ()
@@ -442,4 +533,18 @@ let () =
       Fmt.epr "unknown section %S (expected table1|fig4|ablation|micro|all)@." other;
       exit 2
   in
-  List.iter run sections
+  List.iter run sections;
+  (match !json_path with
+   | None -> ()
+   | Some path ->
+     let mode = if quick then "quick" else if full then "full" else "default" in
+     (try
+        write_json ~mode path;
+        Fmt.epr "wrote %s@." path
+      with Sys_error msg ->
+        Fmt.epr "cannot write %s: %s@." path msg;
+        exit 2));
+  if !failures > 0 then begin
+    Fmt.epr "%d equivalence check(s) FAILED@." !failures;
+    exit 1
+  end

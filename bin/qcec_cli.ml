@@ -40,13 +40,61 @@ let perm_conv =
   Arg.conv (parse, fun ppf p ->
     Fmt.pf ppf "%a" Fmt.(array ~sep:(any ",") int) p)
 
+(* -- observability ---------------------------------------------------- *)
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Enable DD-package metrics collection and write counters, timing \
+           spans and the result to $(docv) as JSON (schema qcec-stats/v1, \
+           see docs/OBSERVABILITY.md)")
+
+(* collection must be on before any DD work happens *)
+let enable_stats = function None -> () | Some _ -> Obs.Metrics.set_enabled true
+
+let write_stats path ~command ~files ~result =
+  let doc =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.String "qcec-stats/v1")
+      ; ("command", Obs.Json.String command)
+      ; ("files", Obs.Json.List (List.map (fun f -> Obs.Json.String f) files))
+      ; ("result", Obs.Json.Obj result)
+      ; ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()))
+      ; ("spans", Obs.Span.to_json ())
+      ]
+  in
+  try Obs.Json.to_file path doc
+  with Sys_error msg ->
+    Fmt.epr "qcec: cannot write stats file: %s@." msg;
+    exit 2
+
+let maybe_write_stats stats_json ~command ~files ~result =
+  match stats_json with
+  | None -> ()
+  | Some path -> write_stats path ~command ~files ~result
+
 (* -- check ------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file_a file_b strategy perm quiet =
+  let run file_a file_b strategy perm quiet stats_json =
+    enable_stats stats_json;
     let a = load file_a and b = load file_b in
     let r = Qcec.Verify.functional ~strategy ?perm a b in
     if not quiet then Fmt.pr "%a@." Qcec.Verify.pp_functional r;
+    maybe_write_stats stats_json ~command:"check" ~files:[ file_a; file_b ]
+      ~result:
+        [ ("equivalent", Obs.Json.Bool r.Qcec.Verify.equivalent)
+        ; ("exactly_equal", Obs.Json.Bool r.Qcec.Verify.exactly_equal)
+        ; ("strategy", Obs.Json.String (Qcec.Strategy.name r.Qcec.Verify.strategy))
+        ; ("t_transform", Obs.Json.Float r.Qcec.Verify.t_transform)
+        ; ("t_check", Obs.Json.Float r.Qcec.Verify.t_check)
+        ; ("transformed_qubits", Obs.Json.Int r.Qcec.Verify.transformed_qubits)
+        ; ("peak_nodes", Obs.Json.Int r.Qcec.Verify.peak_nodes)
+        ; ("metrics", Obs.Metrics.to_json r.Qcec.Verify.metrics)
+        ];
     if r.Qcec.Verify.equivalent then begin
       Fmt.pr "equivalent@.";
       exit 0
@@ -78,15 +126,36 @@ let check_cmd =
        ~doc:
          "Check full functional equivalence of two circuits (dynamic inputs are \
           transformed with the Section 4 scheme first)")
-    Term.(const run $ file_a $ file_b $ strategy $ perm $ quiet)
+    Term.(const run $ file_a $ file_b $ strategy $ perm $ quiet $ stats_json_arg)
 
 (* -- distribution ------------------------------------------------------ *)
 
 let distribution_cmd =
-  let run dyn_file static_file cutoff domains eps =
+  let run dyn_file static_file cutoff domains eps stats_json =
+    enable_stats stats_json;
     let dyn = load dyn_file and static = load static_file in
     let r = Qcec.Verify.distribution ~eps ~cutoff ~domains dyn static in
     Fmt.pr "%a@." Qcec.Verify.pp_distribution r;
+    maybe_write_stats stats_json ~command:"distribution"
+      ~files:[ dyn_file; static_file ]
+      ~result:
+        [ ("distributions_equal", Obs.Json.Bool r.Qcec.Verify.distributions_equal)
+        ; ("total_variation", Obs.Json.Float r.Qcec.Verify.total_variation)
+        ; ("t_extract", Obs.Json.Float r.Qcec.Verify.t_extract)
+        ; ("t_simulate", Obs.Json.Float r.Qcec.Verify.t_simulate)
+        ; ( "extraction"
+          , Obs.Json.Obj
+              [ ("leaves", Obs.Json.Int r.Qcec.Verify.extraction_stats.Qsim.Extraction.leaves)
+              ; ( "branch_points"
+                , Obs.Json.Int
+                    r.Qcec.Verify.extraction_stats.Qsim.Extraction.branch_points )
+              ; ("pruned", Obs.Json.Int r.Qcec.Verify.extraction_stats.Qsim.Extraction.pruned)
+              ; ( "gate_applications"
+                , Obs.Json.Int
+                    r.Qcec.Verify.extraction_stats.Qsim.Extraction.gate_applications )
+              ] )
+        ; ("metrics", Obs.Metrics.to_json r.Qcec.Verify.metrics)
+        ];
     exit (if r.Qcec.Verify.distributions_equal then 0 else 1)
   in
   let dyn = Arg.(required & pos 0 (some file) None & info [] ~docv:"DYNAMIC.qasm") in
@@ -105,12 +174,13 @@ let distribution_cmd =
        ~doc:
          "Compare the measurement-outcome distribution of a dynamic circuit \
           (extracted with the Section 5 scheme) against a static reference")
-    Term.(const run $ dyn $ static $ cutoff $ domains $ eps)
+    Term.(const run $ dyn $ static $ cutoff $ domains $ eps $ stats_json_arg)
 
 (* -- extract ------------------------------------------------------------ *)
 
 let extract_cmd =
-  let run file cutoff tree top =
+  let run file cutoff tree top stats_json =
+    enable_stats stats_json;
     let c = load file in
     if tree then begin
       Fmt.pr "%a@." Qsim.Extraction.pp_tree (Qsim.Extraction.tree ~cutoff c)
@@ -123,7 +193,17 @@ let extract_cmd =
         r.Qsim.Extraction.stats.Qsim.Extraction.leaves
         r.Qsim.Extraction.stats.Qsim.Extraction.branch_points
         r.Qsim.Extraction.stats.Qsim.Extraction.pruned
-        (Qcec.Distribution.mass r.Qsim.Extraction.distribution)
+        (Qcec.Distribution.mass r.Qsim.Extraction.distribution);
+      maybe_write_stats stats_json ~command:"extract" ~files:[ file ]
+        ~result:
+          [ ("leaves", Obs.Json.Int r.Qsim.Extraction.stats.Qsim.Extraction.leaves)
+          ; ( "branch_points"
+            , Obs.Json.Int r.Qsim.Extraction.stats.Qsim.Extraction.branch_points )
+          ; ("pruned", Obs.Json.Int r.Qsim.Extraction.stats.Qsim.Extraction.pruned)
+          ; ( "gate_applications"
+            , Obs.Json.Int r.Qsim.Extraction.stats.Qsim.Extraction.gate_applications )
+          ; ("mass", Obs.Json.Float (Qcec.Distribution.mass r.Qsim.Extraction.distribution))
+          ]
     end
   in
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.qasm") in
@@ -137,7 +217,7 @@ let extract_cmd =
   Cmd.v
     (Cmd.info "extract"
        ~doc:"Extract the measurement-outcome distribution of a dynamic circuit")
-    Term.(const run $ file $ cutoff $ tree $ top)
+    Term.(const run $ file $ cutoff $ tree $ top $ stats_json_arg)
 
 (* -- transform ------------------------------------------------------------ *)
 

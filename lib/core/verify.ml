@@ -1,6 +1,9 @@
 module Circ = Circuit.Circ
 
-let now () = Unix.gettimeofday ()
+(* All reported durations use the monotonic clock: [Unix.gettimeofday] can
+   jump backwards under NTP adjustment, which used to make t_trans/t_ver
+   occasionally negative.  Span timing goes through the same source. *)
+let now = Obs.Clock.now
 
 type functional_result =
   { equivalent : bool
@@ -10,6 +13,7 @@ type functional_result =
   ; t_check : float
   ; transformed_qubits : int
   ; peak_nodes : int
+  ; metrics : Obs.Metrics.snapshot
   }
 
 (* Infer the wire correspondence from the measurements: a qubit of [g']
@@ -76,24 +80,31 @@ let equalize_widths g g' =
   else (g, g')
 
 let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true) g g' =
+  let m0 = Obs.Metrics.snapshot () in
   let t0 = now () in
-  let static_of c =
-    if Circ.is_dynamic c then Transform.Dynamic.transform c else c
+  let g, g' =
+    Obs.Span.with_ "verify.functional.transform" (fun () ->
+      let static_of c =
+        if Circ.is_dynamic c then Transform.Dynamic.transform c else c
+      in
+      let g = static_of g in
+      let g' = static_of g' in
+      let g, g' = equalize_widths g g' in
+      let perm =
+        match perm with
+        | Some _ as p -> p
+        | None ->
+          if auto_align && Circ.measurements g <> [] then measurement_alignment g g'
+          else None
+      in
+      let g' = match perm with None -> g' | Some perm -> Circ.remap g' ~perm in
+      (g, g'))
   in
-  let g = static_of g in
-  let g' = static_of g' in
-  let g, g' = equalize_widths g g' in
-  let perm =
-    match perm with
-    | Some _ as p -> p
-    | None ->
-      if auto_align && Circ.measurements g <> [] then measurement_alignment g g'
-      else None
-  in
-  let g' = match perm with None -> g' | Some perm -> Circ.remap g' ~perm in
   let t1 = now () in
   let p = Dd.Pkg.create () in
-  let outcome = Strategy.check p strategy g g' in
+  let outcome =
+    Obs.Span.with_ "verify.functional.check" (fun () -> Strategy.check p strategy g g')
+  in
   let t2 = now () in
   { equivalent = outcome.Strategy.equivalent_up_to_phase
   ; exactly_equal = outcome.Strategy.equivalent
@@ -102,6 +113,7 @@ let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true) g g' =
   ; t_check = t2 -. t1
   ; transformed_qubits = g'.Circ.num_qubits
   ; peak_nodes = outcome.Strategy.peak_nodes
+  ; metrics = Obs.Metrics.diff ~before:m0 ~after:(Obs.Metrics.snapshot ())
   }
 
 type distribution_result =
@@ -112,28 +124,34 @@ type distribution_result =
   ; dynamic_distribution : Distribution.t
   ; static_distribution : Distribution.t
   ; extraction_stats : Qsim.Extraction.stats
+  ; metrics : Obs.Metrics.snapshot
   }
 
 let distribution ?(eps = 1e-9) ?(cutoff = 1e-12) ?(domains = 1) dyn static =
+  let m0 = Obs.Metrics.snapshot () in
   let t0 = now () in
-  let extraction = Qsim.Extraction.run ~cutoff ~domains dyn in
+  let extraction =
+    Obs.Span.with_ "verify.distribution.extract" (fun () ->
+      Qsim.Extraction.run ~cutoff ~domains dyn)
+  in
   let t1 = now () in
   (* a dynamic reference is extracted as well; a static one is simulated
      once and marginalized onto its measured classical bits *)
   let static_dist, t2 =
-    if Circ.is_dynamic static then begin
-      let r = Qsim.Extraction.run ~cutoff ~domains static in
-      (r.Qsim.Extraction.distribution, now ())
-    end
-    else begin
-      let p = Dd.Pkg.create () in
-      let final = Qsim.Dd_sim.simulate p static in
-      let t2 = now () in
-      ( Qsim.Dd_sim.measured_distribution p final ~n:static.Circ.num_qubits
-          ~num_cbits:static.Circ.num_cbits ~measures:(Circ.measurements static)
-          ~cutoff ()
-      , t2 )
-    end
+    Obs.Span.with_ "verify.distribution.simulate" (fun () ->
+      if Circ.is_dynamic static then begin
+        let r = Qsim.Extraction.run ~cutoff ~domains static in
+        (r.Qsim.Extraction.distribution, now ())
+      end
+      else begin
+        let p = Dd.Pkg.create () in
+        let final = Qsim.Dd_sim.simulate p static in
+        let t2 = now () in
+        ( Qsim.Dd_sim.measured_distribution p final ~n:static.Circ.num_qubits
+            ~num_cbits:static.Circ.num_cbits ~measures:(Circ.measurements static)
+            ~cutoff ()
+        , t2 )
+      end)
   in
   let tv = Distribution.total_variation extraction.Qsim.Extraction.distribution static_dist in
   { distributions_equal = tv <= eps
@@ -143,6 +161,7 @@ let distribution ?(eps = 1e-9) ?(cutoff = 1e-12) ?(domains = 1) dyn static =
   ; dynamic_distribution = extraction.Qsim.Extraction.distribution
   ; static_distribution = static_dist
   ; extraction_stats = extraction.Qsim.Extraction.stats
+  ; metrics = Obs.Metrics.diff ~before:m0 ~after:(Obs.Metrics.snapshot ())
   }
 
 type approximate_result =
@@ -168,9 +187,12 @@ let approximate ?(threshold = 1.0 -. 1e-9) ?perm ?(auto_align = true) g g' =
   let g' = match perm with None -> g' | Some perm -> Circ.remap g' ~perm in
   let t1 = now () in
   let p = Dd.Pkg.create () in
-  let u = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g) in
-  let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
-  let fidelity = Dd.Mat.process_fidelity p u u' ~n:g.Circ.num_qubits in
+  let fidelity =
+    Obs.Span.with_ "verify.approximate.check" (fun () ->
+      let u = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g) in
+      let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
+      Dd.Mat.process_fidelity p u u' ~n:g.Circ.num_qubits)
+  in
   let t2 = now () in
   { process_fidelity = fidelity
   ; within = fidelity >= threshold

@@ -14,6 +14,10 @@ type functional_result =
   ; t_check : float  (** seconds spent in the equivalence check ([t_ver]) *)
   ; transformed_qubits : int  (** qubits after reset elimination *)
   ; peak_nodes : int
+  ; metrics : Obs.Metrics.snapshot
+        (** DD-package counters attributable to this check (counter deltas;
+            peak gauges report their process-wide peak).  All zeros unless
+            collection is enabled via {!Obs.Metrics.set_enabled}. *)
   }
 
 (** [functional ?strategy ?perm g g'] checks full functional equivalence.
@@ -77,6 +81,9 @@ type distribution_result =
   ; dynamic_distribution : Distribution.t
   ; static_distribution : Distribution.t
   ; extraction_stats : Qsim.Extraction.stats
+  ; metrics : Obs.Metrics.snapshot
+        (** DD-package and extraction counters attributable to this
+            comparison; see {!functional_result.metrics}. *)
   }
 
 (** [distribution ?eps ?cutoff ?domains dynamic static] extracts the
@@ -93,7 +100,9 @@ val distribution :
   -> Circuit.Circ.t
   -> distribution_result
 
-(** [now ()] — monotonic-enough wall-clock used for all timings. *)
+(** [now ()] — monotonic wall clock used for all timings (an alias of
+    {!Obs.Clock.now}; readings cannot go backwards, so reported durations
+    are always non-negative). *)
 val now : unit -> float
 
 val pp_functional : Format.formatter -> functional_result -> unit

@@ -1,5 +1,9 @@
 type value = { re : float; im : float; id : int }
 
+(* observability: interning traffic across all tables in the process *)
+let m_hits = Obs.Metrics.counter "cx.table.hits"
+let m_inserts = Obs.Metrics.counter "cx.table.inserts"
+
 let zero = { re = 0.0; im = 0.0; id = 0 }
 let one = { re = 1.0; im = 0.0; id = 1 }
 let is_zero v = v.id = 0
@@ -61,8 +65,14 @@ let insert t key v =
 
 let lookup t (z : Cx.t) =
   let m = magnitude z in
-  if m < hard_zero then zero
-  else if z.Cx.re = 1.0 && z.Cx.im = 0.0 then one
+  if m < hard_zero then begin
+    Obs.Metrics.incr m_hits;
+    zero
+  end
+  else if z.Cx.re = 1.0 && z.Cx.im = 0.0 then begin
+    Obs.Metrics.incr m_hits;
+    one
+  end
   else begin
     let e = exponent_of m in
     let probes =
@@ -78,16 +88,22 @@ let lookup t (z : Cx.t) =
     in
     let rec probe = function
       | [] ->
-        if matches t z one then one
+        if matches t z one then begin
+          Obs.Metrics.incr m_hits;
+          one
+        end
         else begin
           let v = { re = z.Cx.re; im = z.Cx.im; id = t.next_id } in
           t.next_id <- t.next_id + 1;
           insert t (key_at t z e) v;
+          Obs.Metrics.incr m_inserts;
           v
         end
       | key :: rest ->
         (match find_in_bucket t key z with
-         | Some v -> v
+         | Some v ->
+           Obs.Metrics.incr m_hits;
+           v
          | None -> probe rest)
     in
     probe probes

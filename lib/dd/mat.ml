@@ -1,8 +1,19 @@
 open Types
 module Cx = Cxnum.Cx
 module Ct = Cxnum.Cx_table
+module M = Obs.Metrics
 
 let wcx (w : weight) = Ct.to_cx w
+
+(* observability: compute-cache effectiveness (see docs/OBSERVABILITY.md) *)
+let m_madd_hits = M.counter "dd.cache.madd.hits"
+let m_madd_misses = M.counter "dd.cache.madd.misses"
+let m_mv_hits = M.counter "dd.cache.mv.hits"
+let m_mv_misses = M.counter "dd.cache.mv.misses"
+let m_mm_hits = M.counter "dd.cache.mm.hits"
+let m_mm_misses = M.counter "dd.cache.mm.misses"
+let m_adj_hits = M.counter "dd.cache.adj.hits"
+let m_adj_misses = M.counter "dd.cache.adj.misses"
 
 (* Same ratio-normalized caching scheme as Vec.add. *)
 let rec add p (a : medge) (b : medge) =
@@ -24,8 +35,11 @@ let rec add p (a : medge) (b : medge) =
       let cache = Pkg.madd_cache p in
       let inner =
         match Hashtbl.find_opt cache key with
-        | Some e -> e
+        | Some e ->
+          M.incr m_madd_hits;
+          e
         | None ->
+          M.incr m_madd_misses;
           let rb = wcx ratio in
           let sum ea eb = add p ea (Pkg.mscale p rb eb) in
           let e =
@@ -53,8 +67,11 @@ let rec apply p (m : medge) (v : vedge) =
       let cache = Pkg.mv_cache p in
       let inner =
         match Hashtbl.find_opt cache key with
-        | Some e -> e
+        | Some e ->
+          M.incr m_mv_hits;
+          e
         | None ->
+          M.incr m_mv_misses;
           let r0 = Vec.add p (apply p mn.m00 vn.v0) (apply p mn.m01 vn.v1) in
           let r1 = Vec.add p (apply p mn.m10 vn.v0) (apply p mn.m11 vn.v1) in
           let e = Pkg.make_vnode p mn.mvar r0 r1 in
@@ -76,8 +93,11 @@ let rec mul p (a : medge) (b : medge) =
       let cache = Pkg.mm_cache p in
       let inner =
         match Hashtbl.find_opt cache key with
-        | Some e -> e
+        | Some e ->
+          M.incr m_mm_hits;
+          e
         | None ->
+          M.incr m_mm_misses;
           let entry i j =
             (* C_ij = A_i0 * B_0j + A_i1 * B_1j *)
             let sel n i j =
@@ -109,8 +129,11 @@ let rec adjoint p (a : medge) =
       let cache = Pkg.adj_cache p in
       let inner =
         match Hashtbl.find_opt cache n.mid with
-        | Some e -> e
+        | Some e ->
+          M.incr m_adj_hits;
+          e
         | None ->
+          M.incr m_adj_misses;
           let e =
             Pkg.make_mnode p n.mvar (adjoint p n.m00) (adjoint p n.m10)
               (adjoint p n.m01) (adjoint p n.m11)

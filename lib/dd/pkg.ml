@@ -1,6 +1,19 @@
 open Types
 module Cx = Cxnum.Cx
 module Ct = Cxnum.Cx_table
+module M = Obs.Metrics
+
+(* observability: unique-table traffic, node allocations and peak live node
+   counts, aggregated over every package in the process.  A "hit" is a
+   lookup that found an existing node (structural sharing paying off); an
+   "insert" is a fresh allocation. *)
+let m_vuniq_hits = M.counter "dd.unique.vec.hits"
+let m_vuniq_inserts = M.counter "dd.unique.vec.inserts"
+let m_muniq_hits = M.counter "dd.unique.mat.hits"
+let m_muniq_inserts = M.counter "dd.unique.mat.inserts"
+let m_compact_runs = M.counter "dd.compact.runs"
+let g_vnodes_peak = M.gauge "dd.unique.vec.peak"
+let g_mnodes_peak = M.gauge "dd.unique.mat.peak"
 
 type t =
   { ctab : Ct.t
@@ -56,21 +69,29 @@ let wcx (w : weight) = Ct.to_cx w
 let hashcons_vnode p var e0 e1 =
   let key = vkey_of var e0 e1 in
   match Hashtbl.find_opt p.vtab key with
-  | Some n -> n
+  | Some n ->
+    M.incr m_vuniq_hits;
+    n
   | None ->
     let n = { vid = p.vnext; vvar = var; v0 = e0; v1 = e1 } in
     p.vnext <- p.vnext + 1;
     Hashtbl.add p.vtab key n;
+    M.incr m_vuniq_inserts;
+    M.observe g_vnodes_peak (Hashtbl.length p.vtab);
     n
 
 let hashcons_mnode p var e00 e01 e10 e11 =
   let key = mkey_of var e00 e01 e10 e11 in
   match Hashtbl.find_opt p.mtab key with
-  | Some n -> n
+  | Some n ->
+    M.incr m_muniq_hits;
+    n
   | None ->
     let n = { mid = p.mnext; mvar = var; m00 = e00; m01 = e01; m10 = e10; m11 = e11 } in
     p.mnext <- p.mnext + 1;
     Hashtbl.add p.mtab key n;
+    M.incr m_muniq_inserts;
+    M.observe g_mnodes_peak (Hashtbl.length p.mtab);
     n
 
 (* Vector normalization: divide successor weights by their 2-norm and by the
@@ -257,6 +278,7 @@ let clear_caches p =
   Hashtbl.reset p.adj
 
 let compact p ~vector_roots ~matrix_roots =
+  M.incr m_compact_runs;
   clear_caches p;
   Hashtbl.reset p.vtab;
   Hashtbl.reset p.mtab;

@@ -1,8 +1,15 @@
 open Types
 module Cx = Cxnum.Cx
 module Ct = Cxnum.Cx_table
+module M = Obs.Metrics
 
 let wcx (w : weight) = Ct.to_cx w
+
+(* observability: compute-cache effectiveness (see docs/OBSERVABILITY.md) *)
+let m_vadd_hits = M.counter "dd.cache.vadd.hits"
+let m_vadd_misses = M.counter "dd.cache.vadd.misses"
+let m_ip_hits = M.counter "dd.cache.ip.hits"
+let m_ip_misses = M.counter "dd.cache.ip.misses"
 
 (* Addition is cached on (node a, node b, interned ratio w_b / w_a): the sum
    w_a * A + w_b * B equals w_a * (A + (w_b / w_a) * B), and the inner sum
@@ -27,8 +34,11 @@ let rec add p (a : vedge) (b : vedge) =
       let cache = Pkg.vadd_cache p in
       let inner =
         match Hashtbl.find_opt cache key with
-        | Some e -> e
+        | Some e ->
+          M.incr m_vadd_hits;
+          e
         | None ->
+          M.incr m_vadd_misses;
           let rb = wcx ratio in
           let e0 = add p na.v0 (Pkg.vscale p rb nb.v0) in
           let e1 = add p na.v1 (Pkg.vscale p rb nb.v1) in
@@ -47,8 +57,11 @@ let rec inner_product_nodes p na nb =
     let key = (a.vid, b.vid) in
     let cache = Pkg.ip_cache p in
     (match Hashtbl.find_opt cache key with
-     | Some z -> z
+     | Some z ->
+       M.incr m_ip_hits;
+       z
      | None ->
+       M.incr m_ip_misses;
        let part (ea : vedge) (eb : vedge) =
          if vedge_is_zero ea || vedge_is_zero eb then Cx.zero
          else begin

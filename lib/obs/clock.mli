@@ -1,0 +1,16 @@
+(** Monotonic wall clock.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] (via the bechamel stub), so
+    readings never go backwards under NTP slew or manual clock adjustment —
+    the property every reported duration in this repository relies on.  The
+    epoch is arbitrary; only differences are meaningful. *)
+
+(** [now_ns ()] is the current monotonic reading in nanoseconds. *)
+val now_ns : unit -> int64
+
+(** [now ()] is the same reading in seconds. *)
+val now : unit -> float
+
+(** [elapsed_s ~since] is the (non-negative) seconds elapsed since the
+    [now_ns] reading [since]. *)
+val elapsed_s : since:int64 -> float

@@ -1,0 +1,84 @@
+type counter =
+  { c_name : string
+  ; mutable c_value : int
+  }
+
+type gauge =
+  { g_name : string
+  ; mutable g_peak : int
+  }
+
+type entry =
+  | Counter of counter
+  | Gauge of gauge
+
+(* The global-off fast path: every hot-path operation checks this single
+   flag first, so disabled instrumentation costs one load + branch. *)
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some (Gauge _) -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is a gauge")
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.add registry name (Counter c);
+    c
+
+let incr c = if !on then c.c_value <- c.c_value + 1
+let add c n = if !on then c.c_value <- c.c_value + n
+let value c = c.c_value
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some (Counter _) -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is a counter")
+  | None ->
+    let g = { g_name = name; g_peak = 0 } in
+    Hashtbl.add registry name (Gauge g);
+    g
+
+let observe g v = if !on && v > g.g_peak then g.g_peak <- v
+let peak g = g.g_peak
+
+type snapshot = (string * int) list
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name entry acc ->
+      let v = match entry with Counter c -> c.c_value | Gauge g -> g.g_peak in
+      (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let is_gauge name =
+  match Hashtbl.find_opt registry name with Some (Gauge _) -> true | _ -> false
+
+let diff ~before ~after =
+  List.map
+    (fun (name, v) ->
+      if is_gauge name then (name, v)
+      else begin
+        let b = match List.assoc_opt name before with Some b -> b | None -> 0 in
+        (name, v - b)
+      end)
+    after
+
+let find s name = match List.assoc_opt name s with Some v -> v | None -> 0
+
+let reset () =
+  Hashtbl.iter
+    (fun _ entry ->
+      match entry with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_peak <- 0)
+    registry
+
+let to_json s = Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) s)
+
+(* silence unused-field warnings: names are carried for debugging *)
+let _ = fun (c : counter) (g : gauge) -> (c.c_name, g.g_name)

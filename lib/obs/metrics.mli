@@ -1,0 +1,68 @@
+(** Process-wide observability counters for the DD substrate.
+
+    Counters and peak gauges are registered once (typically at module
+    initialization of the instrumented layer) and incremented from hot
+    paths.  Collection is globally disabled by default: a disabled
+    {!incr}/{!add}/{!observe} costs exactly one load and one branch, so
+    instrumentation can live inside the compute-cache and unique-table
+    lookups without a measurable tax on uninstrumented runs.
+
+    Concurrency: increments are plain (non-atomic) stores.  Registration is
+    expected to happen before any domains are spawned; increments from
+    parallel extraction domains may race and drop counts, which is an
+    accepted trade-off for a zero-cost hot path — the counters are
+    diagnostics, not accounting. *)
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+
+(** [set_enabled b] turns collection on or off; spans ({!Span}) obey the
+    same switch. *)
+val set_enabled : bool -> unit
+
+(** {1 Counters (monotonic while enabled)} *)
+
+type counter
+
+(** [counter name] registers a counter under [name], or returns the
+    existing one.  Dotted names ([dd.cache.mv.hits]) form the metric
+    namespace documented in [docs/OBSERVABILITY.md]. *)
+val counter : string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Peak gauges} *)
+
+type gauge
+
+val gauge : string -> gauge
+
+(** [observe g v] raises the recorded peak to [v] if larger. *)
+val observe : gauge -> int -> unit
+
+val peak : gauge -> int
+
+(** {1 Snapshots} *)
+
+(** A point-in-time reading of every registered metric, sorted by name. *)
+type snapshot = (string * int) list
+
+val snapshot : unit -> snapshot
+
+(** [diff ~before ~after] is the reading attributable to the interval:
+    counters are subtracted, peak gauges keep their [after] value (a peak
+    cannot be meaningfully differenced). *)
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+(** [find s name] is the value of [name] in [s], or [0]. *)
+val find : snapshot -> string -> int
+
+(** Zero every counter and gauge (the registry itself is kept). *)
+val reset : unit -> unit
+
+(** [to_json s] is the snapshot as a JSON object, one numeric field per
+    metric. *)
+val to_json : snapshot -> Json.t

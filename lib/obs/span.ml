@@ -1,0 +1,69 @@
+type agg =
+  { mutable count : int
+  ; mutable total_ns : int64
+  }
+
+let table : (string, agg) Hashtbl.t = Hashtbl.create 32
+
+(* stack of open span paths, innermost first *)
+let stack : string list ref = ref []
+
+let record path dt =
+  let a =
+    match Hashtbl.find_opt table path with
+    | Some a -> a
+    | None ->
+      let a = { count = 0; total_ns = 0L } in
+      Hashtbl.add table path a;
+      a
+  in
+  a.count <- a.count + 1;
+  a.total_ns <- Int64.add a.total_ns dt
+
+let with_ name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let path =
+      match !stack with
+      | [] -> name
+      | parent :: _ -> parent ^ "/" ^ name
+    in
+    stack := path :: !stack;
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Int64.sub (Clock.now_ns ()) t0 in
+        (match !stack with
+         | p :: rest when String.equal p path -> stack := rest
+         | _ -> () (* a nested span leaked; keep going rather than corrupt *));
+        record path dt)
+      f
+  end
+
+type entry =
+  { path : string
+  ; count : int
+  ; seconds : float
+  }
+
+let report () =
+  Hashtbl.fold
+    (fun path (a : agg) acc ->
+      { path; count = a.count; seconds = Int64.to_float a.total_ns *. 1e-9 } :: acc)
+    table []
+  |> List.sort (fun a b -> String.compare a.path b.path)
+
+let reset () =
+  Hashtbl.reset table;
+  stack := []
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [ ("path", Json.String e.path)
+           ; ("count", Json.Int e.count)
+           ; ("seconds", Json.Float e.seconds)
+           ])
+       (report ()))

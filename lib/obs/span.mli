@@ -1,0 +1,34 @@
+(** Nestable wall-clock timing spans.
+
+    A span names a phase of work; spans opened while another is running
+    nest under it, and all completions are aggregated per slash-separated
+    path ([verify.functional/check], [extract/walk], ...).  Timing uses the
+    monotonic {!Clock}, so durations are non-negative by construction.
+
+    Spans obey the {!Metrics} global switch: when collection is disabled,
+    {!with_} runs its thunk with no bookkeeping at all.
+
+    Nesting state is per-process (not per-domain); open spans from multiple
+    domains concurrently and the attribution becomes approximate — the
+    same trade-off the counters make. *)
+
+(** [with_ name f] runs [f ()] inside a span called [name], nested under
+    the currently open span (if any).  The span is closed — and its
+    duration recorded — even if [f] raises. *)
+val with_ : string -> (unit -> 'a) -> 'a
+
+type entry =
+  { path : string  (** slash-joined nesting path *)
+  ; count : int  (** completions recorded under this path *)
+  ; seconds : float  (** total wall-clock time across completions *)
+  }
+
+(** All recorded aggregates, sorted by path. *)
+val report : unit -> entry list
+
+(** Drop all recorded aggregates and any stale nesting state. *)
+val reset : unit -> unit
+
+(** [to_json ()] is the report as a JSON array of
+    [{"path": ..., "count": ..., "seconds": ...}] objects. *)
+val to_json : unit -> Json.t

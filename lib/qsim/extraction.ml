@@ -1,6 +1,16 @@
 module Op = Circuit.Op
 module Circ = Circuit.Circ
 module Gates = Circuit.Gates
+module M = Obs.Metrics
+
+(* observability: totals of the per-run counters below, accumulated across
+   every extraction in the process (merged once per walk, so the branching
+   loop itself stays uninstrumented) *)
+let m_leaves = M.counter "extract.leaves"
+let m_branch_points = M.counter "extract.branch_points"
+let m_pruned = M.counter "extract.pruned"
+let m_gates = M.counter "extract.gate_applications"
+let m_runs = M.counter "extract.runs"
 
 type stats =
   { leaves : int
@@ -22,6 +32,12 @@ type counters =
   }
 
 let new_counters () = { c_leaves = 0; c_branch_points = 0; c_pruned = 0; c_gates = 0 }
+
+let publish_counters c =
+  M.add m_leaves c.c_leaves;
+  M.add m_branch_points c.c_branch_points;
+  M.add m_pruned c.c_pruned;
+  M.add m_gates c.c_gates
 
 (* Outcome probabilities of one qubit, renormalized against accumulated
    drift.  The state is kept normalized along every path, so p0 + p1 is 1 up
@@ -106,8 +122,10 @@ let run_sequential ~cutoff (c : Circ.t) =
   let counters = new_counters () in
   let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
   let record = Classical.add_weighted dist in
-  walk ~pkg:p ~n:c.Circ.num_qubits ~cutoff ~counters ~record c.Circ.ops
-    (Bytes.make c.Circ.num_cbits '0');
+  Obs.Span.with_ "extract.walk" (fun () ->
+    walk ~pkg:p ~n:c.Circ.num_qubits ~cutoff ~counters ~record c.Circ.ops
+      (Bytes.make c.Circ.num_cbits '0'));
+  publish_counters counters;
   { distribution = Classical.sorted_bindings dist
   ; stats =
       { leaves = counters.c_leaves
@@ -145,15 +163,16 @@ let run_parallel ~cutoff ~domains (c : Circ.t) =
     in
     (* run at most [domains] tasks simultaneously *)
     let results = Array.make tasks None in
-    let next = ref 0 in
-    while !next < tasks do
-      let batch = min domains (tasks - !next) in
-      let handles =
-        List.init batch (fun i -> (!next + i, Domain.spawn (task_of (!next + i))))
-      in
-      List.iter (fun (idx, h) -> results.(idx) <- Some (Domain.join h)) handles;
-      next := !next + batch
-    done;
+    Obs.Span.with_ "extract.walk.parallel" (fun () ->
+      let next = ref 0 in
+      while !next < tasks do
+        let batch = min domains (tasks - !next) in
+        let handles =
+          List.init batch (fun i -> (!next + i, Domain.spawn (task_of (!next + i))))
+        in
+        List.iter (fun (idx, h) -> results.(idx) <- Some (Domain.join h)) handles;
+        next := !next + batch
+      done);
     let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
     let counters = new_counters () in
     Array.iter
@@ -166,6 +185,7 @@ let run_parallel ~cutoff ~domains (c : Circ.t) =
           counters.c_pruned <- counters.c_pruned + ctr.c_pruned;
           counters.c_gates <- counters.c_gates + ctr.c_gates)
       results;
+    publish_counters counters;
     { distribution = Classical.sorted_bindings dist
     ; stats =
         { leaves = counters.c_leaves
@@ -177,6 +197,7 @@ let run_parallel ~cutoff ~domains (c : Circ.t) =
   end
 
 let run ?(cutoff = 1e-12) ?(domains = 1) c =
+  M.incr m_runs;
   if domains <= 1 then run_sequential ~cutoff c else run_parallel ~cutoff ~domains c
 
 type tree =

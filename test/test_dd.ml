@@ -307,8 +307,30 @@ let test_dot_export () =
   let text = Fmt.str "%a" Dd.Dot.matrix m in
   Alcotest.(check bool) "matrix dot nonempty" true (String.length text > 20)
 
+let test_repeated_apply_hits_cache () =
+  (* the same (matrix node, vector node) pair must be served from the mv
+     compute cache on the second application *)
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled false)
+    (fun () ->
+      let p = Dd.Pkg.create () in
+      let n = 3 in
+      let h = Dd.Pkg.gate p ~n ~controls:[] ~target:1 (gate_matrix Gates.H) in
+      let s = Dd.Pkg.zero_state p n in
+      let before = Obs.Metrics.snapshot () in
+      let first = Dd.Mat.apply p h s in
+      let second = Dd.Mat.apply p h s in
+      let d = Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ()) in
+      Alcotest.(check bool) "cached apply is pointer-identical" true
+        (first.Dd.Types.vw == second.Dd.Types.vw && first.Dd.Types.vt == second.Dd.Types.vt);
+      Alcotest.(check bool) "repeated mat-vec multiply reports cache hits" true
+        (Obs.Metrics.find d "dd.cache.mv.hits" > 0))
+
 let suite =
   [ Alcotest.test_case "basis states" `Quick test_basis_states
+  ; Alcotest.test_case "repeated apply hits the mv cache" `Quick
+      test_repeated_apply_hits_cache
   ; Alcotest.test_case "product state" `Quick test_product_state
   ; Alcotest.test_case "vector round trip" `Quick test_vec_roundtrip
   ; Alcotest.test_case "matrix round trip" `Quick test_mat_roundtrip
