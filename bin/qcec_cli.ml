@@ -40,6 +40,45 @@ let perm_conv =
   Arg.conv (parse, fun ppf p ->
     Fmt.pf ppf "%a" Fmt.(array ~sep:(any ",") int) p)
 
+(* -- DD memory management --------------------------------------------- *)
+
+let cache_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-cap" ] ~docv:"N"
+        ~doc:
+          "Bound every DD operation cache to $(docv) entries (second-chance \
+           eviction; 0 disables caching, default unbounded)")
+
+let gc_threshold_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gc-threshold" ] ~docv:"N"
+        ~doc:
+          "Compact the DD package automatically once its unique tables grow \
+           by $(docv) nodes since the last sweep (default: no auto-GC)")
+
+let dd_config_of cache_cap gc_threshold : Dd.Pkg.config option =
+  match (cache_cap, gc_threshold) with
+  | None, None -> None
+  | _ ->
+    let caps =
+      match cache_cap with
+      | None -> Dd.Pkg.caps_unbounded
+      | Some n -> Dd.Pkg.caps_uniform n
+    in
+    Some { Dd.Pkg.caps; gc_threshold }
+
+(* exit code 2 = usage/input error, matching the parser failures above *)
+let report_non_unitary op =
+  Fmt.epr
+    "qcec: circuit contains the non-unitary operation %a; transform it first \
+     (qcec transform)@."
+    Circuit.Op.pp op;
+  exit 2
+
 (* -- observability ---------------------------------------------------- *)
 
 let stats_json_arg =
@@ -79,10 +118,14 @@ let maybe_write_stats stats_json ~command ~files ~result =
 (* -- check ------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file_a file_b strategy perm quiet stats_json =
+  let run file_a file_b strategy perm quiet stats_json cache_cap gc_threshold =
     enable_stats stats_json;
+    let dd_config = dd_config_of cache_cap gc_threshold in
     let a = load file_a and b = load file_b in
-    let r = Qcec.Verify.functional ~strategy ?perm a b in
+    let r =
+      try Qcec.Verify.functional ~strategy ?perm ?dd_config a b
+      with Qcec.Strategy.Non_unitary op -> report_non_unitary op
+    in
     if not quiet then Fmt.pr "%a@." Qcec.Verify.pp_functional r;
     maybe_write_stats stats_json ~command:"check" ~files:[ file_a; file_b ]
       ~result:
@@ -126,15 +169,18 @@ let check_cmd =
        ~doc:
          "Check full functional equivalence of two circuits (dynamic inputs are \
           transformed with the Section 4 scheme first)")
-    Term.(const run $ file_a $ file_b $ strategy $ perm $ quiet $ stats_json_arg)
+    Term.(
+      const run $ file_a $ file_b $ strategy $ perm $ quiet $ stats_json_arg
+      $ cache_cap_arg $ gc_threshold_arg)
 
 (* -- distribution ------------------------------------------------------ *)
 
 let distribution_cmd =
-  let run dyn_file static_file cutoff domains eps stats_json =
+  let run dyn_file static_file cutoff domains eps stats_json cache_cap gc_threshold =
     enable_stats stats_json;
+    let dd_config = dd_config_of cache_cap gc_threshold in
     let dyn = load dyn_file and static = load static_file in
-    let r = Qcec.Verify.distribution ~eps ~cutoff ~domains dyn static in
+    let r = Qcec.Verify.distribution ~eps ~cutoff ~domains ?dd_config dyn static in
     Fmt.pr "%a@." Qcec.Verify.pp_distribution r;
     maybe_write_stats stats_json ~command:"distribution"
       ~files:[ dyn_file; static_file ]
@@ -174,19 +220,22 @@ let distribution_cmd =
        ~doc:
          "Compare the measurement-outcome distribution of a dynamic circuit \
           (extracted with the Section 5 scheme) against a static reference")
-    Term.(const run $ dyn $ static $ cutoff $ domains $ eps $ stats_json_arg)
+    Term.(
+      const run $ dyn $ static $ cutoff $ domains $ eps $ stats_json_arg
+      $ cache_cap_arg $ gc_threshold_arg)
 
 (* -- extract ------------------------------------------------------------ *)
 
 let extract_cmd =
-  let run file cutoff tree top stats_json =
+  let run file cutoff tree top stats_json cache_cap gc_threshold =
     enable_stats stats_json;
+    let dd_config = dd_config_of cache_cap gc_threshold in
     let c = load file in
     if tree then begin
-      Fmt.pr "%a@." Qsim.Extraction.pp_tree (Qsim.Extraction.tree ~cutoff c)
+      Fmt.pr "%a@." Qsim.Extraction.pp_tree (Qsim.Extraction.tree ~cutoff ?dd_config c)
     end
     else begin
-      let r = Qsim.Extraction.run ~cutoff c in
+      let r = Qsim.Extraction.run ~cutoff ?dd_config c in
       Fmt.pr "%a@." Qcec.Distribution.pp
         (Qcec.Distribution.most_probable ~count:top r.Qsim.Extraction.distribution);
       Fmt.pr "(%d leaves, %d branch points, %d pruned, mass %.6f)@."
@@ -217,7 +266,9 @@ let extract_cmd =
   Cmd.v
     (Cmd.info "extract"
        ~doc:"Extract the measurement-outcome distribution of a dynamic circuit")
-    Term.(const run $ file $ cutoff $ tree $ top $ stats_json_arg)
+    Term.(
+      const run $ file $ cutoff $ tree $ top $ stats_json_arg $ cache_cap_arg
+      $ gc_threshold_arg)
 
 (* -- transform ------------------------------------------------------------ *)
 
@@ -259,7 +310,10 @@ let optimize_cmd =
       s.Qcompile.Optimize.before s.Qcompile.Optimize.after s.Qcompile.Optimize.cancelled
       s.Qcompile.Optimize.merged s.Qcompile.Optimize.fused;
     if verify then begin
-      let r = Qcec.Verify.functional c out.Qcompile.Optimize.circuit in
+      let r =
+        try Qcec.Verify.functional c out.Qcompile.Optimize.circuit
+        with Qcec.Strategy.Non_unitary op -> report_non_unitary op
+      in
       Fmt.epr "verified: %s@."
         (if r.Qcec.Verify.equivalent then "equivalent" else "NOT EQUIVALENT");
       if not r.Qcec.Verify.equivalent then exit 1

@@ -39,21 +39,27 @@ let name = function
 
 let pp ppf s = Fmt.string ppf (name s)
 
+exception Non_unitary of Op.t
+
 let unitary_ops (c : Circ.t) =
   List.filter
-    (function Op.Apply _ | Op.Swap _ -> true | Op.Measure _ | Op.Barrier _ -> false
-            | Op.Reset _ | Op.Cond _ ->
-              invalid_arg "Strategy.check: circuit contains non-unitary operations \
-                           (transform it first)")
+    (function
+      | Op.Apply _ | Op.Swap _ -> true
+      | Op.Measure _ | Op.Barrier _ -> false
+      | (Op.Reset _ | Op.Cond _) as op -> raise (Non_unitary op))
     c.Circ.ops
 
 let check_construction p (g : Circ.t) (g' : Circ.t) =
-  let u = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g) in
-  let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
-  { equivalent = Dd.Mat.equal p u u'
-  ; equivalent_up_to_phase = Dd.Mat.equal_up_to_phase p u u'
-  ; peak_nodes = Dd.Mat.node_count u + Dd.Mat.node_count u'
-  }
+  (* keep [u] rooted while [u'] is built: construction may cross auto-GC
+     safepoints inside [build_unitary] *)
+  Dd.Pkg.with_root_m p (Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g))
+    (fun ru ->
+      let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
+      let u = Dd.Pkg.mroot_edge ru in
+      { equivalent = Dd.Mat.equal p u u'
+      ; equivalent_up_to_phase = Dd.Mat.equal_up_to_phase p u u'
+      ; peak_nodes = Dd.Mat.node_count u + Dd.Mat.node_count u'
+      })
 
 (* The alternating scheme: maintain M, initially I, and aim for
    M = G'^dagger * G = I.  Gates of G multiply from the left
@@ -89,33 +95,40 @@ let check_alternating ~take_left p (g : Circ.t) (g' : Circ.t) =
   let n = g.Circ.num_qubits in
   let left = unitary_ops g and right = unitary_ops g' in
   let nl = List.length left and nr = List.length right in
-  let m = ref (Dd.Pkg.ident p n) in
-  let apply_left op = m := Dd.Mat.mul p (Qsim.Dd_sim.op_unitary p ~n op) !m in
-  let apply_right op =
-    m := Dd.Mat.mul p !m (Dd.Mat.adjoint p (Qsim.Dd_sim.op_unitary p ~n op))
-  in
-  (* advance the side that is proportionally behind *)
-  let rec go i j left right =
-    match (left, right) with
-    | [], [] -> ()
-    | op :: rest, [] ->
-      apply_left op;
-      go (i + 1) j rest []
-    | [], op :: rest ->
-      apply_right op;
-      go i (j + 1) [] rest
-    | opl :: restl, opr :: restr ->
-      if take_left ~i ~j ~nl ~nr then begin
-        apply_left opl;
-        go (i + 1) j restl right
-      end
-      else begin
-        apply_right opr;
-        go i (j + 1) left restr
-      end
-  in
-  go 0 0 left right;
-  identity_outcome p !m ~n
+  Dd.Pkg.with_root_m p (Dd.Pkg.ident p n) (fun rm ->
+      let apply_left op =
+        Dd.Pkg.set_mroot rm
+          (Dd.Mat.mul p (Qsim.Dd_sim.op_unitary p ~n op) (Dd.Pkg.mroot_edge rm));
+        Dd.Pkg.checkpoint p
+      in
+      let apply_right op =
+        Dd.Pkg.set_mroot rm
+          (Dd.Mat.mul p (Dd.Pkg.mroot_edge rm)
+             (Dd.Mat.adjoint p (Qsim.Dd_sim.op_unitary p ~n op)));
+        Dd.Pkg.checkpoint p
+      in
+      (* advance the side that is proportionally behind *)
+      let rec go i j left right =
+        match (left, right) with
+        | [], [] -> ()
+        | op :: rest, [] ->
+          apply_left op;
+          go (i + 1) j rest []
+        | [], op :: rest ->
+          apply_right op;
+          go i (j + 1) [] rest
+        | opl :: restl, opr :: restr ->
+          if take_left ~i ~j ~nl ~nr then begin
+            apply_left opl;
+            go (i + 1) j restl right
+          end
+          else begin
+            apply_right opr;
+            go i (j + 1) left restr
+          end
+      in
+      go 0 0 left right;
+      identity_outcome p (Dd.Pkg.mroot_edge rm) ~n)
 
 (* Greedy node-count minimization: evaluate both candidate applications and
    keep the smaller product.  Costs two multiplications per step but copes
@@ -124,18 +137,36 @@ let check_lookahead p (g : Circ.t) (g' : Circ.t) =
   let n = g.Circ.num_qubits in
   let left_of op m = Dd.Mat.mul p (Qsim.Dd_sim.op_unitary p ~n op) m in
   let right_of op m = Dd.Mat.mul p m (Dd.Mat.adjoint p (Qsim.Dd_sim.op_unitary p ~n op)) in
-  let rec go m left right =
-    match (left, right) with
-    | [], [] -> m
-    | op :: rest, [] -> go (left_of op m) rest []
-    | [], op :: rest -> go (right_of op m) [] rest
-    | opl :: restl, opr :: restr ->
-      let ml = left_of opl m and mr = right_of opr m in
-      if Dd.Mat.node_count ml <= Dd.Mat.node_count mr then go ml restl right
-      else go mr left restr
-  in
-  let m = go (Dd.Pkg.ident p n) (unitary_ops g) (unitary_ops g') in
-  identity_outcome p m ~n
+  Dd.Pkg.with_root_m p (Dd.Pkg.ident p n) (fun rm ->
+      let advance next =
+        Dd.Pkg.set_mroot rm next;
+        Dd.Pkg.checkpoint p
+      in
+      let rec go left right =
+        let m = Dd.Pkg.mroot_edge rm in
+        match (left, right) with
+        | [], [] -> ()
+        | op :: rest, [] ->
+          advance (left_of op m);
+          go rest []
+        | [], op :: rest ->
+          advance (right_of op m);
+          go [] rest
+        | opl :: restl, opr :: restr ->
+          (* both candidates are computed before either is rooted; no
+             safepoint separates them, so both stay canonical *)
+          let ml = left_of opl m and mr = right_of opr m in
+          if Dd.Mat.node_count ml <= Dd.Mat.node_count mr then begin
+            advance ml;
+            go restl right
+          end
+          else begin
+            advance mr;
+            go left restr
+          end
+      in
+      go (unitary_ops g) (unitary_ops g');
+      identity_outcome p (Dd.Pkg.mroot_edge rm) ~n)
 
 let random_stimulus p ~kind ~n st =
   match (kind : stimuli) with
@@ -152,43 +183,58 @@ let random_stimulus p ~kind ~n st =
     Dd.Pkg.product_state p (Array.init n (fun _ -> amp ()))
   | Entangled ->
     (* a short random Clifford circuit on a random basis state *)
-    let state =
-      let bits = Array.init n (fun _ -> Random.State.bool st) in
-      ref (Dd.Pkg.basis_state p n (fun q -> bits.(q)))
-    in
-    let gates = [| Circuit.Gates.H; Circuit.Gates.S; Circuit.Gates.X |] in
-    for _ = 1 to 2 * n do
-      let op =
-        if n >= 2 && Random.State.bool st then begin
-          let a = Random.State.int st n in
-          let rec other () =
-            let b = Random.State.int st n in
-            if b = a then other () else b
+    let bits = Array.init n (fun _ -> Random.State.bool st) in
+    Dd.Pkg.with_root_v p (Dd.Pkg.basis_state p n (fun q -> bits.(q))) (fun r ->
+        let gates = [| Circuit.Gates.H; Circuit.Gates.S; Circuit.Gates.X |] in
+        for _ = 1 to 2 * n do
+          let op =
+            if n >= 2 && Random.State.bool st then begin
+              let a = Random.State.int st n in
+              let rec other () =
+                let b = Random.State.int st n in
+                if b = a then other () else b
+              in
+              Circuit.Op.controlled Circuit.Gates.X ~control:a ~target:(other ())
+            end
+            else
+              Circuit.Op.apply
+                gates.(Random.State.int st (Array.length gates))
+                (Random.State.int st n)
           in
-          Circuit.Op.controlled Circuit.Gates.X ~control:a ~target:(other ())
-        end
-        else
-          Circuit.Op.apply
-            gates.(Random.State.int st (Array.length gates))
-            (Random.State.int st n)
-      in
-      state := Qsim.Dd_sim.apply_op p ~n !state op
-    done;
-    !state
+          Dd.Pkg.set_vroot r (Qsim.Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+          Dd.Pkg.checkpoint p
+        done;
+        Dd.Pkg.vroot_edge r)
 
 let check_simulation p ~kind shots (g : Circ.t) (g' : Circ.t) =
   let n = g.Circ.num_qubits in
   let ops = unitary_ops g and ops' = unitary_ops g' in
   let st = Random.State.make [| 0x51ab; n; shots |] in
-  let run ops state = List.fold_left (fun s op -> Qsim.Dd_sim.apply_op p ~n s op) state ops in
+  let run ops state =
+    Dd.Pkg.with_root_v p state (fun r ->
+        List.iter
+          (fun op ->
+            Dd.Pkg.set_vroot r (Qsim.Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+            Dd.Pkg.checkpoint p)
+          ops;
+        Dd.Pkg.vroot_edge r)
+  in
+  (* the input must stay rooted while both circuits run on it, and the first
+     output while the second one is produced; roots are released per shot *)
+  let one_shot () =
+    Dd.Pkg.with_root_v p (random_stimulus p ~kind ~n st) (fun rin ->
+        Dd.Pkg.with_root_v p (run ops (Dd.Pkg.vroot_edge rin)) (fun rout ->
+            let out' = run ops' (Dd.Pkg.vroot_edge rin) in
+            let out = Dd.Pkg.vroot_edge rout in
+            let fid = Dd.Vec.fidelity p out out' in
+            ( Float.abs (fid -. 1.0) <= 1e-9
+            , Dd.Vec.node_count out + Dd.Vec.node_count out' )))
+  in
   let rec shoot k ok peak =
     if k = 0 || not ok then (ok, peak)
     else begin
-      let input = random_stimulus p ~kind ~n st in
-      let out = run ops input and out' = run ops' input in
-      let fid = Dd.Vec.fidelity p out out' in
-      let peak = max peak (Dd.Vec.node_count out + Dd.Vec.node_count out') in
-      shoot (k - 1) (ok && Float.abs (fid -. 1.0) <= 1e-9) peak
+      let ok', nodes = one_shot () in
+      shoot (k - 1) (ok && ok') (max peak nodes)
     end
   in
   let ok, peak = shoot shots true 0 in

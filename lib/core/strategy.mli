@@ -53,7 +53,14 @@ val default : t
 val name : t -> string
 val pp : Format.formatter -> t -> unit
 
+(** Raised by {!check} when a circuit still contains a non-unitary
+    operation ([Reset] or a classically-controlled gate); carries the
+    offending operation.  Dynamic circuits must go through the Section 4
+    transformation first. *)
+exception Non_unitary of Circuit.Op.t
+
 (** [check p strategy g g'] compares two unitary circuits over the same
     number of qubits (measurements and barriers are ignored).  Raises
-    [Invalid_argument] on register mismatch or non-unitary operations. *)
+    [Invalid_argument] on register mismatch and {!Non_unitary} on
+    non-unitary operations. *)
 val check : Dd.Pkg.t -> t -> Circuit.Circ.t -> Circuit.Circ.t -> outcome

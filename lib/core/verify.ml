@@ -79,7 +79,8 @@ let equalize_widths g g' =
   else if n' < n then (g, pad g' n)
   else (g, g')
 
-let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true) g g' =
+let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true) ?dd_config g
+    g' =
   let m0 = Obs.Metrics.snapshot () in
   let t0 = now () in
   let g, g' =
@@ -101,7 +102,7 @@ let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true) g g' =
       (g, g'))
   in
   let t1 = now () in
-  let p = Dd.Pkg.create () in
+  let p = Dd.Pkg.create ?config:dd_config () in
   let outcome =
     Obs.Span.with_ "verify.functional.check" (fun () -> Strategy.check p strategy g g')
   in
@@ -127,12 +128,12 @@ type distribution_result =
   ; metrics : Obs.Metrics.snapshot
   }
 
-let distribution ?(eps = 1e-9) ?(cutoff = 1e-12) ?(domains = 1) dyn static =
+let distribution ?(eps = 1e-9) ?(cutoff = 1e-12) ?(domains = 1) ?dd_config dyn static =
   let m0 = Obs.Metrics.snapshot () in
   let t0 = now () in
   let extraction =
     Obs.Span.with_ "verify.distribution.extract" (fun () ->
-      Qsim.Extraction.run ~cutoff ~domains dyn)
+      Qsim.Extraction.run ~cutoff ~domains ?dd_config dyn)
   in
   let t1 = now () in
   (* a dynamic reference is extracted as well; a static one is simulated
@@ -140,11 +141,11 @@ let distribution ?(eps = 1e-9) ?(cutoff = 1e-12) ?(domains = 1) dyn static =
   let static_dist, t2 =
     Obs.Span.with_ "verify.distribution.simulate" (fun () ->
       if Circ.is_dynamic static then begin
-        let r = Qsim.Extraction.run ~cutoff ~domains static in
+        let r = Qsim.Extraction.run ~cutoff ~domains ?dd_config static in
         (r.Qsim.Extraction.distribution, now ())
       end
       else begin
-        let p = Dd.Pkg.create () in
+        let p = Dd.Pkg.create ?config:dd_config () in
         let final = Qsim.Dd_sim.simulate p static in
         let t2 = now () in
         ( Qsim.Dd_sim.measured_distribution p final ~n:static.Circ.num_qubits
@@ -171,7 +172,7 @@ type approximate_result =
   ; t_check : float
   }
 
-let approximate ?(threshold = 1.0 -. 1e-9) ?perm ?(auto_align = true) g g' =
+let approximate ?(threshold = 1.0 -. 1e-9) ?perm ?(auto_align = true) ?dd_config g g' =
   let t0 = now () in
   let static_of c = if Circ.is_dynamic c then Transform.Dynamic.transform c else c in
   let g = static_of g in
@@ -186,12 +187,14 @@ let approximate ?(threshold = 1.0 -. 1e-9) ?perm ?(auto_align = true) g g' =
   in
   let g' = match perm with None -> g' | Some perm -> Circ.remap g' ~perm in
   let t1 = now () in
-  let p = Dd.Pkg.create () in
+  let p = Dd.Pkg.create ?config:dd_config () in
   let fidelity =
     Obs.Span.with_ "verify.approximate.check" (fun () ->
-      let u = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g) in
-      let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
-      Dd.Mat.process_fidelity p u u' ~n:g.Circ.num_qubits)
+      (* [u] stays rooted while [u'] is built (auto-GC safepoints) *)
+      Dd.Pkg.with_root_m p (Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g))
+        (fun ru ->
+          let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
+          Dd.Mat.process_fidelity p (Dd.Pkg.mroot_edge ru) u' ~n:g.Circ.num_qubits))
   in
   let t2 = now () in
   { process_fidelity = fidelity

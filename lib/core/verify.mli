@@ -29,11 +29,14 @@ type functional_result =
     unmeasured qubits matched in ascending order.  If the (transformed)
     circuits act on different numbers of qubits, the narrower one is padded
     with idle wires, which the check then requires to be exact identities.
-    Final measurements are stripped before the unitary comparison. *)
+    Final measurements are stripped before the unitary comparison.
+    [dd_config] bounds the DD package's operation caches and enables
+    automatic compaction (see {!Dd.Pkg.config}). *)
 val functional :
      ?strategy:Strategy.t
   -> ?perm:int array
   -> ?auto_align:bool
+  -> ?dd_config:Dd.Pkg.config
   -> Circuit.Circ.t
   -> Circuit.Circ.t
   -> functional_result
@@ -64,6 +67,7 @@ val approximate :
      ?threshold:float
   -> ?perm:int array
   -> ?auto_align:bool
+  -> ?dd_config:Dd.Pkg.config
   -> Circuit.Circ.t
   -> Circuit.Circ.t
   -> approximate_result
@@ -96,6 +100,7 @@ val distribution :
      ?eps:float
   -> ?cutoff:float
   -> ?domains:int
+  -> ?dd_config:Dd.Pkg.config
   -> Circuit.Circ.t
   -> Circuit.Circ.t
   -> distribution_result

@@ -23,6 +23,7 @@ type t =
   { tol : float
   ; buckets : (int * int * int, value list ref) Hashtbl.t
   ; mutable next_id : int
+  ; mutable count : int (* live interned values, including 0 and 1 *)
   }
 
 (* Values this small cannot be distinguished from exact zero by any
@@ -43,7 +44,7 @@ let key_at t (z : Cx.t) e =
   , int_of_float (Float.round (z.Cx.im /. s /. t.tol)) )
 
 let create ?(tol = 1e-10) () =
-  { tol; buckets = Hashtbl.create 4096; next_id = 2 }
+  { tol; buckets = Hashtbl.create 4096; next_id = 2; count = 2 }
 
 let tol t = t.tol
 
@@ -59,6 +60,7 @@ let find_in_bucket t key z =
   | Some cell -> List.find_opt (matches t z) !cell
 
 let insert t key v =
+  t.count <- t.count + 1;
   match Hashtbl.find_opt t.buckets key with
   | Some cell -> cell := v :: !cell
   | None -> Hashtbl.add t.buckets key (ref [ v ])
@@ -109,5 +111,24 @@ let lookup t (z : Cx.t) =
     probe probes
   end
 
-let size t = t.next_id
+let size t = t.count
+
+(* Garbage collection: re-seed the table with exactly the given survivors.
+   Ids are *not* recycled — [next_id] keeps rising monotonically — so a
+   stale value held by a caller can never collide with a freshly interned
+   one; it merely loses sharing with the new representative of the same
+   complex number.  Survivors with ids 0/1 (the pre-interned constants,
+   which live outside the buckets) are skipped; the caller is expected to
+   pass each survivor once. *)
+let rebuild t survivors =
+  Hashtbl.reset t.buckets;
+  t.count <- 2;
+  List.iter
+    (fun (v : value) ->
+      if v.id > 1 then begin
+        let z = to_cx v in
+        insert t (key_at t z (exponent_of (magnitude z))) v
+      end)
+    survivors
+
 let pp ppf v = Cx.pp ppf (to_cx v)

@@ -28,6 +28,14 @@ val lookup : t -> Cx.t -> value
 (** Number of distinct values currently interned (including 0 and 1). *)
 val size : t -> int
 
+(** [rebuild t survivors] garbage-collects the table: every binding is
+    dropped and exactly [survivors] (each passed once; the pre-interned 0
+    and 1 are implicit) are re-interned under their existing ids.  Ids are
+    never recycled, so values *not* in [survivors] that a caller still
+    holds remain distinguishable — they only lose sharing with any later
+    re-interning of the same complex number. *)
+val rebuild : t -> value list -> unit
+
 (** Canonical zero, id 0.  Shared across tables. *)
 val zero : value
 

@@ -1,0 +1,86 @@
+module M = Obs.Metrics
+
+(* A bounded compute cache with second-chance (clock) eviction.
+
+   Entries carry a reference bit that is set on every hit.  When the cache
+   is full, candidates are popped from a FIFO of insertion order: an entry
+   whose bit is set gets a second chance (bit cleared, re-queued), the
+   first entry found with a clear bit is evicted.  One full rotation clears
+   every bit, so an eviction scan terminates after at most 2 * length
+   steps and in practice after one or two.
+
+   The queue holds exactly the table's keys (entries leave it only by being
+   evicted or by [clear]), so no stale-entry bookkeeping is needed.  The
+   reference bit is shared between the queue and the table entry: replacing
+   a key's value keeps its queue position and bit. *)
+
+type ('k, 'v) t =
+  { tbl : ('k, 'v * bool ref) Hashtbl.t
+  ; queue : ('k * bool ref) Queue.t
+  ; capacity : int (* negative: unbounded; 0: disabled (never stores) *)
+  ; m_hits : M.counter
+  ; m_misses : M.counter
+  ; m_evictions : M.counter
+  ; g_peak : M.gauge
+  }
+
+let create ?(capacity = -1) name =
+  let initial = if capacity > 0 then max 16 (min capacity 1024) else 1024 in
+  { tbl = Hashtbl.create initial
+  ; queue = Queue.create ()
+  ; capacity
+  ; m_hits = M.counter ("dd.cache." ^ name ^ ".hits")
+  ; m_misses = M.counter ("dd.cache." ^ name ^ ".misses")
+  ; m_evictions = M.counter ("dd.cache." ^ name ^ ".evictions")
+  ; g_peak = M.gauge ("dd.cache." ^ name ^ ".peak")
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.tbl
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (v, bit) ->
+    M.incr t.m_hits;
+    bit := true;
+    Some v
+  | None ->
+    M.incr t.m_misses;
+    None
+
+let evict_one t =
+  let rec scan () =
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some ((key, bit) as entry) ->
+      if !bit then begin
+        bit := false;
+        Queue.add entry t.queue;
+        scan ()
+      end
+      else begin
+        Hashtbl.remove t.tbl key;
+        M.incr t.m_evictions
+      end
+  in
+  scan ()
+
+let add t key v =
+  if t.capacity <> 0 then begin
+    match Hashtbl.find_opt t.tbl key with
+    | Some (_, bit) ->
+      (* a re-computed key replaces the old binding instead of shadowing it
+         (Hashtbl.add would accumulate duplicates) *)
+      bit := true;
+      Hashtbl.replace t.tbl key (v, bit)
+    | None ->
+      if t.capacity > 0 && Hashtbl.length t.tbl >= t.capacity then evict_one t;
+      let bit = ref false in
+      Hashtbl.replace t.tbl key (v, bit);
+      Queue.add (key, bit) t.queue;
+      M.observe t.g_peak (Hashtbl.length t.tbl)
+  end
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  Queue.clear t.queue

@@ -1,19 +1,10 @@
 open Types
 module Cx = Cxnum.Cx
 module Ct = Cxnum.Cx_table
-module M = Obs.Metrics
 
 let wcx (w : weight) = Ct.to_cx w
 
-(* observability: compute-cache effectiveness (see docs/OBSERVABILITY.md) *)
-let m_madd_hits = M.counter "dd.cache.madd.hits"
-let m_madd_misses = M.counter "dd.cache.madd.misses"
-let m_mv_hits = M.counter "dd.cache.mv.hits"
-let m_mv_misses = M.counter "dd.cache.mv.misses"
-let m_mm_hits = M.counter "dd.cache.mm.hits"
-let m_mm_misses = M.counter "dd.cache.mm.misses"
-let m_adj_hits = M.counter "dd.cache.adj.hits"
-let m_adj_misses = M.counter "dd.cache.adj.misses"
+(* compute-cache hit/miss/eviction counters live in {!Cache} *)
 
 (* Same ratio-normalized caching scheme as Vec.add. *)
 let rec add p (a : medge) (b : medge) =
@@ -34,19 +25,16 @@ let rec add p (a : medge) (b : medge) =
       let key = (na.mid, nb.mid, ratio.id) in
       let cache = Pkg.madd_cache p in
       let inner =
-        match Hashtbl.find_opt cache key with
-        | Some e ->
-          M.incr m_madd_hits;
-          e
+        match Cache.find cache key with
+        | Some e -> e
         | None ->
-          M.incr m_madd_misses;
           let rb = wcx ratio in
           let sum ea eb = add p ea (Pkg.mscale p rb eb) in
           let e =
             Pkg.make_mnode p na.mvar (sum na.m00 nb.m00) (sum na.m01 nb.m01)
               (sum na.m10 nb.m10) (sum na.m11 nb.m11)
           in
-          Hashtbl.add cache key e;
+          Cache.add cache key e;
           e
       in
       Pkg.mscale p wa inner
@@ -66,16 +54,13 @@ let rec apply p (m : medge) (v : vedge) =
       let key = (mn.mid, vn.vid) in
       let cache = Pkg.mv_cache p in
       let inner =
-        match Hashtbl.find_opt cache key with
-        | Some e ->
-          M.incr m_mv_hits;
-          e
+        match Cache.find cache key with
+        | Some e -> e
         | None ->
-          M.incr m_mv_misses;
           let r0 = Vec.add p (apply p mn.m00 vn.v0) (apply p mn.m01 vn.v1) in
           let r1 = Vec.add p (apply p mn.m10 vn.v0) (apply p mn.m11 vn.v1) in
           let e = Pkg.make_vnode p mn.mvar r0 r1 in
-          Hashtbl.add cache key e;
+          Cache.add cache key e;
           e
       in
       Pkg.vscale p w inner
@@ -92,12 +77,9 @@ let rec mul p (a : medge) (b : medge) =
       let key = (na.mid, nb.mid) in
       let cache = Pkg.mm_cache p in
       let inner =
-        match Hashtbl.find_opt cache key with
-        | Some e ->
-          M.incr m_mm_hits;
-          e
+        match Cache.find cache key with
+        | Some e -> e
         | None ->
-          M.incr m_mm_misses;
           let entry i j =
             (* C_ij = A_i0 * B_0j + A_i1 * B_1j *)
             let sel n i j =
@@ -112,7 +94,7 @@ let rec mul p (a : medge) (b : medge) =
           let e =
             Pkg.make_mnode p na.mvar (entry 0 0) (entry 0 1) (entry 1 0) (entry 1 1)
           in
-          Hashtbl.add cache key e;
+          Cache.add cache key e;
           e
       in
       Pkg.mscale p w inner
@@ -128,17 +110,14 @@ let rec adjoint p (a : medge) =
     | Some n ->
       let cache = Pkg.adj_cache p in
       let inner =
-        match Hashtbl.find_opt cache n.mid with
-        | Some e ->
-          M.incr m_adj_hits;
-          e
+        match Cache.find cache n.mid with
+        | Some e -> e
         | None ->
-          M.incr m_adj_misses;
           let e =
             Pkg.make_mnode p n.mvar (adjoint p n.m00) (adjoint p n.m10)
               (adjoint p n.m01) (adjoint p n.m11)
           in
-          Hashtbl.add cache n.mid e;
+          Cache.add cache n.mid e;
           e
       in
       Pkg.mscale p w inner

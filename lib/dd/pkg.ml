@@ -11,9 +11,48 @@ let m_vuniq_hits = M.counter "dd.unique.vec.hits"
 let m_vuniq_inserts = M.counter "dd.unique.vec.inserts"
 let m_muniq_hits = M.counter "dd.unique.mat.hits"
 let m_muniq_inserts = M.counter "dd.unique.mat.inserts"
-let m_compact_runs = M.counter "dd.compact.runs"
+let m_gc_runs = M.counter "dd.gc.runs"
+let m_gc_auto = M.counter "dd.gc.auto"
+let m_gc_swept_nodes = M.counter "dd.gc.swept.nodes"
+let m_gc_swept_weights = M.counter "dd.gc.swept.weights"
 let g_vnodes_peak = M.gauge "dd.unique.vec.peak"
 let g_mnodes_peak = M.gauge "dd.unique.mat.peak"
+
+(* Per-cache capacities: negative means unbounded, 0 disables the cache
+   (every lookup misses), positive bounds the entry count. *)
+type caps =
+  { vadd : int
+  ; madd : int
+  ; mv : int
+  ; mm : int
+  ; ip : int
+  ; adj : int
+  }
+
+let caps_unbounded = { vadd = -1; madd = -1; mv = -1; mm = -1; ip = -1; adj = -1 }
+let caps_uniform n = { vadd = n; madd = n; mv = n; mm = n; ip = n; adj = n }
+
+type config =
+  { caps : caps
+  ; gc_threshold : int option
+        (* automatic compaction once the unique tables have grown by this
+           many nodes since the last sweep; [None] disables auto-GC *)
+  }
+
+let default_config = { caps = caps_unbounded; gc_threshold = None }
+
+(* Registered roots.  A root is a mutable cell the package knows about:
+   [compact] treats the edges held in live roots (plus the cached identity
+   chain) as the complete reachability frontier. *)
+type vroot =
+  { vr_id : int
+  ; mutable vr_edge : vedge
+  }
+
+type mroot =
+  { mr_id : int
+  ; mutable mr_edge : medge
+  }
 
 type t =
   { ctab : Ct.t
@@ -22,27 +61,38 @@ type t =
   ; mutable vnext : int
   ; mutable mnext : int
   ; mutable idents : medge list (* idents in reverse: ident i at position .. *)
-  ; vadd : (int * int * int, vedge) Hashtbl.t
-  ; madd : (int * int * int, medge) Hashtbl.t
-  ; mv : (int * int, vedge) Hashtbl.t
-  ; mm : (int * int, medge) Hashtbl.t
-  ; ip : (int * int, Cx.t) Hashtbl.t
-  ; adj : (int, medge) Hashtbl.t
+  ; vadd : (int * int * int, vedge) Cache.t
+  ; madd : (int * int * int, medge) Cache.t
+  ; mv : (int * int, vedge) Cache.t
+  ; mm : (int * int, medge) Cache.t
+  ; ip : (int * int, Cx.t) Cache.t
+  ; adj : (int, medge) Cache.t
+  ; vroots : (int, vroot) Hashtbl.t
+  ; mroots : (int, mroot) Hashtbl.t
+  ; mutable root_next : int
+  ; gc_threshold : int option
+  ; mutable gc_baseline : int (* live nodes right after the last sweep *)
   }
 
-let create ?(tol = 1e-10) () =
+let create ?(tol = 1e-10) ?(config = default_config) () =
+  let caps = config.caps in
   { ctab = Ct.create ~tol ()
   ; vtab = Hashtbl.create 4096
   ; mtab = Hashtbl.create 4096
   ; vnext = 0
   ; mnext = 0
   ; idents = []
-  ; vadd = Hashtbl.create 1024
-  ; madd = Hashtbl.create 1024
-  ; mv = Hashtbl.create 1024
-  ; mm = Hashtbl.create 1024
-  ; ip = Hashtbl.create 256
-  ; adj = Hashtbl.create 256
+  ; vadd = Cache.create ~capacity:caps.vadd "vadd"
+  ; madd = Cache.create ~capacity:caps.madd "madd"
+  ; mv = Cache.create ~capacity:caps.mv "mv"
+  ; mm = Cache.create ~capacity:caps.mm "mm"
+  ; ip = Cache.create ~capacity:caps.ip "ip"
+  ; adj = Cache.create ~capacity:caps.adj "adj"
+  ; vroots = Hashtbl.create 16
+  ; mroots = Hashtbl.create 16
+  ; root_next = 0
+  ; gc_threshold = config.gc_threshold
+  ; gc_baseline = 0
   }
 
 let tol p = Ct.tol p.ctab
@@ -270,25 +320,72 @@ let ip_cache p = p.ip
 let adj_cache p = p.adj
 
 let clear_caches p =
-  Hashtbl.reset p.vadd;
-  Hashtbl.reset p.madd;
-  Hashtbl.reset p.mv;
-  Hashtbl.reset p.mm;
-  Hashtbl.reset p.ip;
-  Hashtbl.reset p.adj
+  Cache.clear p.vadd;
+  Cache.clear p.madd;
+  Cache.clear p.mv;
+  Cache.clear p.mm;
+  Cache.clear p.ip;
+  Cache.clear p.adj
 
-let compact p ~vector_roots ~matrix_roots =
-  M.incr m_compact_runs;
+(* -- root registry ---------------------------------------------------- *)
+
+let root_v p e =
+  let r = { vr_id = p.root_next; vr_edge = e } in
+  p.root_next <- p.root_next + 1;
+  Hashtbl.replace p.vroots r.vr_id r;
+  r
+
+let root_m p e =
+  let r = { mr_id = p.root_next; mr_edge = e } in
+  p.root_next <- p.root_next + 1;
+  Hashtbl.replace p.mroots r.mr_id r;
+  r
+
+let vroot_edge r = r.vr_edge
+let mroot_edge r = r.mr_edge
+let set_vroot r e = r.vr_edge <- e
+let set_mroot r e = r.mr_edge <- e
+let release_v p r = Hashtbl.remove p.vroots r.vr_id
+let release_m p r = Hashtbl.remove p.mroots r.mr_id
+
+let with_root_v p e f =
+  let r = root_v p e in
+  Fun.protect ~finally:(fun () -> release_v p r) (fun () -> f r)
+
+let with_root_m p e f =
+  let r = root_m p e in
+  Fun.protect ~finally:(fun () -> release_m p r) (fun () -> f r)
+
+let live_roots p = Hashtbl.length p.vroots + Hashtbl.length p.mroots
+let live_nodes p = Hashtbl.length p.vtab + Hashtbl.length p.mtab
+
+(* -- compaction ------------------------------------------------------- *)
+
+(* Sweep everything unreachable from the registered roots (plus the cached
+   identity chain): operation caches are dropped, the unique tables are
+   rebuilt from the reachable nodes, and the complex table is re-seeded
+   with exactly the weights those nodes (and the root edges themselves)
+   carry.  Nodes and weights held by callers but not reachable from a root
+   must no longer be used with this package: they stay structurally valid
+   OCaml values, but lose canonicity (a later structurally-equal build
+   yields a different physical node). *)
+let compact p =
+  M.incr m_gc_runs;
+  let nodes_before = live_nodes p and weights_before = Ct.size p.ctab in
   clear_caches p;
   Hashtbl.reset p.vtab;
   Hashtbl.reset p.mtab;
   let vseen = Hashtbl.create 256 and mseen = Hashtbl.create 256 in
+  let weights : (int, weight) Hashtbl.t = Hashtbl.create 256 in
+  let keep_w (w : weight) = if w.id > 1 then Hashtbl.replace weights w.id w in
   let rec revisit_v = function
     | None -> ()
     | Some n ->
       if not (Hashtbl.mem vseen n.vid) then begin
         Hashtbl.add vseen n.vid ();
         Hashtbl.replace p.vtab (vkey_of n.vvar n.v0 n.v1) n;
+        keep_w n.v0.vw;
+        keep_w n.v1.vw;
         if not (vedge_is_zero n.v0) then revisit_v n.v0.vt;
         if not (vedge_is_zero n.v1) then revisit_v n.v1.vt
       end
@@ -299,17 +396,44 @@ let compact p ~vector_roots ~matrix_roots =
       if not (Hashtbl.mem mseen n.mid) then begin
         Hashtbl.add mseen n.mid ();
         Hashtbl.replace p.mtab (mkey_of n.mvar n.m00 n.m01 n.m10 n.m11) n;
-        let follow (e : medge) = if not (medge_is_zero e) then revisit_m e.mt in
+        let follow (e : medge) =
+          keep_w e.mw;
+          if not (medge_is_zero e) then revisit_m e.mt
+        in
         follow n.m00;
         follow n.m01;
         follow n.m10;
         follow n.m11
       end
   in
-  List.iter (fun (e : vedge) -> if not (vedge_is_zero e) then revisit_v e.vt) vector_roots;
-  List.iter (fun (e : medge) -> if not (medge_is_zero e) then revisit_m e.mt) matrix_roots;
+  let root_vedge (e : vedge) =
+    keep_w e.vw;
+    if not (vedge_is_zero e) then revisit_v e.vt
+  in
+  let root_medge (e : medge) =
+    keep_w e.mw;
+    if not (medge_is_zero e) then revisit_m e.mt
+  in
+  Hashtbl.iter (fun _ r -> root_vedge r.vr_edge) p.vroots;
+  Hashtbl.iter (fun _ r -> root_medge r.mr_edge) p.mroots;
   (* the cached identity chain must stay valid *)
-  List.iter (fun (e : medge) -> if not (medge_is_zero e) then revisit_m e.mt) p.idents
+  List.iter root_medge p.idents;
+  Ct.rebuild p.ctab (Hashtbl.fold (fun _ w acc -> w :: acc) weights []);
+  p.gc_baseline <- live_nodes p;
+  M.add m_gc_swept_nodes (nodes_before - live_nodes p);
+  M.add m_gc_swept_weights (max 0 (weights_before - Ct.size p.ctab))
+
+(* Growth policy: a cheap check consumers place at safepoints (between DD
+   operations, when everything live is rooted).  Compaction must never run
+   in the middle of a {!Vec}/{!Mat} operation — intermediate edges held in
+   OCaml locals are not rooted — so the package never compacts on its own;
+   it only does so here, when a consumer says it is safe. *)
+let checkpoint p =
+  match p.gc_threshold with
+  | Some threshold when live_nodes p - p.gc_baseline > threshold ->
+    M.incr m_gc_auto;
+    compact p
+  | _ -> ()
 
 type stats =
   { vector_nodes : int

@@ -10,9 +10,41 @@ open Types
 
 type t
 
-(** [create ?tol ()] makes a fresh, empty package.  [tol] is the numerical
-    tolerance used for interning complex weights (default [1e-10]). *)
-val create : ?tol:float -> unit -> t
+(** {1 Memory configuration} *)
+
+(** Per-cache capacities for the six operation caches.  Negative values
+    mean unbounded, [0] disables a cache (every lookup misses), positive
+    values bound the entry count with second-chance eviction ({!Cache}). *)
+type caps =
+  { vadd : int
+  ; madd : int
+  ; mv : int
+  ; mm : int
+  ; ip : int
+  ; adj : int
+  }
+
+val caps_unbounded : caps
+
+(** [caps_uniform n] applies the same capacity to every cache. *)
+val caps_uniform : int -> caps
+
+type config =
+  { caps : caps
+  ; gc_threshold : int option
+        (** run {!compact} automatically (at consumer {!checkpoint}s) once
+            the unique tables have grown by this many nodes since the last
+            sweep; [None] (the default) disables auto-GC *)
+  }
+
+(** Unbounded caches, no auto-GC — the historical behaviour. *)
+val default_config : config
+
+(** [create ?tol ?config ()] makes a fresh, empty package.  [tol] is the
+    numerical tolerance used for interning complex weights (default
+    [1e-10]); [config] bounds the operation caches and enables automatic
+    compaction (default {!default_config}). *)
+val create : ?tol:float -> ?config:config -> unit -> t
 
 val tol : t -> float
 val ctab : t -> Cxnum.Cx_table.t
@@ -83,22 +115,69 @@ val gate :
 
     Operation caches used by {!Vec} and {!Mat}; exposed for them only. *)
 
-val vadd_cache : t -> (int * int * int, vedge) Hashtbl.t
-val madd_cache : t -> (int * int * int, medge) Hashtbl.t
-val mv_cache : t -> (int * int, vedge) Hashtbl.t
-val mm_cache : t -> (int * int, medge) Hashtbl.t
-val ip_cache : t -> (int * int, Cxnum.Cx.t) Hashtbl.t
-val adj_cache : t -> (int, medge) Hashtbl.t
+val vadd_cache : t -> (int * int * int, vedge) Cache.t
+val madd_cache : t -> (int * int * int, medge) Cache.t
+val mv_cache : t -> (int * int, vedge) Cache.t
+val mm_cache : t -> (int * int, medge) Cache.t
+val ip_cache : t -> (int * int, Cxnum.Cx.t) Cache.t
+val adj_cache : t -> (int, medge) Cache.t
 
 (** Drop all operation caches (keeps the unique tables). *)
 val clear_caches : t -> unit
 
-(** [compact p ~vector_roots ~matrix_roots] garbage-collects the unique
-    tables: only nodes reachable from the given roots (plus the cached
-    identities) survive; all operation caches are dropped.  Edges held by
-    the caller stay valid — their nodes are re-registered — but any edge
-    not passed as a root must no longer be used with this package. *)
-val compact : t -> vector_roots:vedge list -> matrix_roots:medge list -> unit
+(** {1 Roots and garbage collection}
+
+    The package tracks its live data through registered roots: mutable
+    cells holding the edges that must survive a sweep.  Consumers root
+    every intermediate result that must outlive a potential {!compact} and
+    advance the cell (with {!set_vroot}/{!set_mroot}) as the computation
+    progresses. *)
+
+type vroot
+type mroot
+
+(** [root_v p e] registers [e] as a live vector root; {!release_v} (or the
+    {!with_root_v} bracket) unregisters it. *)
+val root_v : t -> vedge -> vroot
+
+val root_m : t -> medge -> mroot
+val vroot_edge : vroot -> vedge
+val mroot_edge : mroot -> medge
+
+(** [set_vroot r e] advances the root to a new edge (the previous edge
+    becomes collectable unless rooted elsewhere). *)
+val set_vroot : vroot -> vedge -> unit
+
+val set_mroot : mroot -> medge -> unit
+val release_v : t -> vroot -> unit
+val release_m : t -> mroot -> unit
+
+(** [with_root_v p e f] registers [e], runs [f] on the handle, and releases
+    it even on exceptions.  The edge held by the handle when [f] returns is
+    only guaranteed to stay canonical until the next sweep; re-root it if
+    it must survive longer. *)
+val with_root_v : t -> vedge -> (vroot -> 'a) -> 'a
+
+val with_root_m : t -> medge -> (mroot -> 'a) -> 'a
+
+(** Number of currently registered roots / live unique-table nodes. *)
+val live_roots : t -> int
+
+val live_nodes : t -> int
+
+(** [compact p] garbage-collects the package: only nodes reachable from the
+    registered roots (plus the cached identities) survive, all operation
+    caches are dropped, and the complex table is rebuilt from the weights
+    actually reachable — so long-lived packages no longer leak interned
+    weights.  Edges held in live roots stay valid; any other edge must no
+    longer be used with this package. *)
+val compact : t -> unit
+
+(** [checkpoint p] runs {!compact} if the growth policy asks for it: the
+    unique tables grew past [config.gc_threshold] nodes since the last
+    sweep.  Consumers call this at safepoints — between DD operations, when
+    everything live is rooted.  A no-op (one comparison) otherwise. *)
+val checkpoint : t -> unit
 
 (** {1 Statistics} *)
 

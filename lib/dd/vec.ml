@@ -1,15 +1,10 @@
 open Types
 module Cx = Cxnum.Cx
 module Ct = Cxnum.Cx_table
-module M = Obs.Metrics
 
 let wcx (w : weight) = Ct.to_cx w
 
-(* observability: compute-cache effectiveness (see docs/OBSERVABILITY.md) *)
-let m_vadd_hits = M.counter "dd.cache.vadd.hits"
-let m_vadd_misses = M.counter "dd.cache.vadd.misses"
-let m_ip_hits = M.counter "dd.cache.ip.hits"
-let m_ip_misses = M.counter "dd.cache.ip.misses"
+(* compute-cache hit/miss/eviction counters live in {!Cache} *)
 
 (* Addition is cached on (node a, node b, interned ratio w_b / w_a): the sum
    w_a * A + w_b * B equals w_a * (A + (w_b / w_a) * B), and the inner sum
@@ -33,17 +28,14 @@ let rec add p (a : vedge) (b : vedge) =
       let key = (na.vid, nb.vid, ratio.id) in
       let cache = Pkg.vadd_cache p in
       let inner =
-        match Hashtbl.find_opt cache key with
-        | Some e ->
-          M.incr m_vadd_hits;
-          e
+        match Cache.find cache key with
+        | Some e -> e
         | None ->
-          M.incr m_vadd_misses;
           let rb = wcx ratio in
           let e0 = add p na.v0 (Pkg.vscale p rb nb.v0) in
           let e1 = add p na.v1 (Pkg.vscale p rb nb.v1) in
           let e = Pkg.make_vnode p na.vvar e0 e1 in
-          Hashtbl.add cache key e;
+          Cache.add cache key e;
           e
       in
       Pkg.vscale p wa inner
@@ -56,12 +48,9 @@ let rec inner_product_nodes p na nb =
   | Some a, Some b ->
     let key = (a.vid, b.vid) in
     let cache = Pkg.ip_cache p in
-    (match Hashtbl.find_opt cache key with
-     | Some z ->
-       M.incr m_ip_hits;
-       z
+    (match Cache.find cache key with
+     | Some z -> z
      | None ->
-       M.incr m_ip_misses;
        let part (ea : vedge) (eb : vedge) =
          if vedge_is_zero ea || vedge_is_zero eb then Cx.zero
          else begin
@@ -70,7 +59,7 @@ let rec inner_product_nodes p na nb =
          end
        in
        let z = Cx.add (part a.v0 b.v0) (part a.v1 b.v1) in
-       Hashtbl.add cache key z;
+       Cache.add cache key z;
        z)
   | _ -> invalid_arg "Vec.inner_product: operands of different dimension"
 

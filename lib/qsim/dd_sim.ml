@@ -27,24 +27,32 @@ let simulate p (c : Circ.t) =
   if Circ.is_dynamic c then
     invalid_arg "Dd_sim.simulate: dynamic circuit (use Extraction.run)";
   let n = c.Circ.num_qubits in
-  let step state op =
-    match (op : Op.t) with
-    | Measure _ | Barrier _ -> state
-    | Apply _ | Swap _ -> apply_op p ~n state op
-    | Reset _ | Cond _ -> assert false (* excluded by is_dynamic *)
-  in
-  List.fold_left step (Dd.Pkg.zero_state p n) c.Circ.ops
+  Dd.Pkg.with_root_v p (Dd.Pkg.zero_state p n) (fun r ->
+      let step op =
+        match (op : Op.t) with
+        | Measure _ | Barrier _ -> ()
+        | Apply _ | Swap _ ->
+          Dd.Pkg.set_vroot r (apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+          Dd.Pkg.checkpoint p
+        | Reset _ | Cond _ -> assert false (* excluded by is_dynamic *)
+      in
+      List.iter step c.Circ.ops;
+      Dd.Pkg.vroot_edge r)
 
 let build_unitary p (c : Circ.t) =
   let n = c.Circ.num_qubits in
-  let step acc op =
-    match (op : Op.t) with
-    | Barrier _ -> acc
-    | Apply _ | Swap _ -> Dd.Mat.mul p (op_unitary p ~n op) acc
-    | Measure _ | Reset _ | Cond _ ->
-      invalid_arg "Dd_sim.build_unitary: non-unitary operation in circuit"
-  in
-  List.fold_left step (Dd.Pkg.ident p n) c.Circ.ops
+  Dd.Pkg.with_root_m p (Dd.Pkg.ident p n) (fun r ->
+      let step op =
+        match (op : Op.t) with
+        | Barrier _ -> ()
+        | Apply _ | Swap _ ->
+          Dd.Pkg.set_mroot r (Dd.Mat.mul p (op_unitary p ~n op) (Dd.Pkg.mroot_edge r));
+          Dd.Pkg.checkpoint p
+        | Measure _ | Reset _ | Cond _ ->
+          invalid_arg "Dd_sim.build_unitary: non-unitary operation in circuit"
+      in
+      List.iter step c.Circ.ops;
+      Dd.Pkg.mroot_edge r)
 
 let measured_distribution p state ~n ~num_cbits ~measures ?(cutoff = 1e-12)
     ?(limit = 1 lsl 22) () =

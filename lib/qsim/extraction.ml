@@ -49,40 +49,48 @@ let outcome_probs p state qubit =
 
 (* The core branching walk.  [forced] optionally prescribes outcomes for the
    first branch points (used by the parallel driver); [on_branch] lets the
-   tree builder observe the branching structure. *)
+   tree builder observe the branching structure.
+
+   Each branch frame holds its state in a registered root ({!Dd.Pkg.vroot}):
+   the parent's pre-projection state stays rooted across the recursion into
+   the first outcome, so automatic compaction at any {!Dd.Pkg.checkpoint}
+   safepoint cannot sweep a state that a pending sibling branch still
+   needs. *)
 let walk ~pkg:p ~n ~cutoff ~counters ~record ?(forced = [||]) circuit_ops cvals_init =
   let x_gate = Gates.matrix Gates.X in
   let apply_x state qubit =
     Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
   in
-  let rec go state ops cvals prob depth =
+  let rec go r ops cvals prob depth =
     match ops with
     | [] ->
       counters.c_leaves <- counters.c_leaves + 1;
       record (Bytes.to_string cvals) prob
     | op :: rest ->
       (match (op : Op.t) with
-       | Barrier _ -> go state rest cvals prob depth
+       | Barrier _ -> go r rest cvals prob depth
        | Apply _ | Swap _ ->
          counters.c_gates <- counters.c_gates + 1;
-         go (Dd_sim.apply_op p ~n state op) rest cvals prob depth
+         Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+         Dd.Pkg.checkpoint p;
+         go r rest cvals prob depth
        | Cond { cond; op } ->
-         let state =
-           if Classical.cond_holds cond cvals then begin
-             counters.c_gates <- counters.c_gates + 1;
-             Dd_sim.apply_op p ~n state op
-           end
-           else state
-         in
-         go state rest cvals prob depth
+         if Classical.cond_holds cond cvals then begin
+           counters.c_gates <- counters.c_gates + 1;
+           Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+           Dd.Pkg.checkpoint p
+         end;
+         go r rest cvals prob depth
        | Measure { qubit; cbit } ->
          counters.c_branch_points <- counters.c_branch_points + 1;
-         let p0, p1 = outcome_probs p state qubit in
+         let p0, p1 = outcome_probs p (Dd.Pkg.vroot_edge r) qubit in
          let take outcome p_out =
-           let state' = Dd.Vec.project p state qubit outcome in
+           let state' = Dd.Vec.project p (Dd.Pkg.vroot_edge r) qubit outcome in
            let cvals' = Bytes.copy cvals in
            Bytes.set cvals' cbit (if outcome = 1 then '1' else '0');
-           go state' rest cvals' (prob *. p_out) (depth + 1)
+           Dd.Pkg.with_root_v p state' (fun r' ->
+               Dd.Pkg.checkpoint p;
+               go r' rest cvals' (prob *. p_out) (depth + 1))
          in
          if depth < Array.length forced then begin
            let outcome = forced.(depth) in
@@ -97,11 +105,13 @@ let walk ~pkg:p ~n ~cutoff ~counters ~record ?(forced = [||]) circuit_ops cvals_
          end
        | Reset qubit ->
          counters.c_branch_points <- counters.c_branch_points + 1;
-         let p0, p1 = outcome_probs p state qubit in
+         let p0, p1 = outcome_probs p (Dd.Pkg.vroot_edge r) qubit in
          let take outcome p_out =
-           let state' = Dd.Vec.project p state qubit outcome in
+           let state' = Dd.Vec.project p (Dd.Pkg.vroot_edge r) qubit outcome in
            let state' = if outcome = 1 then apply_x state' qubit else state' in
-           go state' rest cvals (prob *. p_out) (depth + 1)
+           Dd.Pkg.with_root_v p state' (fun r' ->
+               Dd.Pkg.checkpoint p;
+               go r' rest cvals (prob *. p_out) (depth + 1))
          in
          if depth < Array.length forced then begin
            let outcome = forced.(depth) in
@@ -115,10 +125,11 @@ let walk ~pkg:p ~n ~cutoff ~counters ~record ?(forced = [||]) circuit_ops cvals_
            else counters.c_pruned <- counters.c_pruned + 1
          end)
   in
-  go (Dd.Pkg.zero_state p n) circuit_ops cvals_init 1.0 0
+  Dd.Pkg.with_root_v p (Dd.Pkg.zero_state p n) (fun r ->
+      go r circuit_ops cvals_init 1.0 0)
 
-let run_sequential ~cutoff (c : Circ.t) =
-  let p = Dd.Pkg.create () in
+let run_sequential ~cutoff ?dd_config (c : Circ.t) =
+  let p = Dd.Pkg.create ?config:dd_config () in
   let counters = new_counters () in
   let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
   let record = Classical.add_weighted dist in
@@ -138,11 +149,11 @@ let run_sequential ~cutoff (c : Circ.t) =
 (* Parallel driver: the first [depth] branch points are forced per task, so
    the 2^depth tasks partition the branching tree; each re-simulates its
    prefix in a private package (DD nodes cannot be shared across domains). *)
-let run_parallel ~cutoff ~domains (c : Circ.t) =
+let run_parallel ~cutoff ~domains ?dd_config (c : Circ.t) =
   let branchy =
     List.exists (function Op.Measure _ | Op.Reset _ -> true | _ -> false) c.Circ.ops
   in
-  if not branchy then run_sequential ~cutoff c
+  if not branchy then run_sequential ~cutoff ?dd_config c
   else begin
     let rec depth_for d = if 1 lsl d >= domains then d else depth_for (d + 1) in
     let n_branches =
@@ -152,7 +163,7 @@ let run_parallel ~cutoff ~domains (c : Circ.t) =
     let depth = min (depth_for 0) n_branches in
     let tasks = 1 lsl depth in
     let task_of idx () =
-      let p = Dd.Pkg.create () in
+      let p = Dd.Pkg.create ?config:dd_config () in
       let counters = new_counters () in
       let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
       let record = Classical.add_weighted dist in
@@ -196,9 +207,10 @@ let run_parallel ~cutoff ~domains (c : Circ.t) =
     }
   end
 
-let run ?(cutoff = 1e-12) ?(domains = 1) c =
+let run ?(cutoff = 1e-12) ?(domains = 1) ?dd_config c =
   M.incr m_runs;
-  if domains <= 1 then run_sequential ~cutoff c else run_parallel ~cutoff ~domains c
+  if domains <= 1 then run_sequential ~cutoff ?dd_config c
+  else run_parallel ~cutoff ~domains ?dd_config c
 
 type tree =
   | Leaf of
@@ -214,51 +226,61 @@ type tree =
       ; one : tree option
       }
 
-let tree ?(cutoff = 1e-12) (c : Circ.t) =
-  let p = Dd.Pkg.create () in
+let tree ?(cutoff = 1e-12) ?dd_config (c : Circ.t) =
+  let p = Dd.Pkg.create ?config:dd_config () in
   let n = c.Circ.num_qubits in
   let x_gate = Gates.matrix Gates.X in
   let apply_x state qubit =
     Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
   in
-  let rec go state ops cvals prob =
+  let rec go r ops cvals prob =
     match ops with
     | [] -> Leaf { cvals = Bytes.to_string cvals; probability = prob }
     | op :: rest ->
       (match (op : Op.t) with
-       | Barrier _ -> go state rest cvals prob
-       | Apply _ | Swap _ -> go (Dd_sim.apply_op p ~n state op) rest cvals prob
+       | Barrier _ -> go r rest cvals prob
+       | Apply _ | Swap _ ->
+         Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+         Dd.Pkg.checkpoint p;
+         go r rest cvals prob
        | Cond { cond; op } ->
-         let state =
-           if Classical.cond_holds cond cvals then Dd_sim.apply_op p ~n state op
-           else state
-         in
-         go state rest cvals prob
+         if Classical.cond_holds cond cvals then begin
+           Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+           Dd.Pkg.checkpoint p
+         end;
+         go r rest cvals prob
        | Measure { qubit; cbit } ->
-         let p0, p1 = outcome_probs p state qubit in
+         let p0, p1 = outcome_probs p (Dd.Pkg.vroot_edge r) qubit in
          let side outcome p_out =
            if prob *. p_out > cutoff then begin
-             let state' = Dd.Vec.project p state qubit outcome in
+             let state' = Dd.Vec.project p (Dd.Pkg.vroot_edge r) qubit outcome in
              let cvals' = Bytes.copy cvals in
              Bytes.set cvals' cbit (if outcome = 1 then '1' else '0');
-             Some (go state' rest cvals' (prob *. p_out))
+             Some
+               (Dd.Pkg.with_root_v p state' (fun r' ->
+                    Dd.Pkg.checkpoint p;
+                    go r' rest cvals' (prob *. p_out)))
            end
            else None
          in
          Branch { qubit; cbit = Some cbit; p0; p1; zero = side 0 p0; one = side 1 p1 }
        | Reset qubit ->
-         let p0, p1 = outcome_probs p state qubit in
+         let p0, p1 = outcome_probs p (Dd.Pkg.vroot_edge r) qubit in
          let side outcome p_out =
            if prob *. p_out > cutoff then begin
-             let state' = Dd.Vec.project p state qubit outcome in
+             let state' = Dd.Vec.project p (Dd.Pkg.vroot_edge r) qubit outcome in
              let state' = if outcome = 1 then apply_x state' qubit else state' in
-             Some (go state' rest cvals (prob *. p_out))
+             Some
+               (Dd.Pkg.with_root_v p state' (fun r' ->
+                    Dd.Pkg.checkpoint p;
+                    go r' rest cvals (prob *. p_out)))
            end
            else None
          in
          Branch { qubit; cbit = None; p0; p1; zero = side 0 p0; one = side 1 p1 })
   in
-  go (Dd.Pkg.zero_state p n) c.Circ.ops (Bytes.make c.Circ.num_cbits '0') 1.0
+  Dd.Pkg.with_root_v p (Dd.Pkg.zero_state p n) (fun r ->
+      go r c.Circ.ops (Bytes.make c.Circ.num_cbits '0') 1.0)
 
 let rec pp_tree ppf = function
   | Leaf { cvals; probability } -> Fmt.pf ppf "|%s> : %.4f" cvals probability

@@ -37,20 +37,28 @@ let validate_term term =
     invalid_arg "Observable: duplicate qubit in a Pauli string"
 
 let expectation p state ~n obs =
-  let term_value term =
-    validate_term term;
-    let transformed =
-      List.fold_left
-        (fun s (q, pauli) ->
-          match pauli with
-          | I -> s
-          | _ ->
-            Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:q (matrix_of_pauli pauli)) s)
-        state term.paulis
-    in
-    term.coefficient *. (Dd.Vec.inner_product p state transformed).Cx.re
-  in
-  List.fold_left (fun acc term -> acc +. term_value term) 0.0 obs
+  (* root the input and the per-term transformed state so the loop can pass
+     through auto-GC safepoints between Pauli applications *)
+  Dd.Pkg.with_root_v p state (fun rs ->
+      let term_value term =
+        validate_term term;
+        Dd.Pkg.with_root_v p (Dd.Pkg.vroot_edge rs) (fun rt ->
+            List.iter
+              (fun (q, pauli) ->
+                match pauli with
+                | I -> ()
+                | _ ->
+                  let g =
+                    Dd.Pkg.gate p ~n ~controls:[] ~target:q (matrix_of_pauli pauli)
+                  in
+                  Dd.Pkg.set_vroot rt (Dd.Mat.apply p g (Dd.Pkg.vroot_edge rt));
+                  Dd.Pkg.checkpoint p)
+              term.paulis;
+            term.coefficient
+            *. (Dd.Vec.inner_product p (Dd.Pkg.vroot_edge rs) (Dd.Pkg.vroot_edge rt))
+                 .Cx.re)
+      in
+      List.fold_left (fun acc term -> acc +. term_value term) 0.0 obs)
 
 let expectation_dense (sv : Statevector.t) obs =
   let term_value term =

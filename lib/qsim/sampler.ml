@@ -18,30 +18,34 @@ let one_shot ~rng p ~n (c : Circ.t) =
     let outcome = if Random.State.float rng (p0 +. p1) < p0 then 0 else 1 in
     (outcome, Dd.Vec.project p state qubit outcome)
   in
-  let step state op =
-    match (op : Op.t) with
-    | Barrier _ -> state
-    | Apply _ | Swap _ -> Dd_sim.apply_op p ~n state op
-    | Cond { cond; op } ->
-      if Classical.cond_holds cond cvals then Dd_sim.apply_op p ~n state op else state
-    | Measure { qubit; cbit } ->
-      let outcome, state = sample state qubit in
-      Bytes.set cvals cbit (if outcome = 1 then '1' else '0');
-      state
-    | Reset qubit ->
-      let outcome, state = sample state qubit in
-      if outcome = 1 then apply_x state qubit else state
+  let step r op =
+    let state = Dd.Pkg.vroot_edge r in
+    (match (op : Op.t) with
+     | Barrier _ -> ()
+     | Apply _ | Swap _ -> Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n state op)
+     | Cond { cond; op } ->
+       if Classical.cond_holds cond cvals then
+         Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n state op)
+     | Measure { qubit; cbit } ->
+       let outcome, state = sample state qubit in
+       Bytes.set cvals cbit (if outcome = 1 then '1' else '0');
+       Dd.Pkg.set_vroot r state
+     | Reset qubit ->
+       let outcome, state = sample state qubit in
+       Dd.Pkg.set_vroot r (if outcome = 1 then apply_x state qubit else state));
+    Dd.Pkg.checkpoint p
   in
-  ignore (List.fold_left step (Dd.Pkg.zero_state p n) c.Circ.ops);
+  Dd.Pkg.with_root_v p (Dd.Pkg.zero_state p n) (fun r ->
+      List.iter (step r) c.Circ.ops);
   Bytes.to_string cvals
 
-let run ~seed ~shots (c : Circ.t) =
+let run ~seed ~shots ?dd_config (c : Circ.t) =
   let rng = Random.State.make [| seed; shots; 0x5a0d |] in
   let n = c.Circ.num_qubits in
   let counts = Hashtbl.create 64 in
   (* one package for all shots: states from different shots share nodes,
      which is exactly what makes repeated runs affordable *)
-  let p = Dd.Pkg.create () in
+  let p = Dd.Pkg.create ?config:dd_config () in
   for _ = 1 to shots do
     let key = one_shot ~rng p ~n c in
     let prev = Option.value ~default:0 (Hashtbl.find_opt counts key) in

@@ -15,8 +15,11 @@ type result =
   }
 
 (** [run ~seed ~shots c] performs [shots] independent end-to-end
-    simulations, sampling every measurement and reset outcome. *)
-val run : seed:int -> shots:int -> Circuit.Circ.t -> result
+    simulations, sampling every measurement and reset outcome.  [dd_config]
+    bounds the shared DD package's caches and enables automatic compaction
+    between operations. *)
+val run :
+  seed:int -> shots:int -> ?dd_config:Dd.Pkg.config -> Circuit.Circ.t -> result
 
 (** [empirical r] normalizes counts into a distribution comparable with
     {!Extraction.run}. *)

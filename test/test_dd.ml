@@ -327,8 +327,142 @@ let test_repeated_apply_hits_cache () =
       Alcotest.(check bool) "repeated mat-vec multiply reports cache hits" true
         (Obs.Metrics.find d "dd.cache.mv.hits" > 0))
 
+let test_cache_replace_and_eviction () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled false)
+    (fun () ->
+      let c : (int, string) Dd.Cache.t = Dd.Cache.create ~capacity:2 "testcache" in
+      Dd.Cache.add c 1 "a";
+      Dd.Cache.add c 1 "b";
+      (* re-computed keys must shadow, not pile up as duplicate bindings *)
+      Alcotest.(check int) "replace keeps one binding" 1 (Dd.Cache.length c);
+      Alcotest.(check (option string)) "latest value wins" (Some "b") (Dd.Cache.find c 1);
+      let before = Obs.Metrics.snapshot () in
+      Dd.Cache.add c 2 "c";
+      Dd.Cache.add c 3 "d";
+      Dd.Cache.add c 4 "e";
+      let d = Obs.Metrics.diff ~before ~after:(Obs.Metrics.snapshot ()) in
+      Alcotest.(check bool) "capacity bound holds" true (Dd.Cache.length c <= 2);
+      Alcotest.(check bool) "evictions are counted" true
+        (Obs.Metrics.find d "dd.cache.testcache.evictions" > 0);
+      Dd.Cache.clear c;
+      Alcotest.(check int) "clear empties" 0 (Dd.Cache.length c))
+
+let test_zero_capacity_cache_disabled () =
+  let c : (int, int) Dd.Cache.t = Dd.Cache.create ~capacity:0 "testcache0" in
+  Dd.Cache.add c 1 10;
+  Alcotest.(check (option int)) "capacity 0 stores nothing" None (Dd.Cache.find c 1);
+  Alcotest.(check int) "stays empty" 0 (Dd.Cache.length c)
+
+(* distinct non-canonical weight ids reachable from a rooted vector *)
+let reachable_weight_count (e : Dd.Types.vedge) =
+  let ids = Hashtbl.create 64 and seen = Hashtbl.create 64 in
+  let keep (w : Cxnum.Cx_table.value) =
+    if w.Cxnum.Cx_table.id > 1 then Hashtbl.replace ids w.Cxnum.Cx_table.id ()
+  in
+  let rec go (e : Dd.Types.vedge) =
+    if not (Dd.Types.vedge_is_zero e) then begin
+      keep e.Dd.Types.vw;
+      match e.Dd.Types.vt with
+      | None -> ()
+      | Some n ->
+        if not (Hashtbl.mem seen n.Dd.Types.vid) then begin
+          Hashtbl.replace seen n.Dd.Types.vid ();
+          go n.Dd.Types.v0;
+          go n.Dd.Types.v1
+        end
+    end
+  in
+  go e;
+  Hashtbl.length ids
+
+let test_compact_rebuilds_weight_table () =
+  let p = Dd.Pkg.create () in
+  let n = 5 in
+  let s = Qsim.Dd_sim.simulate p (Algorithms.Random_circuit.unitary ~seed:3 ~qubits:n ~gates:40) in
+  ignore (Qsim.Dd_sim.simulate p (Algorithms.Random_circuit.unitary ~seed:4 ~qubits:n ~gates:40));
+  let weights_before = (Dd.Pkg.stats p).Dd.Pkg.weights in
+  let r = Dd.Pkg.root_v p s in
+  Dd.Pkg.compact p;
+  let weights_after = (Dd.Pkg.stats p).Dd.Pkg.weights in
+  Alcotest.(check bool)
+    (Fmt.str "weight table shrank (%d -> %d)" weights_before weights_after)
+    true
+    (weights_after < weights_before);
+  (* the rebuilt table holds exactly the root-reachable weights plus the
+     canonical 0 and 1 *)
+  let reachable = reachable_weight_count (Dd.Pkg.vroot_edge r) in
+  Alcotest.(check bool)
+    (Fmt.str "weights (%d) <= reachable (%d) + canonical 2" weights_after reachable)
+    true
+    (weights_after <= reachable + 2);
+  (* a second sweep is a fixpoint *)
+  Dd.Pkg.compact p;
+  Alcotest.(check int) "compaction is idempotent on weights" weights_after
+    ((Dd.Pkg.stats p).Dd.Pkg.weights);
+  Dd.Pkg.release_v p r
+
+let cx_identical (a : Cx.t) (b : Cx.t) = a.Cx.re = b.Cx.re && a.Cx.im = b.Cx.im
+
+let prop_compact_preserves_root_amplitudes =
+  QCheck.Test.make ~name:"compact preserves rooted amplitudes bit-for-bit" ~count:30
+    QCheck.(pair (int_range 1 4) (int_range 0 10000))
+    (fun (qubits, seed) ->
+      let p = Dd.Pkg.create () in
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits ~gates:20 in
+      let s = Qsim.Dd_sim.simulate p c in
+      let u = Qsim.Dd_sim.build_unitary p c in
+      (* garbage for the sweep to collect *)
+      ignore
+        (Qsim.Dd_sim.simulate p
+           (Algorithms.Random_circuit.unitary ~seed:(seed + 1) ~qubits ~gates:20));
+      let v_before = Dd.Vec.to_array p s ~n:qubits in
+      let m_before = Dd.Mat.to_array p u ~n:qubits in
+      let rv = Dd.Pkg.root_v p s and rm = Dd.Pkg.root_m p u in
+      Dd.Pkg.compact p;
+      let v_after = Dd.Vec.to_array p (Dd.Pkg.vroot_edge rv) ~n:qubits in
+      let m_after = Dd.Mat.to_array p (Dd.Pkg.mroot_edge rm) ~n:qubits in
+      Dd.Pkg.release_v p rv;
+      Dd.Pkg.release_m p rm;
+      Array.for_all2 cx_identical v_before v_after
+      && Array.for_all2 (fun r1 r2 -> Array.for_all2 cx_identical r1 r2) m_before
+           m_after)
+
+let prop_cache_capacity_invariance =
+  QCheck.Test.make
+    ~name:"identical results at cache capacity 0 / tiny / unbounded (+ auto-GC)"
+    ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 0 10000))
+    (fun (qubits, seed) ->
+      let c = Algorithms.Random_circuit.unitary ~seed ~qubits ~gates:20 in
+      let run config =
+        let p = Dd.Pkg.create ?config () in
+        Dd.Vec.to_array p (Qsim.Dd_sim.simulate p c) ~n:qubits
+      in
+      let reference = run None in
+      let cfg caps gc_threshold = Some { Dd.Pkg.caps; gc_threshold } in
+      (* capacity only changes what is recomputed, never the float ops, so
+         the amplitudes are bit-identical; a sweep may re-intern a swept
+         weight as a fresh representative that differs from the old one by
+         up to the interning tolerance, so auto-GC runs are compared
+         numerically *)
+      List.for_all
+        (fun config -> Array.for_all2 cx_identical reference (run config))
+        [ cfg (Dd.Pkg.caps_uniform 0) None; cfg (Dd.Pkg.caps_uniform 3) None ]
+      && List.for_all
+           (fun config ->
+             Array.for_all2 (fun a b -> Util.cx_close ~tol:1e-8 a b) reference
+               (run config))
+           [ cfg Dd.Pkg.caps_unbounded (Some 8); cfg (Dd.Pkg.caps_uniform 3) (Some 8) ])
+
 let suite =
   [ Alcotest.test_case "basis states" `Quick test_basis_states
+  ; Alcotest.test_case "cache replace + eviction" `Quick test_cache_replace_and_eviction
+  ; Alcotest.test_case "capacity-0 cache disabled" `Quick
+      test_zero_capacity_cache_disabled
+  ; Alcotest.test_case "compact rebuilds the weight table" `Quick
+      test_compact_rebuilds_weight_table
   ; Alcotest.test_case "repeated apply hits the mv cache" `Quick
       test_repeated_apply_hits_cache
   ; Alcotest.test_case "product state" `Quick test_product_state
@@ -358,4 +492,6 @@ let suite =
   ; Util.qtest prop_mul_associative_on_states
   ; Util.qtest prop_adjoint_reverses_products
   ; Util.qtest prop_inner_product_unitary_invariant
+  ; Util.qtest prop_compact_preserves_root_amplitudes
+  ; Util.qtest prop_cache_capacity_invariance
   ]

@@ -96,7 +96,9 @@ let test_compaction () =
     ignore (Qsim.Dd_sim.simulate p (Algorithms.Random_circuit.unitary ~seed ~qubits:n ~gates:30))
   done;
   let before = (Dd.Pkg.stats p).Dd.Pkg.vector_nodes in
-  Dd.Pkg.compact p ~vector_roots:[ keep ] ~matrix_roots:[];
+  let r = Dd.Pkg.root_v p keep in
+  Dd.Pkg.compact p;
+  let keep = Dd.Pkg.vroot_edge r in
   let after = (Dd.Pkg.stats p).Dd.Pkg.vector_nodes in
   Alcotest.(check bool) (Fmt.str "table shrank (%d -> %d)" before after) true
     (after < before);
@@ -105,7 +107,8 @@ let test_compaction () =
   let h = Dd.Pkg.gate p ~n ~controls:[] ~target:0 (Gates.matrix Gates.H) in
   let moved = Dd.Mat.apply p h keep in
   let back = Dd.Mat.apply p h moved in
-  Util.check_float "round trip after compaction" 1.0 (Dd.Vec.fidelity p keep back)
+  Util.check_float "round trip after compaction" 1.0 (Dd.Vec.fidelity p keep back);
+  Dd.Pkg.release_v p r
 
 let suite =
   [ Alcotest.test_case "basis-state expectations" `Quick test_basis_states
