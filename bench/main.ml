@@ -67,6 +67,14 @@ let print_header () =
 let bench_pair ?(extract = true) ?(verify = true) (pair : Pair.t) =
   let m0 = Obs.Metrics.snapshot () in
   let static = pair.Pair.static_circuit and dyn = pair.Pair.dynamic_circuit in
+  (* static-analyzer overhead, reported as the analysis.lint span in the
+     --json output; generated pairs must be lint-clean of errors *)
+  let diags =
+    Obs.Span.with_ "analysis.lint" (fun () ->
+      Analysis.lint static @ Analysis.lint dyn)
+  in
+  if Analysis.Diagnostic.has_errors diags then
+    report_failure "%s: lint errors on a generated pair!@." static.Circ.name;
   let t_trans, t_ver, equivalent =
     if verify then begin
       let r =

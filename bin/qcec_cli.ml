@@ -334,6 +334,194 @@ let optimize_cmd =
        ~doc:"Peephole-optimize a circuit (cancellation, merging, fusion)")
     Term.(const run $ file $ output $ verify)
 
+(* -- lint ------------------------------------------------------------- *)
+
+(* Parse a file and lint it; a parse failure becomes a QA000 diagnostic
+   rather than an abort, so one bad file doesn't hide the others. *)
+let lint_file path =
+  match Circuit.Qasm3_parser.parse_any_file_located path with
+  | c, lines -> Analysis.lint ~file:path ~lines c
+  | exception Circuit.Qasm_parser.Parse_error (msg, line) ->
+    [ Analysis.Lint.of_parse_error ~file:path ~line msg ]
+  | exception Sys_error msg ->
+    [ Analysis.Lint.of_parse_error ~file:path ~line:0 msg ]
+
+let lint_cmd =
+  let run files json quiet =
+    let report = List.map (fun f -> (f, lint_file f)) files in
+    let all = List.concat_map snd report in
+    if not quiet then
+      List.iter (fun d -> Fmt.pr "%a@." Analysis.Diagnostic.pp d) all;
+    let s = Analysis.Diagnostic.summarize all in
+    if not quiet then
+      Fmt.epr "%d error%s, %d warning%s, %d info@."
+        s.Analysis.Diagnostic.errors
+        (if s.Analysis.Diagnostic.errors = 1 then "" else "s")
+        s.Analysis.Diagnostic.warnings
+        (if s.Analysis.Diagnostic.warnings = 1 then "" else "s")
+        s.Analysis.Diagnostic.infos;
+    (match json with
+     | None -> ()
+     | Some path ->
+       let doc = Analysis.Diagnostic.report_to_json report in
+       if path = "-" then print_string (Obs.Json.to_string ~pretty:true doc)
+       else begin
+         try Obs.Json.to_file path doc
+         with Sys_error msg ->
+           Fmt.epr "qcec: cannot write lint report: %s@." msg;
+           exit 2
+       end);
+    exit (if Analysis.Diagnostic.has_errors all then 1 else 0)
+  in
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE.qasm")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the report as JSON (schema qcec-lint/v1, see \
+             docs/ANALYSIS.md) to $(docv), or to stdout for \"-\"")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress text diagnostics")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze circuits: dataflow lint (unused qubits, gates \
+          after final measurement, dead classical writes, constant \
+          conditions, ...) with located diagnostics.  Exits 1 if any \
+          error-severity finding is reported, 0 on warnings only")
+    Term.(const run $ files $ json $ quiet)
+
+(* -- verify ------------------------------------------------------------ *)
+
+(* [check] with a static pre-flight: lint both inputs, classify them, and
+   reject circuits the selected unitary-only strategy cannot handle with a
+   located QA008 — before any DD package is constructed.  [--transform]
+   restores the automatic Section 4 routing of [check]. *)
+let verify_cmd =
+  let run file_a file_b strategy perm transform quiet stats_json cache_cap
+      gc_threshold =
+    enable_stats stats_json;
+    let dd_config = dd_config_of cache_cap gc_threshold in
+    let load_located path =
+      try Circuit.Qasm3_parser.parse_any_file_located path with
+      | Circuit.Qasm_parser.Parse_error (msg, line) ->
+        Fmt.epr "%a@."
+          Analysis.Diagnostic.pp
+          (Analysis.Lint.of_parse_error ~file:path ~line msg);
+        exit 2
+      | Sys_error msg ->
+        Fmt.epr "%s@." msg;
+        exit 2
+    in
+    let (a, lines_a) = load_located file_a in
+    let (b, lines_b) = load_located file_b in
+    (* pre-flight 1: lint; error-severity findings block the check *)
+    let diags =
+      Obs.Span.with_ "analysis.lint" (fun () ->
+        Analysis.lint ~file:file_a ~lines:lines_a a
+        @ Analysis.lint ~file:file_b ~lines:lines_b b)
+    in
+    List.iter (fun d -> Fmt.epr "%a@." Analysis.Diagnostic.pp d) diags;
+    if Analysis.Diagnostic.has_errors diags then exit 2;
+    (* pre-flight 2: scheme applicability *)
+    let profiles =
+      List.map
+        (fun (file, lines, c) -> (file, lines, Analysis.classify c))
+        [ (file_a, lines_a, a); (file_b, lines_b, b) ]
+    in
+    if not transform then
+      List.iter
+        (fun (file, lines, p) ->
+          match
+            Analysis.Classify.scheme_rejection ~file ~lines
+              ~scheme:Analysis.Classify.Unitary_scheme p
+          with
+          | Some d ->
+            Fmt.epr "%a@." Analysis.Diagnostic.pp d;
+            exit 2
+          | None -> ())
+        profiles;
+    let r =
+      try
+        Qcec.Verify.functional ~strategy ?perm
+          ~on_dynamic:(if transform then `Transform else `Reject)
+          ?dd_config a b
+      with
+      | Qcec.Strategy.Non_unitary op -> report_non_unitary op
+      | Qcec.Verify.Rejected d ->
+        Fmt.epr "%a@." Analysis.Diagnostic.pp d;
+        exit 2
+    in
+    if not quiet then Fmt.pr "%a@." Qcec.Verify.pp_functional r;
+    maybe_write_stats stats_json ~command:"verify" ~files:[ file_a; file_b ]
+      ~result:
+        [ ("equivalent", Obs.Json.Bool r.Qcec.Verify.equivalent)
+        ; ("exactly_equal", Obs.Json.Bool r.Qcec.Verify.exactly_equal)
+        ; ("strategy", Obs.Json.String (Qcec.Strategy.name r.Qcec.Verify.strategy))
+        ; ("t_transform", Obs.Json.Float r.Qcec.Verify.t_transform)
+        ; ("t_check", Obs.Json.Float r.Qcec.Verify.t_check)
+        ; ("transformed_qubits", Obs.Json.Int r.Qcec.Verify.transformed_qubits)
+        ; ("peak_nodes", Obs.Json.Int r.Qcec.Verify.peak_nodes)
+        ; ( "profiles"
+          , Obs.Json.List
+              (List.map
+                 (fun (_, _, p) -> Analysis.Classify.to_json p)
+                 profiles) )
+        ; ("metrics", Obs.Metrics.to_json r.Qcec.Verify.metrics)
+        ];
+    if r.Qcec.Verify.equivalent then begin
+      Fmt.pr "equivalent@.";
+      exit 0
+    end
+    else begin
+      Fmt.pr "not equivalent@.";
+      exit 1
+    end
+  in
+  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.qasm") in
+  let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.qasm") in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Qcec.Strategy.Proportional
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:"construction, proportional, or simulation:<shots>")
+  in
+  let perm =
+    Arg.(
+      value
+      & opt (some perm_conv) None
+      & info [ "p"; "perm" ] ~docv:"PERM"
+          ~doc:"wire alignment applied to the second circuit, e.g. 0,3,1,2")
+  in
+  let transform =
+    Arg.(
+      value
+      & flag
+      & info [ "transform" ]
+          ~doc:
+            "Transform dynamic inputs with the Section 4 scheme instead of \
+             rejecting them (the automatic routing $(b,check) performs)")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only print the verdict") in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check functional equivalence with a static pre-flight: lint both \
+          circuits and reject ones the selected (unitary-only) strategy \
+          cannot handle, with located diagnostics, before any \
+          decision-diagram work.  Exit 2 on rejection; $(b,--transform) \
+          restores the automatic transformation of $(b,check)")
+    Term.(
+      const run $ file_a $ file_b $ strategy $ perm $ transform $ quiet
+      $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg)
+
 (* -- stats ------------------------------------------------------------ *)
 
 let stats_cmd =
@@ -407,5 +595,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; distribution_cmd; extract_cmd; transform_cmd; optimize_cmd
-          ; stats_cmd; draw_cmd; gen_cmd ]))
+          [ check_cmd; verify_cmd; lint_cmd; distribution_cmd; extract_cmd
+          ; transform_cmd; optimize_cmd; stats_cmd; draw_cmd; gen_cmd ]))

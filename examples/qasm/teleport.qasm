@@ -1,0 +1,18 @@
+OPENQASM 3.0;
+// one-qubit teleportation: measurements feed classical corrections,
+// so the circuit is dynamic but has no error-severity lint findings
+qubit[3] q;
+bit[2] c;
+ry(0.7) q[0];
+h q[1];
+cx q[1], q[2];
+cx q[0], q[1];
+h q[0];
+c[0] = measure q[0];
+c[1] = measure q[1];
+if (c[1] == 1) {
+  x q[2];
+}
+if (c[0] == 1) {
+  z q[2];
+}

@@ -1,0 +1,12 @@
+(** Static circuit analysis: located diagnostics, a dataflow linter, and
+    the scheme-applicability classifier used by the verify pre-flight. *)
+
+module Diagnostic = Diagnostic
+module Rules = Rules
+module Dataflow = Dataflow
+module Lint = Lint
+module Classify = Classify
+
+let lint = Lint.run
+
+let classify = Classify.classify

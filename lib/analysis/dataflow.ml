@@ -1,0 +1,167 @@
+module Circ = Circuit.Circ
+module Op = Circuit.Op
+
+type finding =
+  | Unused_qubit of { qubit : int }
+  | Gate_after_measure of
+      { qubit : int
+      ; op_index : int
+      ; measure_index : int
+      }
+  | Dead_write of
+      { cbit : int
+      ; write_index : int
+      ; overwrite_index : int
+      }
+  | Cond_never_written of
+      { cbit : int
+      ; op_index : int
+      }
+  | Redundant_reset of
+      { qubit : int
+      ; op_index : int
+      }
+  | Overlapping_controls of
+      { qubit : int
+      ; op_index : int
+      }
+  | Out_of_range of
+      { op_index : int
+      ; operand : [ `Qubit of int | `Cbit of int ]
+      }
+
+(* Abstract qubit state for the forward pass: [Zero] means provably still
+   |0> (initial, or just reset and untouched since); [Live] after any gate
+   drove it; [Measured i] after its measurement at op [i] with nothing
+   unitary on it since. *)
+type qstate =
+  | Zero
+  | Live
+  | Measured of int
+
+type qubit_facts =
+  { mutable state : qstate
+  ; mutable used : bool
+  ; mutable pending : (int * int) list
+        (* (gate op index, measure op index) uses of the qubit while in a
+           [Measured] state; cancelled retroactively if a later measurement
+           or reset of the qubit shows that measurement was not final *)
+  }
+
+type cbit_facts =
+  { mutable last_write : int option  (* most recent still-unread write *)
+  }
+
+let scan (c : Circ.t) =
+  let nq = c.Circ.num_qubits and nc = c.Circ.num_cbits in
+  let in_q q = 0 <= q && q < nq in
+  let in_c b = 0 <= b && b < nc in
+  let qubits = Array.init nq (fun _ -> { state = Zero; used = false; pending = [] }) in
+  let cbits = Array.init nc (fun _ -> { last_write = None }) in
+  (* which cbits are written anywhere: the "never written" in QA004 is a
+     whole-circuit property, so it needs this cheap pre-pass *)
+  let written_anywhere = Array.make nc false in
+  List.iter
+    (fun op ->
+      List.iter (fun b -> if in_c b then written_anywhere.(b) <- true)
+        (Op.cbits_written op))
+    c.Circ.ops;
+  let rev_findings = ref [] in
+  let emit f = rev_findings := f :: !rev_findings in
+  (* out-of-range operands make an op unanalyzable: report every offending
+     operand and skip the state updates (the arrays cannot hold them) *)
+  let out_of_range i op =
+    let bad = ref [] in
+    List.iter
+      (fun q -> if not (in_q q) then bad := `Qubit q :: !bad)
+      (Op.qubits op);
+    List.iter
+      (fun b -> if not (in_c b) then bad := `Cbit b :: !bad)
+      (Op.cbits_read op @ Op.cbits_written op);
+    List.iter (fun operand -> emit (Out_of_range { op_index = i; operand })) !bad;
+    !bad <> []
+  in
+  (* a gate drives [q]: record a pending gate-after-measure if it is
+     currently measured, then mark it live *)
+  let drive i q =
+    let f = qubits.(q) in
+    f.used <- true;
+    (match f.state with
+     | Measured m -> f.pending <- (i, m) :: f.pending
+     | Zero | Live -> ());
+    f.state <- Live
+  in
+  let control q = qubits.(q).used <- true in
+  (* controls on a measured qubit are fine: they commute with the Z-basis
+     measurement (the same rule the deferral transformation applies) *)
+  let rec step i op =
+    match (op : Op.t) with
+    | Barrier _ -> () (* a layout hint: neither uses nor drives *)
+    | Apply { controls; target; _ } ->
+      let cqs = List.map (fun (ctl : Op.control) -> ctl.cq) controls in
+      let dup = List.length (List.sort_uniq compare cqs) <> List.length cqs in
+      if List.mem target cqs then
+        emit (Overlapping_controls { qubit = target; op_index = i })
+      else if dup then begin
+        let rec first_dup = function
+          | a :: (b :: _ as rest) -> if a = b then a else first_dup rest
+          | _ -> -1
+        in
+        emit
+          (Overlapping_controls
+             { qubit = first_dup (List.sort compare cqs); op_index = i })
+      end;
+      List.iter control cqs;
+      drive i target
+    | Swap (a, b) ->
+      if a = b then emit (Overlapping_controls { qubit = a; op_index = i })
+      else begin
+        drive i a;
+        drive i b;
+        (* a swap exchanges the abstract states (both are [Live] here by
+           [drive], which is the sound approximation) *)
+        let sa = qubits.(a).state in
+        qubits.(a).state <- qubits.(b).state;
+        qubits.(b).state <- sa
+      end
+    | Measure { qubit; cbit } ->
+      let f = qubits.(qubit) in
+      f.used <- true;
+      (* this measurement proves any earlier one was not final *)
+      f.pending <- [];
+      f.state <- Measured i;
+      let cf = cbits.(cbit) in
+      (match cf.last_write with
+       | Some j ->
+         emit (Dead_write { cbit; write_index = j; overwrite_index = i })
+       | None -> ());
+      cf.last_write <- Some i
+    | Reset q ->
+      let f = qubits.(q) in
+      f.used <- true;
+      if f.state = Zero then emit (Redundant_reset { qubit = q; op_index = i });
+      (* the reset discards the post-measurement state, which is the
+         "intervening reset" QA002 excuses *)
+      f.pending <- [];
+      f.state <- Zero
+    | Cond { cond; op = inner } ->
+      List.iter
+        (fun b ->
+          if not written_anywhere.(b) then
+            emit (Cond_never_written { cbit = b; op_index = i });
+          cbits.(b).last_write <- None (* the write has now been read *))
+        cond.bits;
+      step i inner
+  in
+  List.iteri (fun i op -> if not (out_of_range i op) then step i op) c.Circ.ops;
+  (* end of circuit: surviving pending entries sit after a final
+     measurement; untouched qubits were never used *)
+  Array.iteri
+    (fun q f ->
+      List.iter
+        (fun (op_index, measure_index) ->
+          emit (Gate_after_measure { qubit = q; op_index; measure_index }))
+        (List.rev f.pending);
+      if not f.used then emit (Unused_qubit { qubit = q }))
+    qubits;
+  List.rev !rev_findings

@@ -1,0 +1,56 @@
+(** The single-pass dataflow engine behind the linter: a forward scan over
+    a circuit's op list computing qubit liveness (initial-|0>/live/measured
+    states) and classical-bit def-use, emitting semantic findings that
+    {!Lint} renders into located {!Diagnostic}s.
+
+    The engine is deliberately tolerant of structurally invalid circuits
+    (built with {!Circuit.Circ.make_unchecked} or hand-rolled records):
+    out-of-range operands are reported as findings and the offending op is
+    skipped instead of crashing. *)
+
+type finding =
+  | Unused_qubit of { qubit : int }
+      (** the qubit appears in no operation (barriers don't count) *)
+  | Gate_after_measure of
+      { qubit : int
+      ; op_index : int  (** the offending gate *)
+      ; measure_index : int  (** the qubit's final measurement *)
+      }
+      (** a gate drives the qubit after its final measurement with no
+          intervening reset — no measurement observes the gate's effect.
+          Gates between two measurements of the same qubit, and uses as a
+          {e control} (which commute with the measurement), are fine. *)
+  | Dead_write of
+      { cbit : int
+      ; write_index : int
+      ; overwrite_index : int
+      }
+      (** two measurements write the cbit with no condition reading it in
+          between: the first write is dead *)
+  | Cond_never_written of
+      { cbit : int
+      ; op_index : int
+      }
+      (** the condition reads a cbit that no measurement in the whole
+          circuit writes, so it is statically constant *)
+  | Redundant_reset of
+      { qubit : int
+      ; op_index : int
+      }
+      (** the qubit is provably still in its initial |0> state *)
+  | Overlapping_controls of
+      { qubit : int  (** the shared qubit *)
+      ; op_index : int
+      }
+      (** control and target sets overlap: self-controlled gate, duplicate
+          control, or a swap of a qubit with itself *)
+  | Out_of_range of
+      { op_index : int
+      ; operand : [ `Qubit of int | `Cbit of int ]
+      }
+      (** the operand indexes outside the declared registers (only
+          reachable through unvalidated circuits) *)
+
+(** [scan c] runs the pass and returns the findings, ordered by program
+    position (whole-circuit findings last). *)
+val scan : Circuit.Circ.t -> finding list

@@ -1,0 +1,55 @@
+module Op = Circuit.Op
+
+let line_of lines i =
+  match lines with
+  | Some lines when i >= 0 && i < Array.length lines -> Some lines.(i)
+  | _ -> None
+
+let of_finding ?file ?lines (f : Dataflow.finding) =
+  let at ?op_index meta msg =
+    let line = Option.bind op_index (fun i -> line_of lines i) in
+    Rules.diagnostic ?file ?line ?op_index meta msg
+  in
+  match f with
+  | Unused_qubit { qubit } ->
+    at Rules.unused_qubit (Fmt.str "qubit %d is declared but never used" qubit)
+  | Gate_after_measure { qubit; op_index; measure_index } ->
+    at ~op_index Rules.gate_after_measure
+      (Fmt.str
+         "gate drives qubit %d after its final measurement (op %d); no \
+          measurement observes its effect"
+         qubit measure_index)
+  | Dead_write { cbit; write_index; overwrite_index } ->
+    at ~op_index:overwrite_index Rules.dead_write
+      (Fmt.str
+         "measurement overwrites classical bit %d, whose value from op %d \
+          was never read"
+         cbit write_index)
+  | Cond_never_written { cbit; op_index } ->
+    at ~op_index Rules.cond_never_written
+      (Fmt.str
+         "condition reads classical bit %d, which no measurement writes; \
+          the condition is constant"
+         cbit)
+  | Redundant_reset { qubit; op_index } ->
+    at ~op_index Rules.redundant_reset
+      (Fmt.str "reset of qubit %d, which is still in |0>" qubit)
+  | Overlapping_controls { qubit; op_index } ->
+    at ~op_index Rules.overlapping_controls
+      (Fmt.str "control and target sets overlap on qubit %d" qubit)
+  | Out_of_range { op_index; operand } ->
+    let what, idx, bound =
+      match operand with
+      | `Qubit q -> ("qubit", q, "num_qubits")
+      | `Cbit b -> ("classical bit", b, "num_cbits")
+    in
+    at ~op_index Rules.out_of_range
+      (Fmt.str "%s %d is outside the declared register (%s)" what idx bound)
+
+let run ?file ?lines c =
+  Dataflow.scan c
+  |> List.map (of_finding ?file ?lines)
+  |> Diagnostic.sort
+
+let of_parse_error ?file ~line msg =
+  Rules.diagnostic ?file ~line Rules.parse_error msg

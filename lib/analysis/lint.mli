@@ -1,0 +1,13 @@
+(** The linter: run the {!Dataflow} pass and render its findings as
+    located {!Diagnostic}s. *)
+
+(** [run ?file ?lines c] lints [c]. [lines] maps op index to 1-based
+    source line (as returned by [Qasm_parser.parse_located] and friends);
+    indices beyond the array are left unlocated. The result is sorted by
+    source position. *)
+val run :
+  ?file:string -> ?lines:int array -> Circuit.Circ.t -> Diagnostic.t list
+
+(** A QA000 diagnostic for a front-end parse failure, so parse errors and
+    lint findings share one report format. *)
+val of_parse_error : ?file:string -> line:int -> string -> Diagnostic.t

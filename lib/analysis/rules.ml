@@ -1,0 +1,97 @@
+type meta =
+  { code : string
+  ; slug : string
+  ; severity : Diagnostic.severity
+  ; summary : string
+  }
+
+let parse_error =
+  { code = "QA000"
+  ; slug = "parse-error"
+  ; severity = Diagnostic.Error
+  ; summary = "the OpenQASM source could not be parsed"
+  }
+
+let unused_qubit =
+  { code = "QA001"
+  ; slug = "unused-qubit"
+  ; severity = Diagnostic.Warning
+  ; summary = "a declared qubit is never operated on"
+  }
+
+let gate_after_measure =
+  { code = "QA002"
+  ; slug = "gate-after-final-measure"
+  ; severity = Diagnostic.Warning
+  ; summary =
+      "a gate drives a qubit after its final measurement with no \
+       intervening reset, so no measurement can observe its effect"
+  }
+
+let dead_write =
+  { code = "QA003"
+  ; slug = "dead-classical-write"
+  ; severity = Diagnostic.Warning
+  ; summary =
+      "a measurement overwrites a classical bit whose previous value was \
+       never read"
+  }
+
+let cond_never_written =
+  { code = "QA004"
+  ; slug = "cond-never-written"
+  ; severity = Diagnostic.Error
+  ; summary =
+      "a classical condition reads a bit no measurement ever writes, so \
+       the condition is statically constant"
+  }
+
+let redundant_reset =
+  { code = "QA005"
+  ; slug = "redundant-reset"
+  ; severity = Diagnostic.Info
+  ; summary = "a reset acts on a qubit still in its initial |0> state"
+  }
+
+let overlapping_controls =
+  { code = "QA006"
+  ; slug = "overlapping-controls"
+  ; severity = Diagnostic.Error
+  ; summary =
+      "a gate's control and target sets overlap (self-controlled gate, \
+       duplicate control, or self-swap)"
+  }
+
+let out_of_range =
+  { code = "QA007"
+  ; slug = "operand-out-of-range"
+  ; severity = Diagnostic.Error
+  ; summary = "an operand indexes outside the declared registers"
+  }
+
+let scheme_blocked =
+  { code = "QA008"
+  ; slug = "scheme-not-applicable"
+  ; severity = Diagnostic.Error
+  ; summary =
+      "the circuit contains a non-unitary operation the selected checking \
+       scheme cannot handle"
+  }
+
+let all =
+  [ parse_error
+  ; unused_qubit
+  ; gate_after_measure
+  ; dead_write
+  ; cond_never_written
+  ; redundant_reset
+  ; overlapping_controls
+  ; out_of_range
+  ; scheme_blocked
+  ]
+
+let find code = List.find_opt (fun m -> m.code = code) all
+
+let diagnostic ?file ?line ?op_index meta message =
+  Diagnostic.make ?file ?line ?op_index ~code:meta.code ~rule:meta.slug
+    ~severity:meta.severity message

@@ -1,0 +1,39 @@
+(** The lint-rule catalogue: stable codes, slugs and default severities.
+
+    Codes are append-only — a code is never renumbered or reused, so
+    downstream tooling can match on them.  The catalogue with examples is
+    documented in [docs/ANALYSIS.md]. *)
+
+type meta =
+  { code : string  (** stable, e.g. ["QA001"] *)
+  ; slug : string  (** kebab-case rule name *)
+  ; severity : Diagnostic.severity
+  ; summary : string  (** one-line description for the catalogue *)
+  }
+
+val parse_error : meta  (** QA000 — emitted by front ends, not the linter *)
+
+val unused_qubit : meta  (** QA001 *)
+
+val gate_after_measure : meta  (** QA002 *)
+
+val dead_write : meta  (** QA003 *)
+
+val cond_never_written : meta  (** QA004 *)
+
+val redundant_reset : meta  (** QA005 *)
+
+val overlapping_controls : meta  (** QA006 *)
+
+val out_of_range : meta  (** QA007 *)
+
+val scheme_blocked : meta  (** QA008 — emitted by the verify pre-flight *)
+
+val all : meta list
+
+val find : string -> meta option
+
+(** [diagnostic ?file ?line ?op_index meta msg] builds a {!Diagnostic.t}
+    with the rule's code, slug and severity. *)
+val diagnostic :
+  ?file:string -> ?line:int -> ?op_index:int -> meta -> string -> Diagnostic.t

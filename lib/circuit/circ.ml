@@ -16,6 +16,11 @@ let make ~name ~qubits ~cbits ops =
     ops;
   { name; num_qubits = qubits; num_cbits = cbits; ops }
 
+let make_unchecked ~name ~qubits ~cbits ops =
+  if qubits < 0 || cbits < 0 then
+    invalid_arg "Circ.make_unchecked: negative register size";
+  { name; num_qubits = qubits; num_cbits = cbits; ops }
+
 type op_counts =
   { gates : int
   ; measurements : int

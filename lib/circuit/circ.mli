@@ -12,6 +12,12 @@ type t =
     [Invalid_argument] with a descriptive message on the first failure. *)
 val make : name:string -> qubits:int -> cbits:int -> Op.t list -> t
 
+(** [make_unchecked] skips per-operation validation.  Intended for feeding
+    deliberately malformed circuits to the static analyzer ({!Analysis} in
+    [lib/analysis]), whose structural rules re-detect what {!make} rejects;
+    simulators and checkers assume validated circuits. *)
+val make_unchecked : name:string -> qubits:int -> cbits:int -> Op.t list -> t
+
 (** {1 Queries} *)
 
 (** [gate_count c] counts unitary operations, looking through classical

@@ -46,9 +46,26 @@ let rec cbits_read = function
   | Apply _ | Swap _ | Measure _ | Reset _ | Barrier _ -> []
   | Cond { cond; op } -> cond.bits @ cbits_read op
 
-let cbits_written = function
+let rec cbits_written = function
   | Measure { cbit; _ } -> [ cbit ]
-  | Apply _ | Swap _ | Reset _ | Cond _ | Barrier _ -> []
+  (* a classically-controlled measurement still writes its cbit *)
+  | Cond { op; _ } -> cbits_written op
+  | Apply _ | Swap _ | Reset _ | Barrier _ -> []
+
+let rec target_qubits = function
+  | Apply { target; _ } -> [ target ]
+  | Swap (a, b) -> [ a; b ]
+  | Measure { qubit; _ } -> [ qubit ]
+  | Reset q -> [ q ]
+  | Cond { op; _ } -> target_qubits op
+  | Barrier _ -> []
+
+let rec control_qubits = function
+  | Apply { controls; _ } -> List.map (fun c -> c.cq) controls
+  | Cond { op; _ } -> control_qubits op
+  | Swap _ | Measure _ | Reset _ | Barrier _ -> []
+
+let rec base = function Cond { op; _ } -> base op | op -> op
 
 let is_unitary = function
   | Apply _ | Swap _ -> true

@@ -47,8 +47,22 @@ val qubits : t -> int list
 (** Classical bits read (by conditions). *)
 val cbits_read : t -> int list
 
-(** Classical bits written (by measurements). *)
+(** Classical bits written (by measurements, looking through conditions: a
+    classically-controlled measurement still writes its cbit). *)
 val cbits_written : t -> int list
+
+(** Qubits whose state the operation can change: gate targets, swap
+    operands, measured and reset qubits — but {e not} controls, and not
+    barrier operands (a barrier is a layout hint).  Looks through
+    conditions. *)
+val target_qubits : t -> int list
+
+(** Control qubits of a (possibly conditioned) gate application. *)
+val control_qubits : t -> int list
+
+(** [base op] strips any [Cond] wrappers and returns the innermost
+    operation. *)
+val base : t -> t
 
 (** [is_unitary op] holds for gate applications and swaps (possibly nested
     in conditions they are still non-unitary: a [Cond] is never unitary). *)

@@ -1,9 +1,11 @@
 open Qasm_lexer
 module E = Qasm_parser.Engine
 
-(* One statement, as the list of operations it expands to.  [cond] carries
-   an enclosing [if]'s condition, distributed over every produced op. *)
-let rec parse_statement_ops st : Op.t list =
+(* One statement, as the list of (operation, source line) pairs it expands
+   to.  An enclosing [if]'s condition is distributed over every produced
+   op; ops from a braced block keep their own statement's line. *)
+let rec parse_statement_ops st : (Op.t * int) list =
+  let at = E.line st in
   match E.peek st with
   | IDENT "if" ->
     E.advance st;
@@ -32,12 +34,14 @@ let rec parse_statement_ops st : Op.t list =
         block []
       | _ -> parse_statement_ops st
     in
-    List.map (fun op -> Op.Cond { cond = { bits = [ bit ]; value }; op }) body
+    List.map
+      (fun (op, line) -> (Op.Cond { cond = { bits = [ bit ]; value }; op }, line))
+      body
   | IDENT "reset" ->
     E.advance st;
     let q = E.parse_qubit st in
     E.expect st SEMICOLON;
-    [ Op.Reset q ]
+    [ (Op.Reset q, at) ]
   | IDENT "barrier" ->
     E.advance st;
     let rec operands acc =
@@ -50,7 +54,7 @@ let rec parse_statement_ops st : Op.t list =
         E.expect st SEMICOLON;
         List.rev (q :: acc)
     in
-    [ Op.Barrier (operands []) ]
+    [ (Op.Barrier (operands []), at) ]
   | IDENT name when E.is_creg st name ->
     (* measurement assignment: c[i] = measure q[j]; *)
     let cbit = E.parse_cbit st in
@@ -60,7 +64,7 @@ let rec parse_statement_ops st : Op.t list =
      | other -> E.fail st (Fmt.str "expected measure, found %s" other));
     let qubit = E.parse_qubit st in
     E.expect st SEMICOLON;
-    [ Op.Measure { qubit; cbit } ]
+    [ (Op.Measure { qubit; cbit }, at) ]
   | IDENT _ ->
     let name = E.expect_ident st in
     let args = E.parse_args st in
@@ -77,7 +81,7 @@ let rec parse_statement_ops st : Op.t list =
       in
       loop []
     in
-    E.resolve_gate st name args operands
+    List.map (fun op -> (op, at)) (E.resolve_gate st name args operands)
   | t -> E.fail st (Fmt.str "unexpected %a" pp_token t)
 
 let parse_declaration st kind =
@@ -126,24 +130,29 @@ let parse_top st =
       E.parse_gate_definition st;
       loop ()
     | _ ->
-      List.iter (E.emit st) (parse_statement_ops st);
+      List.iter (fun (op, line) -> E.emit_at st ~line op) (parse_statement_ops st);
       loop ()
   in
   loop ()
 
-let parse ?(name = "qasm3") src =
+let parse_located ?(name = "qasm3") src =
   let st = E.make src in
   (try parse_top st with
    | Lex_error (msg, line) ->
      raise (Qasm_parser.Parse_error ("lexical error: " ^ msg, line)));
-  E.finish st ~name
+  E.finish_located st ~name
 
-let parse_file path =
+let parse ?name src = fst (parse_located ?name src)
+
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  parse ~name:(Filename.remove_extension (Filename.basename path)) src
+  src
+
+let parse_file path =
+  parse ~name:(Filename.remove_extension (Filename.basename path)) (read_file path)
 
 (* Version dispatch: look for "OPENQASM 3" at the top; default to 2. *)
 let looks_like_v3 src =
@@ -156,12 +165,15 @@ let looks_like_v3 src =
   | tokens -> scan tokens
   | exception Lex_error _ -> false
 
-let parse_any ?name src =
-  if looks_like_v3 src then parse ?name src else Qasm_parser.parse ?name src
+let parse_any_located ?name src =
+  if looks_like_v3 src then parse_located ?name src
+  else Qasm_parser.parse_located ?name src
 
-let parse_any_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let src = really_input_string ic len in
-  close_in ic;
-  parse_any ~name:(Filename.remove_extension (Filename.basename path)) src
+let parse_any ?name src = fst (parse_any_located ?name src)
+
+let parse_any_file_located path =
+  parse_any_located
+    ~name:(Filename.remove_extension (Filename.basename path))
+    (read_file path)
+
+let parse_any_file path = fst (parse_any_file_located path)

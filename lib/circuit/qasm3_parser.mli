@@ -18,8 +18,18 @@ val parse : ?name:string -> string -> Circ.t
 
 val parse_file : string -> Circ.t
 
+(** [parse_located ?name src] additionally returns the 1-based source line
+    of every operation, index-aligned with the op list (the same contract
+    as {!Qasm_parser.parse_located}); statements inside an [if] block keep
+    their own lines. *)
+val parse_located : ?name:string -> string -> Circ.t * int array
+
 (** [parse_any src] dispatches on the [OPENQASM] version header: 3.x goes
     to this parser, anything else to {!Qasm_parser.parse}. *)
 val parse_any : ?name:string -> string -> Circ.t
 
 val parse_any_file : string -> Circ.t
+
+val parse_any_located : ?name:string -> string -> Circ.t * int array
+
+val parse_any_file_located : string -> Circ.t * int array

@@ -27,17 +27,22 @@ type state =
   ; mutable num_qubits : int
   ; mutable num_cbits : int
   ; mutable rev_ops : Op.t list
+  ; mutable rev_lines : int list  (** source line of each emitted op, parallel to [rev_ops] *)
+  ; mutable last_line : int  (** line of the last consumed token, for EOF errors *)
   }
 
-let fail st msg =
-  let line = match st.tokens with (_, l) :: _ -> l | [] -> 0 in
-  raise (Parse_error (msg, line))
+(* the 1-based source line of the next token; at EOF, of the last one *)
+let line st = match st.tokens with (_, l) :: _ -> l | [] -> st.last_line
+
+let fail st msg = raise (Parse_error (msg, line st))
 
 let peek st = match st.tokens with (t, _) :: _ -> t | [] -> EOF
 
 let advance st =
   match st.tokens with
-  | _ :: rest -> st.tokens <- rest
+  | (_, l) :: rest ->
+    st.last_line <- l;
+    st.tokens <- rest
   | [] -> ()
 
 let expect st tok =
@@ -115,11 +120,12 @@ and parse_atom st : expr =
     advance st;
     fun _ -> Float.pi
   | IDENT name ->
+    let at = line st in
     advance st;
     fun env ->
       (match List.assoc_opt name env with
        | Some v -> v
-       | None -> raise (Parse_error (Fmt.str "unbound parameter %s" name, 0)))
+       | None -> raise (Parse_error (Fmt.str "unbound parameter %s" name, at)))
   | LPAREN ->
     advance st;
     let v = parse_expr st in
@@ -211,7 +217,9 @@ let gate_of_name st name args =
   | ("u3" | "u" | "U"), 3 -> Gates.U3 (a 0, a 1, a 2)
   | _ -> fail st (Fmt.str "unknown gate %s with %d parameters" name (List.length args))
 
-let emit st op = st.rev_ops <- op :: st.rev_ops
+let emit_at st ~line op =
+  st.rev_ops <- op :: st.rev_ops;
+  st.rev_lines <- line :: st.rev_lines
 
 (* Builtin (qelib1-style) gate applications, by name. *)
 let builtin_ops st name args operands =
@@ -455,48 +463,55 @@ let parse_statement st =
     parse_gate_definition st;
     true
   | IDENT _ ->
-    List.iter (emit st) (parse_operation st);
+    let at = line st in
+    List.iter (emit_at st ~line:at) (parse_operation st);
     true
   | t -> fail st (Fmt.str "unexpected %a" pp_token t)
 
-let parse ?(name = "qasm") src =
-  let st =
-    { tokens = tokenize src
-    ; qregs = Hashtbl.create 4
-    ; cregs = Hashtbl.create 4
-    ; defs = Hashtbl.create 4
-    ; num_qubits = 0
-    ; num_cbits = 0
-    ; rev_ops = []
-    }
-  in
+let make_state src =
+  { tokens = tokenize src
+  ; qregs = Hashtbl.create 4
+  ; cregs = Hashtbl.create 4
+  ; defs = Hashtbl.create 4
+  ; num_qubits = 0
+  ; num_cbits = 0
+  ; rev_ops = []
+  ; rev_lines = []
+  ; last_line = 0
+  }
+
+let finish_located st ~name =
+  ( Circ.make ~name ~qubits:st.num_qubits ~cbits:st.num_cbits (List.rev st.rev_ops)
+  , Array.of_list (List.rev st.rev_lines) )
+
+let parse_located ?(name = "qasm") src =
+  let st = make_state src in
   let rec loop () = if parse_statement st then loop () in
   (try loop () with
    | Lex_error (msg, line) -> raise (Parse_error ("lexical error: " ^ msg, line)));
-  Circ.make ~name ~qubits:st.num_qubits ~cbits:st.num_cbits (List.rev st.rev_ops)
+  finish_located st ~name
 
-let parse_file path =
+let parse ?name src = fst (parse_located ?name src)
+
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  parse ~name:(Filename.remove_extension (Filename.basename path)) src
+  src
+
+let parse_file_located path =
+  parse_located ~name:(Filename.remove_extension (Filename.basename path))
+    (read_file path)
+
+let parse_file path = fst (parse_file_located path)
 
 
 (* Reusable machinery for other front ends (the OpenQASM 3 parser). *)
 module Engine = struct
   type nonrec state = state
 
-  let make src =
-    { tokens = tokenize src
-    ; qregs = Hashtbl.create 4
-    ; cregs = Hashtbl.create 4
-    ; defs = Hashtbl.create 4
-    ; num_qubits = 0
-    ; num_cbits = 0
-    ; rev_ops = []
-    }
-
+  let make = make_state
   let peek = peek
 
   let peek2 st =
@@ -507,6 +522,7 @@ module Engine = struct
   let expect_ident = expect_ident
   let expect_nat = expect_nat
   let fail = fail
+  let line = line
 
   let declare_qreg st name size =
     Hashtbl.replace st.qregs name { base = st.num_qubits; size };
@@ -522,8 +538,7 @@ module Engine = struct
   let parse_args = parse_args
   let resolve_gate = resolve_gate
   let parse_gate_definition = parse_gate_definition
-  let emit = emit
-
-  let finish st ~name =
-    Circ.make ~name ~qubits:st.num_qubits ~cbits:st.num_cbits (List.rev st.rev_ops)
+  let emit_at = emit_at
+  let finish_located = finish_located
+  let finish st ~name = fst (finish_located st ~name)
 end

@@ -22,6 +22,15 @@ val parse : ?name:string -> string -> Circ.t
 
 val parse_file : string -> Circ.t
 
+(** [parse_located ?name src] additionally returns the 1-based source line
+    of every operation, index-aligned with the circuit's op list.  Ops
+    produced by expanding a gate definition (or distributing an [if])
+    carry the line of the statement that produced them.  The static
+    analyzer ([lib/analysis]) threads these spans into its diagnostics. *)
+val parse_located : ?name:string -> string -> Circ.t * int array
+
+val parse_file_located : string -> Circ.t * int array
+
 (**/**)
 
 (** Internal machinery shared with {!Qasm3_parser}; not a stable API. *)
@@ -36,6 +45,9 @@ module Engine : sig
   val expect_ident : state -> string
   val expect_nat : state -> int
   val fail : state -> string -> 'a
+
+  (** Source line of the next token (of the last consumed one at EOF). *)
+  val line : state -> int
   val declare_qreg : state -> string -> int -> unit
   val declare_creg : state -> string -> int -> unit
   val is_creg : state -> string -> bool
@@ -44,8 +56,9 @@ module Engine : sig
   val parse_args : state -> float list
   val resolve_gate : state -> string -> float list -> int list -> Op.t list
   val parse_gate_definition : state -> unit
-  val emit : state -> Op.t -> unit
+  val emit_at : state -> line:int -> Op.t -> unit
   val finish : state -> name:string -> Circ.t
+  val finish_located : state -> name:string -> Circ.t * int array
 end
 
 (**/**)

@@ -5,6 +5,8 @@ module Circ = Circuit.Circ
    occasionally negative.  Span timing goes through the same source. *)
 let now = Obs.Clock.now
 
+exception Rejected of Analysis.Diagnostic.t
+
 type functional_result =
   { equivalent : bool
   ; exactly_equal : bool
@@ -79,14 +81,36 @@ let equalize_widths g g' =
   else if n' < n then (g, pad g' n)
   else (g, g')
 
-let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true) ?dd_config g
-    g' =
+(* The static pre-flight: classify both inputs and, under [`Reject],
+   refuse dynamic ones with a located QA008 *before* any transformation or
+   DD package construction.  This turns what used to surface mid-run as
+   [Strategy.Non_unitary] into an up-front diagnostic. *)
+let preflight ~on_dynamic g g' =
+  match on_dynamic with
+  | `Transform -> ()
+  | `Reject ->
+    List.iter
+      (fun c ->
+        let p = Analysis.classify c in
+        match
+          Analysis.Classify.scheme_rejection
+            ~file:c.Circ.name ~scheme:Analysis.Classify.Unitary_scheme p
+        with
+        | Some d -> raise (Rejected d)
+        | None -> ())
+      [ g; g' ]
+
+let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true)
+    ?(on_dynamic = `Transform) ?dd_config g g' =
+  preflight ~on_dynamic g g';
   let m0 = Obs.Metrics.snapshot () in
   let t0 = now () in
   let g, g' =
     Obs.Span.with_ "verify.functional.transform" (fun () ->
       let static_of c =
-        if Circ.is_dynamic c then Transform.Dynamic.transform c else c
+        match (Analysis.classify c).Analysis.Classify.kind with
+        | Analysis.Classify.Dynamic -> Transform.Dynamic.transform c
+        | Analysis.Classify.Unitary | Analysis.Classify.Measure_terminal -> c
       in
       let g = static_of g in
       let g' = static_of g' in

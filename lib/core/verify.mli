@@ -2,6 +2,12 @@
     non-unitaries — the two schemes of the paper, instrumented with the
     timings reported in its Table 1. *)
 
+(** Raised by {!functional} under [~on_dynamic:`Reject] when the static
+    pre-flight ({!Analysis.classify}) finds a circuit the unitary-only
+    strategies cannot handle.  Carries a located QA008 diagnostic; raised
+    before any transformation runs or DD package is constructed. *)
+exception Rejected of Analysis.Diagnostic.t
+
 (** {1 Scheme 1 (Section 4): full functional verification} *)
 
 type functional_result =
@@ -30,12 +36,17 @@ type functional_result =
     circuits act on different numbers of qubits, the narrower one is padded
     with idle wires, which the check then requires to be exact identities.
     Final measurements are stripped before the unitary comparison.
+    [on_dynamic] selects what happens when an input classifies as dynamic:
+    [`Transform] (the default) applies the Section 4 transformation as
+    before, [`Reject] raises {!Rejected} with a located diagnostic instead
+    — before any DD package is constructed.
     [dd_config] bounds the DD package's operation caches and enables
     automatic compaction (see {!Dd.Pkg.config}). *)
 val functional :
      ?strategy:Strategy.t
   -> ?perm:int array
   -> ?auto_align:bool
+  -> ?on_dynamic:[ `Transform | `Reject ]
   -> ?dd_config:Dd.Pkg.config
   -> Circuit.Circ.t
   -> Circuit.Circ.t

@@ -1,0 +1,12 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// deliberately smelly, but only warning/info findings: a gate after the
+// final measurement (QA002), a dead classical write (QA003), an unused
+// qubit (QA001) and a redundant reset (QA005)
+qreg q[3];
+creg c[1];
+reset q[1];
+h q[0];
+measure q[0] -> c[0];
+x q[0];
+measure q[1] -> c[0];

@@ -223,8 +223,23 @@ let test_stats_families () =
   Alcotest.(check bool) "depth <= ops" true (s.Circuit.Stats.depth <= Circ.total_ops c);
   Alcotest.(check int) "cp gates are two-qubit" 15 s.Circuit.Stats.two_qubit_gates
 
+(* regression: [cbits_written] used to return [] for conditioned ops
+   instead of recursing into them *)
+let test_cbits_written_cond () =
+  let m = Op.Measure { qubit = 0; cbit = 1 } in
+  Alcotest.(check (list int)) "plain measure" [ 1 ] (Op.cbits_written m);
+  Alcotest.(check (list int)) "conditioned measure still writes" [ 1 ]
+    (Op.cbits_written (Op.if_bit ~bit:0 ~value:true m));
+  Alcotest.(check (list int)) "nested condition" [ 1 ]
+    (Op.cbits_written
+       (Op.if_bit ~bit:2 ~value:false (Op.if_bit ~bit:0 ~value:true m)));
+  Alcotest.(check (list int)) "conditioned gate writes nothing" []
+    (Op.cbits_written (Op.if_bit ~bit:0 ~value:true (Op.apply Gates.X 0)))
+
 let suite =
   [ Alcotest.test_case "operation validation" `Quick test_validation
+  ; Alcotest.test_case "cbits_written through conditions" `Quick
+      test_cbits_written_cond
   ; Alcotest.test_case "circuit statistics" `Quick test_stats
   ; Alcotest.test_case "statistics on families" `Quick test_stats_families
   ; Alcotest.test_case "is_dynamic" `Quick test_is_dynamic
