@@ -13,21 +13,10 @@ let load path =
     exit 2
 
 let strategy_conv =
-  let parse = function
-    | "construction" -> Ok Qcec.Strategy.Construction
-    | "sequential" -> Ok Qcec.Strategy.Sequential
-    | "proportional" -> Ok Qcec.Strategy.Proportional
-    | "lookahead" -> Ok Qcec.Strategy.Lookahead
-    | s ->
-      (match int_of_string_opt (Scanf.unescaped s) with
-       | _ ->
-         (match String.index_opt s ':' with
-          | Some i when String.sub s 0 i = "simulation" ->
-            (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
-             | Some k when k > 0 -> Ok (Qcec.Strategy.Simulation k)
-             | _ -> Error (`Msg "expected simulation:<shots>"))
-          | _ ->
-            Error (`Msg "expected construction, proportional, or simulation:<shots>")))
+  let parse s =
+    match Qcec.Strategy.of_string s with
+    | Ok s -> Ok s
+    | Error e -> Error (`Msg e)
   in
   Arg.conv (parse, fun ppf s -> Fmt.string ppf (Qcec.Strategy.name s))
 
@@ -522,6 +511,198 @@ let verify_cmd =
       const run $ file_a $ file_b $ strategy $ perm $ transform $ quiet
       $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg)
 
+(* -- batch ------------------------------------------------------------ *)
+
+(* Batch verification over the engine's domain worker pool: one manifest
+   (or an even list of QASM files, paired consecutively) in, one
+   qcec-result/v1 JSONL stream and an optional qcec-batch/v1 aggregate
+   out.  Per-job failures are structured results, never batch aborts. *)
+let batch_cmd =
+  let run inputs workers out summary strategy timeout retries seed node_limit
+      no_lint quiet cache_cap gc_threshold =
+    (* per-job metric deltas are part of the result schema, so collection
+       is on for batch runs (flipped before any worker spawns) *)
+    Obs.Metrics.set_enabled true;
+    let usage msg =
+      Fmt.epr "qcec batch: %s@." msg;
+      exit 2
+    in
+    let dd_config = dd_config_of cache_cap gc_threshold in
+    let manifest =
+      match inputs with
+      | [ path ] when Filename.check_suffix path ".json" ->
+        (match Engine.Manifest.load path with Ok m -> m | Error e -> usage e)
+      | files ->
+        (match Engine.Manifest.pair_files files with
+         | Ok pairs -> Engine.Manifest.of_pairs ?seed pairs
+         | Error e -> usage e)
+    in
+    (* command-line settings override manifest defaults job by job *)
+    let specs =
+      List.map
+        (fun (s : Engine.Job.spec) ->
+          { s with
+            Engine.Job.strategy =
+              (match s.Engine.Job.strategy with
+               | Some _ as st -> st
+               | None -> strategy)
+          ; timeout =
+              (match timeout with Some _ as t -> t | None -> s.Engine.Job.timeout)
+          ; retries = (match retries with Some r -> r | None -> s.Engine.Job.retries)
+          ; seed =
+              (match seed with
+               | Some s0 -> Some (s0 + s.Engine.Job.index)
+               | None -> s.Engine.Job.seed)
+          })
+        manifest.Engine.Manifest.jobs
+    in
+    if specs = [] then usage "manifest contains no jobs";
+    let oc, close_oc =
+      match out with
+      | "-" -> (stdout, fun () -> ())
+      | path ->
+        (match open_out path with
+         | oc -> (oc, fun () -> close_out oc)
+         | exception Sys_error msg -> usage msg)
+    in
+    let cfg =
+      { Engine.Pool.workers
+      ; dd_config
+      ; node_limit
+      ; lint = not no_lint
+      ; gc_retry_scale = 4
+      ; on_result =
+          Some
+            (fun r ->
+              Engine.Results.write_jsonl oc r;
+              if (not quiet) && out <> "-" then
+                Fmt.epr "%a@." Engine.Job.pp_result r)
+      }
+    in
+    let batch = Engine.Pool.run cfg specs in
+    close_oc ();
+    (match summary with
+     | None -> ()
+     | Some path ->
+       let doc = Engine.Results.aggregate batch in
+       if path = "-" then Fmt.pr "%s@." (Obs.Json.to_string ~pretty:true doc)
+       else (
+         try Obs.Json.to_file path doc
+         with Sys_error msg -> usage (Fmt.str "cannot write summary: %s" msg)));
+    let not_ok =
+      List.filter
+        (fun r -> not (Engine.Job.succeeded r))
+        batch.Engine.Pool.results
+    in
+    if not quiet then
+      Fmt.epr "%d jobs on %d workers in %.2fs wall; %d not equivalent or failed@."
+        (List.length batch.Engine.Pool.results)
+        batch.Engine.Pool.workers batch.Engine.Pool.wall_seconds
+        (List.length not_ok);
+    exit (if not_ok = [] then 0 else 1)
+  in
+  let inputs =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"MANIFEST.json|A.qasm B.qasm ..."
+          ~doc:
+            "Either a single qcec-manifest/v1 JSON file, or an even list of \
+             QASM files paired consecutively")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: the runtime's recommended domain \
+             count); clamped to the number of jobs")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Stream per-job results (schema qcec-result/v1, one JSON object \
+             per line) to $(docv), or to stdout for \"-\" (the default)")
+  in
+  let summary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Write the end-of-run aggregate (schema qcec-batch/v1: latency \
+             percentiles, speedup, exit classes, merged metrics) to $(docv), \
+             or to stdout for \"-\"")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (some strategy_conv) None
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:"default strategy for jobs that do not pin one")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-job wall-clock budget (cancelled cooperatively at DD \
+             safepoints); overrides manifest timeouts")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Extra attempts for timed-out jobs, each with a 4x relaxed \
+             auto-GC threshold; overrides manifest retries")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Batch stimuli seed; job $(i,i) draws its random stimuli from \
+             seed N+i, making simulative verdicts reproducible across \
+             worker counts")
+  in
+  let node_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-limit" ] ~docv:"N"
+          ~doc:
+            "Fail a job (exit class node_limit) once its DD package holds \
+             more than $(docv) live nodes")
+  in
+  let no_lint =
+    Arg.(
+      value & flag
+      & info [ "no-lint" ] ~doc:"skip the per-job lint pre-flight")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress progress on stderr")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Verify many circuit pairs in parallel on a domain worker pool. \
+          Results stream as qcec-result/v1 JSONL; per-job parse errors, \
+          lint errors, rejections and timeouts become structured failures \
+          instead of aborting the batch.  Exits 0 only if every job \
+          verified equivalent")
+    Term.(
+      const run $ inputs $ workers $ out $ summary $ strategy $ timeout
+      $ retries $ seed $ node_limit $ no_lint $ quiet $ cache_cap_arg
+      $ gc_threshold_arg)
+
 (* -- stats ------------------------------------------------------------ *)
 
 let stats_cmd =
@@ -595,5 +776,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; verify_cmd; lint_cmd; distribution_cmd; extract_cmd
-          ; transform_cmd; optimize_cmd; stats_cmd; draw_cmd; gen_cmd ]))
+          [ check_cmd; verify_cmd; batch_cmd; lint_cmd; distribution_cmd
+          ; extract_cmd; transform_cmd; optimize_cmd; stats_cmd; draw_cmd
+          ; gen_cmd ]))

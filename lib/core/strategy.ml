@@ -39,6 +39,38 @@ let name = function
 
 let pp ppf s = Fmt.string ppf (name s)
 
+(* Inverse of [name], used by the CLI and the batch manifest parser.
+   Accepts the bare strategy names plus [simulation:<shots>] and
+   [stimuli:<basis|product|entangled>:<shots>]. *)
+let of_string s =
+  let shots_of v =
+    match int_of_string_opt v with
+    | Some k when k > 0 -> Ok k
+    | _ -> Error (Fmt.str "expected a positive shot count, got %S" v)
+  in
+  match String.split_on_char ':' s with
+  | [ "construction" ] -> Ok Construction
+  | [ "sequential" ] -> Ok Sequential
+  | [ "proportional" ] -> Ok Proportional
+  | [ "lookahead" ] -> Ok Lookahead
+  | [ "simulation"; k ] -> Result.map (fun k -> Simulation k) (shots_of k)
+  | [ "stimuli"; kind; k ] ->
+    let kind =
+      match kind with
+      | "basis" -> Ok Basis
+      | "product" -> Ok Product
+      | "entangled" -> Ok Entangled
+      | other -> Error (Fmt.str "unknown stimuli kind %S" other)
+    in
+    Result.bind kind (fun kind ->
+      Result.map (fun shots -> Random_stimuli { kind; shots }) (shots_of k))
+  | _ ->
+    Error
+      (Fmt.str
+         "unknown strategy %S (expected construction, sequential, proportional, \
+          lookahead, simulation:<shots>, or stimuli:<kind>:<shots>)"
+         s)
+
 exception Non_unitary of Op.t
 
 let unitary_ops (c : Circ.t) =
@@ -206,10 +238,18 @@ let random_stimulus p ~kind ~n st =
         done;
         Dd.Pkg.vroot_edge r)
 
-let check_simulation p ~kind shots (g : Circ.t) (g' : Circ.t) =
+let check_simulation p ?seed ~kind shots (g : Circ.t) (g' : Circ.t) =
   let n = g.Circ.num_qubits in
   let ops = unitary_ops g and ops' = unitary_ops g' in
-  let st = Random.State.make [| 0x51ab; n; shots |] in
+  (* deterministic by construction: the default state depends only on the
+     instance shape, and an explicit [seed] (batch runs derive one per job
+     from the manifest seed) extends rather than replaces it, so seeded
+     runs are just as reproducible *)
+  let st =
+    match seed with
+    | None -> Random.State.make [| 0x51ab; n; shots |]
+    | Some seed -> Random.State.make [| 0x51ab; n; shots; seed |]
+  in
   let run ops state =
     Dd.Pkg.with_root_v p state (fun r ->
         List.iter
@@ -240,7 +280,7 @@ let check_simulation p ~kind shots (g : Circ.t) (g' : Circ.t) =
   let ok, peak = shoot shots true 0 in
   { equivalent = ok; equivalent_up_to_phase = ok; peak_nodes = peak }
 
-let check p strategy (g : Circ.t) (g' : Circ.t) =
+let check ?seed p strategy (g : Circ.t) (g' : Circ.t) =
   if g.Circ.num_qubits <> g'.Circ.num_qubits then
     invalid_arg "Strategy.check: circuits act on different numbers of qubits";
   match strategy with
@@ -251,5 +291,5 @@ let check p strategy (g : Circ.t) (g' : Circ.t) =
     (* advance whichever side is proportionally behind *)
     check_alternating ~take_left:(fun ~i ~j ~nl ~nr -> i * nr <= j * nl) p g g'
   | Lookahead -> check_lookahead p g g'
-  | Simulation shots -> check_simulation p ~kind:Basis shots g g'
-  | Random_stimuli { kind; shots } -> check_simulation p ~kind shots g g'
+  | Simulation shots -> check_simulation p ?seed ~kind:Basis shots g g'
+  | Random_stimuli { kind; shots } -> check_simulation p ?seed ~kind shots g g'

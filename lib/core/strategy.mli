@@ -51,6 +51,12 @@ type outcome =
 
 val default : t
 val name : t -> string
+
+(** [of_string s] parses what {!name} prints (modulo the shot syntax):
+    the bare strategy names, [simulation:<shots>], and
+    [stimuli:<basis|product|entangled>:<shots>]. *)
+val of_string : string -> (t, string) result
+
 val pp : Format.formatter -> t -> unit
 
 (** Raised by {!check} when a circuit still contains a non-unitary
@@ -59,8 +65,11 @@ val pp : Format.formatter -> t -> unit
     transformation first. *)
 exception Non_unitary of Circuit.Op.t
 
-(** [check p strategy g g'] compares two unitary circuits over the same
-    number of qubits (measurements and barriers are ignored).  Raises
-    [Invalid_argument] on register mismatch and {!Non_unitary} on
-    non-unitary operations. *)
-val check : Dd.Pkg.t -> t -> Circuit.Circ.t -> Circuit.Circ.t -> outcome
+(** [check ?seed p strategy g g'] compares two unitary circuits over the
+    same number of qubits (measurements and barriers are ignored).
+    [seed] perturbs the (otherwise instance-shape-derived) random-stimuli
+    state of the simulative strategies, so batch runs can derive a
+    distinct, reproducible stream per job from one manifest-level seed;
+    it is ignored by the exact strategies.  Raises [Invalid_argument] on
+    register mismatch and {!Non_unitary} on non-unitary operations. *)
+val check : ?seed:int -> Dd.Pkg.t -> t -> Circuit.Circ.t -> Circuit.Circ.t -> outcome

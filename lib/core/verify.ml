@@ -101,7 +101,7 @@ let preflight ~on_dynamic g g' =
       [ g; g' ]
 
 let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true)
-    ?(on_dynamic = `Transform) ?dd_config g g' =
+    ?(on_dynamic = `Transform) ?dd_config ?seed g g' =
   preflight ~on_dynamic g g';
   let m0 = Obs.Metrics.snapshot () in
   let t0 = now () in
@@ -128,7 +128,8 @@ let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true)
   let t1 = now () in
   let p = Dd.Pkg.create ?config:dd_config () in
   let outcome =
-    Obs.Span.with_ "verify.functional.check" (fun () -> Strategy.check p strategy g g')
+    Obs.Span.with_ "verify.functional.check" (fun () ->
+      Strategy.check ?seed p strategy g g')
   in
   let t2 = now () in
   { equivalent = outcome.Strategy.equivalent_up_to_phase

@@ -41,13 +41,16 @@ type functional_result =
     before, [`Reject] raises {!Rejected} with a located diagnostic instead
     — before any DD package is constructed.
     [dd_config] bounds the DD package's operation caches and enables
-    automatic compaction (see {!Dd.Pkg.config}). *)
+    automatic compaction (see {!Dd.Pkg.config}).
+    [seed] perturbs the random-stimuli stream of the simulative
+    strategies (see {!Strategy.check}); batch runs derive one per job. *)
 val functional :
      ?strategy:Strategy.t
   -> ?perm:int array
   -> ?auto_align:bool
   -> ?on_dynamic:[ `Transform | `Reject ]
   -> ?dd_config:Dd.Pkg.config
+  -> ?seed:int
   -> Circuit.Circ.t
   -> Circuit.Circ.t
   -> functional_result

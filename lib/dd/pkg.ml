@@ -32,6 +32,17 @@ type caps =
 let caps_unbounded = { vadd = -1; madd = -1; mv = -1; mm = -1; ip = -1; adj = -1 }
 let caps_uniform n = { vadd = n; madd = n; mv = n; mm = n; ip = n; adj = n }
 
+(* A package is single-domain state: its hash tables and caches have no
+   synchronization, so using one from a domain other than its creator
+   would corrupt the unique tables silently.  Entry points carry a cheap
+   owner check (one atomic load, one domain-id compare) that turns such
+   misuse into a loud [Cross_domain_use] instead. *)
+exception Cross_domain_use of string
+
+let domain_guards = Atomic.make true
+let set_domain_guards b = Atomic.set domain_guards b
+let self_id () = (Domain.self () :> int)
+
 type config =
   { caps : caps
   ; gc_threshold : int option
@@ -72,7 +83,18 @@ type t =
   ; mutable root_next : int
   ; gc_threshold : int option
   ; mutable gc_baseline : int (* live nodes right after the last sweep *)
+  ; owner : int (* id of the domain that created the package *)
   }
+
+let guard p =
+  if Atomic.get domain_guards then begin
+    let d = self_id () in
+    if d <> p.owner then
+      raise
+        (Cross_domain_use
+           (Printf.sprintf
+              "Dd.Pkg: package owned by domain %d used from domain %d" p.owner d))
+  end
 
 let create ?(tol = 1e-10) ?(config = default_config) () =
   let caps = config.caps in
@@ -93,11 +115,14 @@ let create ?(tol = 1e-10) ?(config = default_config) () =
   ; root_next = 0
   ; gc_threshold = config.gc_threshold
   ; gc_baseline = 0
+  ; owner = self_id ()
   }
 
 let tol p = Ct.tol p.ctab
 let ctab p = p.ctab
-let weight p z = Ct.lookup p.ctab z
+let weight p z =
+  guard p;
+  Ct.lookup p.ctab z
 let w_zero = Ct.zero
 let w_one = Ct.one
 let vzero = { vw = Ct.zero; vt = None }
@@ -150,6 +175,7 @@ let hashcons_mnode p var e00 e01 e10 e11 =
    identity equivalent to sub-state identity and gives weights a direct
    probabilistic reading. *)
 let make_vnode p var e0 e1 =
+  guard p;
   if vedge_is_zero e0 && vedge_is_zero e1 then vzero
   else begin
     let w0 = wcx e0.vw and w1 = wcx e1.vw in
@@ -179,6 +205,7 @@ let make_vnode p var e0 e1 =
 (* Matrix normalization: divide by the largest-magnitude weight, lowest index
    winning near-ties, so the dominant weight becomes exactly 1. *)
 let make_mnode p var e00 e01 e10 e11 =
+  guard p;
   let edges = [| e00; e01; e10; e11 |] in
   let mags = Array.map (fun e -> Cx.abs (wcx e.mw)) edges in
   let mmax = Array.fold_left Float.max 0.0 mags in
@@ -330,12 +357,14 @@ let clear_caches p =
 (* -- root registry ---------------------------------------------------- *)
 
 let root_v p e =
+  guard p;
   let r = { vr_id = p.root_next; vr_edge = e } in
   p.root_next <- p.root_next + 1;
   Hashtbl.replace p.vroots r.vr_id r;
   r
 
 let root_m p e =
+  guard p;
   let r = { mr_id = p.root_next; mr_edge = e } in
   p.root_next <- p.root_next + 1;
   Hashtbl.replace p.mroots r.mr_id r;
@@ -370,6 +399,7 @@ let live_nodes p = Hashtbl.length p.vtab + Hashtbl.length p.mtab
    OCaml values, but lose canonicity (a later structurally-equal build
    yields a different physical node). *)
 let compact p =
+  guard p;
   M.incr m_gc_runs;
   let nodes_before = live_nodes p and weights_before = Ct.size p.ctab in
   clear_caches p;
@@ -423,12 +453,25 @@ let compact p =
   M.add m_gc_swept_nodes (nodes_before - live_nodes p);
   M.add m_gc_swept_weights (max 0 (weights_before - Ct.size p.ctab))
 
+(* Safepoint hook: a domain-local callback fired on every [checkpoint].
+   Checkpoints are the places where consumers declare "everything live is
+   rooted and no DD operation is in flight", which makes them the natural
+   cancellation points for cooperative job control — the batch engine
+   installs a hook that raises on deadline or node-budget overrun, and the
+   exception unwinds through [Fun.protect]-style root brackets without
+   corrupting any package state. *)
+let safepoint_hook : (t -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_safepoint_hook h = Domain.DLS.set safepoint_hook h
+
 (* Growth policy: a cheap check consumers place at safepoints (between DD
    operations, when everything live is rooted).  Compaction must never run
    in the middle of a {!Vec}/{!Mat} operation — intermediate edges held in
    OCaml locals are not rooted — so the package never compacts on its own;
    it only does so here, when a consumer says it is safe. *)
 let checkpoint p =
+  (match Domain.DLS.get safepoint_hook with None -> () | Some f -> f p);
   match p.gc_threshold with
   | Some threshold when live_nodes p - p.gc_baseline > threshold ->
     M.incr m_gc_auto;

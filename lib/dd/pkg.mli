@@ -4,11 +4,30 @@
     A package is the unit of state: DDs created in one package must never be
     mixed with those of another.  Creating a package is cheap, so
     independent tasks (tests, extraction branches run in parallel) should
-    each use their own. *)
+    each use their own.
+
+    A package is also {e single-domain} state: it carries no internal
+    synchronization, so it must only ever be used by the domain that
+    created it.  Entry points enforce this with a cheap owner check (see
+    {!Cross_domain_use}); parallel drivers give every worker domain its
+    own package. *)
 
 open Types
 
 type t
+
+(** {1 Domain ownership} *)
+
+(** Raised when a package is used from a domain other than the one that
+    created it — misuse that would otherwise corrupt the unique tables
+    silently.  The payload names both domain ids. *)
+exception Cross_domain_use of string
+
+(** [set_domain_guards b] enables or disables the owner check (default
+    enabled; the check costs one atomic load and an integer compare on the
+    node-construction path, so disabling it is a last-resort
+    micro-optimization, not a way to share packages). *)
+val set_domain_guards : bool -> unit
 
 (** {1 Memory configuration} *)
 
@@ -173,11 +192,23 @@ val live_nodes : t -> int
     longer be used with this package. *)
 val compact : t -> unit
 
-(** [checkpoint p] runs {!compact} if the growth policy asks for it: the
-    unique tables grew past [config.gc_threshold] nodes since the last
-    sweep.  Consumers call this at safepoints — between DD operations, when
-    everything live is rooted.  A no-op (one comparison) otherwise. *)
+(** [checkpoint p] fires the domain's safepoint hook (if any), then runs
+    {!compact} if the growth policy asks for it: the unique tables grew
+    past [config.gc_threshold] nodes since the last sweep.  Consumers call
+    this at safepoints — between DD operations, when everything live is
+    rooted.  A no-op (one comparison) otherwise. *)
 val checkpoint : t -> unit
+
+(** [set_safepoint_hook h] installs (or, with [None], removes) the calling
+    domain's safepoint hook: a callback fired at every {!checkpoint} on
+    any package used by this domain, before the auto-GC policy runs.
+    Safepoints are exactly the places where consumers guarantee all live
+    edges are rooted and no DD operation is in flight, which makes the
+    hook the supported cooperative-cancellation point: raising from it
+    (per-job wall-clock deadline, node-budget overrun) unwinds cleanly
+    through the root brackets.  The hook is domain-local, so a worker's
+    deadline never fires in another worker. *)
+val set_safepoint_hook : (t -> unit) option -> unit
 
 (** {1 Statistics} *)
 

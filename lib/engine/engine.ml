@@ -1,0 +1,8 @@
+(** Batch verification on OCaml 5 domains: compile a manifest (or file
+    pairs) into {!Job.spec}s, run them on the {!Pool}, stream and
+    aggregate with {!Results}.  See [docs/ENGINE.md]. *)
+
+module Job = Job
+module Manifest = Manifest
+module Pool = Pool
+module Results = Results

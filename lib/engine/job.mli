@@ -1,0 +1,131 @@
+(** The batch-verification job model: what one unit of work is, and what
+    comes back — the [qcec-result/v1] line the {!Results} layer streams.
+
+    A {!spec} is pure data: the pool compiles it into a call to
+    [Qcec.Verify.functional] on some worker domain.  Everything that can go
+    wrong is captured as a structured {!failure_class} rather than an
+    exception, so one bad job never aborts a batch. *)
+
+type source =
+  | Files of
+      { file_a : string
+      ; file_b : string
+      }  (** parsed (and lint-checked) on the worker *)
+  | Circuits of
+      { a : Circuit.Circ.t
+      ; b : Circuit.Circ.t
+      }  (** pre-parsed, e.g. from the benchmark generators *)
+
+type spec =
+  { index : int  (** position in the batch; results are reported per index *)
+  ; label : string
+  ; source : source
+  ; strategy : Qcec.Strategy.t option  (** [None]: [Qcec.Strategy.default] *)
+  ; perm : int array option  (** wire alignment, as in [Verify.functional] *)
+  ; transform : bool
+        (** [false] verifies with [~on_dynamic:`Reject]: dynamic inputs
+            become a [Rejected] failure instead of being transformed *)
+  ; timeout : float option  (** per-job wall-clock budget, seconds *)
+  ; retries : int  (** extra attempts granted to timed-out jobs *)
+  ; seed : int option  (** per-job stimuli seed (manifest seed + index) *)
+  }
+
+val files :
+     ?label:string
+  -> ?strategy:Qcec.Strategy.t
+  -> ?perm:int array
+  -> ?transform:bool
+  -> ?timeout:float
+  -> ?retries:int
+  -> ?seed:int
+  -> index:int
+  -> string
+  -> string
+  -> spec
+
+val circuits :
+     ?label:string
+  -> ?strategy:Qcec.Strategy.t
+  -> ?perm:int array
+  -> ?transform:bool
+  -> ?timeout:float
+  -> ?retries:int
+  -> ?seed:int
+  -> index:int
+  -> Circuit.Circ.t
+  -> Circuit.Circ.t
+  -> spec
+
+(** A successful verification — the fields of
+    [Qcec.Verify.functional_result] that serialize. *)
+type verdict =
+  { equivalent : bool
+  ; exactly_equal : bool
+  ; strategy : string
+  ; t_transform : float
+  ; t_check : float
+  ; transformed_qubits : int
+  ; peak_nodes : int
+  }
+
+type failure_class =
+  | Timeout  (** wall-clock budget exhausted (cooperative, at DD safepoints) *)
+  | Lint_error  (** lint pre-flight found error-severity diagnostics *)
+  | Parse_error  (** unreadable or malformed QASM input *)
+  | Non_unitary  (** [Strategy.Non_unitary] escaped (non-transformable op) *)
+  | Rejected  (** dynamic input under [transform = false] *)
+  | Node_limit  (** live DD nodes exceeded the pool's [node_limit] *)
+  | Crash  (** any other exception, [Printexc]-rendered *)
+
+type outcome =
+  | Verdict of verdict
+  | Failed of
+      { reason : failure_class
+      ; message : string
+      }
+
+type result =
+  { index : int
+  ; label : string
+  ; files_checked : (string * string) option
+  ; outcome : outcome
+  ; duration : float  (** seconds across all attempts *)
+  ; attempts : int
+  ; worker : int  (** pool worker id that ran the job *)
+  ; seed : int option
+  ; metrics : Obs.Metrics.snapshot
+        (** per-job counter deltas from the worker's registry (all zeros
+            unless collection is enabled) *)
+  }
+
+val failure_class_string : failure_class -> string
+val failure_class_of_string : string -> failure_class option
+
+(** [exit_class o] is the stable string the [exit] field of a result line
+    carries: ["equivalent"], ["not_equivalent"], or a failure class. *)
+val exit_class : outcome -> string
+
+(** [succeeded r] — the job ran to completion {e and} found the pair
+    equivalent. *)
+val succeeded : result -> bool
+
+(** [same_outcome a b] compares outcomes modulo scheduling: verdict flags
+    and strategy must match (timings may differ), failures must agree on
+    the class (messages may differ).  This is the invariant batch runs
+    maintain across worker counts. *)
+val same_outcome : outcome -> outcome -> bool
+
+val pp_result : Format.formatter -> result -> unit
+
+(** {1 [qcec-result/v1]} *)
+
+val schema : string
+
+val to_json : result -> Obs.Json.t
+
+(** [of_json j] inverts {!to_json} exactly: for any [r],
+    [of_json (of_string (Json.to_string (to_json r)))] is [Ok r]. *)
+val of_json : Obs.Json.t -> (result, string) Stdlib.result
+
+(** [of_string line] parses one JSONL line. *)
+val of_string : string -> (result, string) Stdlib.result

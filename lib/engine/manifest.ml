@@ -1,0 +1,185 @@
+module Json = Obs.Json
+
+type defaults =
+  { strategy : Qcec.Strategy.t option
+  ; timeout : float option
+  ; retries : int
+  ; transform : bool
+  }
+
+let no_defaults = { strategy = None; timeout = None; retries = 0; transform = true }
+
+type t =
+  { seed : int option
+  ; jobs : Job.spec list
+  }
+
+let schema = "qcec-manifest/v1"
+
+let ( let* ) = Result.bind
+
+(* Collect [Ok]s or return the first [Error]. *)
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+      let* y = f x in
+      go (y :: acc) rest
+  in
+  go [] l
+
+let job_seed ~manifest_seed ~index =
+  match manifest_seed with None -> None | Some s -> Some (s + index)
+
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> Error (Fmt.str "manifest: field %S must be a string" name)
+  | None -> Ok None
+
+let int_field name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Fmt.str "manifest: field %S must be an integer" name)
+  | None -> Ok None
+
+let num_field name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> Ok (Some f)
+  | Some (Json.Int i) -> Ok (Some (float_of_int i))
+  | Some _ -> Error (Fmt.str "manifest: field %S must be a number" name)
+  | None -> Ok None
+
+let bool_field name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> Ok (Some b)
+  | Some _ -> Error (Fmt.str "manifest: field %S must be a boolean" name)
+  | None -> Ok None
+
+let strategy_field name j =
+  let* s = str_field name j in
+  match s with
+  | None -> Ok None
+  | Some s ->
+    (match Qcec.Strategy.of_string s with
+     | Ok st -> Ok (Some st)
+     | Error e -> Error (Fmt.str "manifest: %s" e))
+
+let perm_field j =
+  match Json.member "perm" j with
+  | None -> Ok None
+  | Some (Json.List l) ->
+    let* ints =
+      map_result
+        (function
+          | Json.Int i -> Ok i
+          | _ -> Error "manifest: \"perm\" must be a list of integers")
+        l
+    in
+    Ok (Some (Array.of_list ints))
+  | Some _ -> Error "manifest: \"perm\" must be a list of integers"
+
+let defaults_of_json j =
+  match Json.member "defaults" j with
+  | None -> Ok no_defaults
+  | Some d ->
+    let* strategy = strategy_field "strategy" d in
+    let* timeout = num_field "timeout" d in
+    let* retries = int_field "retries" d in
+    let* transform = bool_field "transform" d in
+    Ok
+      { strategy
+      ; timeout
+      ; retries = Option.value retries ~default:0
+      ; transform = Option.value transform ~default:true
+      }
+
+(* Paths in a manifest are relative to the manifest file, so a manifest can
+   sit next to its circuits and be invoked from anywhere. *)
+let resolve ~dir path =
+  if Filename.is_relative path then Filename.concat dir path else path
+
+let job_of_json ~dir ~defaults ~manifest_seed ~index j =
+  let* a =
+    match Json.member "a" j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Fmt.str "manifest: job %d: missing string field \"a\"" index)
+  in
+  let* b =
+    match Json.member "b" j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Fmt.str "manifest: job %d: missing string field \"b\"" index)
+  in
+  let* label = str_field "label" j in
+  let* strategy = strategy_field "strategy" j in
+  let* perm = perm_field j in
+  let* timeout = num_field "timeout" j in
+  let* retries = int_field "retries" j in
+  let* transform = bool_field "transform" j in
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Filename.basename a ^ " vs " ^ Filename.basename b
+  in
+  Ok
+    { Job.index
+    ; label
+    ; source = Job.Files { file_a = resolve ~dir a; file_b = resolve ~dir b }
+    ; strategy = (match strategy with Some _ as s -> s | None -> defaults.strategy)
+    ; perm
+    ; transform = Option.value transform ~default:defaults.transform
+    ; timeout = (match timeout with Some _ as t -> t | None -> defaults.timeout)
+    ; retries = Option.value retries ~default:defaults.retries
+    ; seed = job_seed ~manifest_seed ~index
+    }
+
+let of_json ?(dir = Filename.current_dir_name) j =
+  let* s =
+    match Json.member "schema" j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error "manifest: missing string field \"schema\""
+  in
+  let* () =
+    if s = schema then Ok ()
+    else Error (Fmt.str "manifest: unexpected schema %S (want %S)" s schema)
+  in
+  let* manifest_seed = int_field "seed" j in
+  let* defaults = defaults_of_json j in
+  let* jobs_json =
+    match Json.member "jobs" j with
+    | Some (Json.List l) -> Ok l
+    | _ -> Error "manifest: missing list field \"jobs\""
+  in
+  let* jobs =
+    map_result
+      (fun (index, j) -> job_of_json ~dir ~defaults ~manifest_seed ~index j)
+      (List.mapi (fun i j -> (i, j)) jobs_json)
+  in
+  Ok { seed = manifest_seed; jobs }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error (Fmt.str "manifest: %s" msg)
+  | contents ->
+    (match Json.of_string contents with
+     | exception Json.Parse_error msg -> Error (Fmt.str "manifest: %s: %s" path msg)
+     | j -> of_json ~dir:(Filename.dirname path) j)
+
+let pair_files paths =
+  let rec pair acc = function
+    | [] -> Ok (List.rev acc)
+    | [ odd ] -> Error (Fmt.str "odd number of circuit files (no partner for %s)" odd)
+    | a :: b :: rest -> pair ((a, b) :: acc) rest
+  in
+  pair [] paths
+
+let of_pairs ?seed ?(defaults = no_defaults) pairs =
+  let jobs =
+    List.mapi
+      (fun index (a, b) ->
+        Job.files ?strategy:defaults.strategy ?timeout:defaults.timeout
+          ~retries:defaults.retries ~transform:defaults.transform
+          ?seed:(job_seed ~manifest_seed:seed ~index) ~index a b)
+      pairs
+  in
+  { seed; jobs }

@@ -1,0 +1,54 @@
+(** [qcec-manifest/v1]: the on-disk description of a batch.
+
+    {v
+    { "schema": "qcec-manifest/v1",
+      "seed": 42,
+      "defaults": { "strategy": "proportional", "timeout": 30,
+                    "retries": 1, "transform": true },
+      "jobs": [
+        { "a": "bv6_dynamic.qasm", "b": "bv6_static.qasm",
+          "label": "bv6", "strategy": "simulation:16",
+          "perm": [0, 2, 1], "timeout": 5, "retries": 0,
+          "transform": false } ] }
+    v}
+
+    Only ["schema"] and ["jobs"] (with per-job ["a"]/["b"]) are required;
+    every other field is optional.  Per-job fields override the
+    ["defaults"] block.  File paths are resolved relative to the manifest's
+    directory.  The manifest-level ["seed"] derives one deterministic
+    stimuli seed per job ([seed + job index]), so simulative strategies are
+    reproducible — and identical — regardless of worker count or
+    scheduling order. *)
+
+type defaults =
+  { strategy : Qcec.Strategy.t option
+  ; timeout : float option
+  ; retries : int
+  ; transform : bool
+  }
+
+val no_defaults : defaults
+
+type t =
+  { seed : int option
+  ; jobs : Job.spec list
+  }
+
+val schema : string
+
+(** [load path] reads and compiles a manifest file; paths inside resolve
+    relative to [Filename.dirname path]. *)
+val load : string -> (t, string) result
+
+(** [of_json ?dir j] compiles an already-parsed manifest document.  [dir]
+    (default ".") anchors relative circuit paths. *)
+val of_json : ?dir:string -> Obs.Json.t -> (t, string) result
+
+(** [pair_files paths] pairs a flat file list consecutively:
+    [[a; b; c; d]] becomes [[(a, b); (c, d)]].  An odd count is an
+    error. *)
+val pair_files : string list -> ((string * string) list, string) result
+
+(** [of_pairs ?seed ?defaults pairs] builds a manifest directly from file
+    pairs — the globbed-QASM path of the CLI. *)
+val of_pairs : ?seed:int -> ?defaults:defaults -> (string * string) list -> t

@@ -1,0 +1,259 @@
+module M = Obs.Metrics
+
+(* engine.* metric namespace (docs/OBSERVABILITY.md) *)
+let m_scheduled = M.counter "engine.jobs.scheduled"
+let m_completed = M.counter "engine.jobs.completed"
+let m_failed = M.counter "engine.jobs.failed"
+let m_timeout = M.counter "engine.jobs.timeout"
+let m_retried = M.counter "engine.jobs.retried"
+let m_workers = M.gauge "engine.workers.peak"
+
+exception Cancelled of [ `Timeout | `Node_limit of int ]
+
+(* Internal: carries rendered error-severity diagnostics out of the lint
+   pre-flight to the per-job classifier. *)
+exception Lint_failed of string
+
+type config =
+  { workers : int
+  ; dd_config : Dd.Pkg.config option
+  ; node_limit : int option
+  ; lint : bool
+  ; gc_retry_scale : int
+  ; on_result : (Job.result -> unit) option
+  }
+
+let default_config =
+  { workers = Domain.recommended_domain_count ()
+  ; dd_config = None
+  ; node_limit = None
+  ; lint = true
+  ; gc_retry_scale = 4
+  ; on_result = None
+  }
+
+type batch =
+  { results : Job.result list
+  ; wall_seconds : float
+  ; workers : int
+  ; metrics : M.snapshot
+  ; spans : Obs.Span.entry list
+  }
+
+let now = Obs.Clock.now
+
+(* The cooperative cancellation point: [Dd.Pkg.checkpoint] (called by every
+   strategy / simulator / extraction loop after each gate) fires this hook,
+   which compares the monotonic clock against the attempt's deadline and the
+   package's live-node count against the pool budget.  Raising here unwinds
+   the verification; the worker's own package is dropped with it. *)
+let install_guard ~deadline ~node_limit =
+  match (deadline, node_limit) with
+  | None, None -> ()
+  | _ ->
+    Dd.Pkg.set_safepoint_hook
+      (Some
+         (fun p ->
+           (match deadline with
+            | Some d when now () > d -> raise (Cancelled `Timeout)
+            | _ -> ());
+           match node_limit with
+           | Some l when Dd.Pkg.live_nodes p > l -> raise (Cancelled (`Node_limit l))
+           | _ -> ()))
+
+let clear_guard () = Dd.Pkg.set_safepoint_hook None
+
+let render_diagnostics diags =
+  Analysis.Diagnostic.sort diags
+  |> List.filter (fun d -> d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
+  |> List.map Analysis.Diagnostic.to_string
+  |> String.concat "; "
+
+(* One verification attempt.  Parsing and linting happen inside the attempt
+   so their failures are classified per job, and so the wall-clock deadline
+   covers them too (cancellation between gates only triggers once DD work
+   starts, which is where all the time goes). *)
+let attempt cfg ~dd_config (spec : Job.spec) =
+  let deadline = Option.map (fun s -> now () +. s) spec.timeout in
+  let a, b, lint_inputs =
+    match spec.source with
+    | Job.Circuits { a; b } -> (a, b, [ (a, None); (b, None) ])
+    | Job.Files { file_a; file_b } ->
+      let a, lines_a = Circuit.Qasm3_parser.parse_any_file_located file_a in
+      let b, lines_b = Circuit.Qasm3_parser.parse_any_file_located file_b in
+      (a, b, [ (a, Some (file_a, lines_a)); (b, Some (file_b, lines_b)) ])
+  in
+  if cfg.lint then begin
+    let errors =
+      List.concat_map
+        (fun (c, located) ->
+          match located with
+          | Some (file, lines) -> Analysis.lint ~file ~lines c
+          | None -> Analysis.lint c)
+        lint_inputs
+      |> List.filter (fun d ->
+           d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
+    in
+    if errors <> [] then raise (Lint_failed (render_diagnostics errors))
+  end;
+  install_guard ~deadline ~node_limit:cfg.node_limit;
+  Fun.protect ~finally:clear_guard (fun () ->
+    let on_dynamic = if spec.transform then `Transform else `Reject in
+    let r =
+      Qcec.Verify.functional ?strategy:spec.strategy ?perm:spec.perm ~on_dynamic
+        ?dd_config ?seed:spec.seed a b
+    in
+    { Job.equivalent = r.Qcec.Verify.equivalent
+    ; exactly_equal = r.Qcec.Verify.exactly_equal
+    ; strategy = Qcec.Strategy.name r.Qcec.Verify.strategy
+    ; t_transform = r.Qcec.Verify.t_transform
+    ; t_check = r.Qcec.Verify.t_check
+    ; transformed_qubits = r.Qcec.Verify.transformed_qubits
+    ; peak_nodes = r.Qcec.Verify.peak_nodes
+    })
+
+let classify = function
+  | Cancelled `Timeout -> (Job.Timeout, "wall-clock budget exhausted")
+  | Cancelled (`Node_limit l) ->
+    (Job.Node_limit, Fmt.str "live DD nodes exceeded the %d-node budget" l)
+  | Lint_failed msg -> (Job.Lint_error, msg)
+  | Circuit.Qasm_parser.Parse_error (msg, line) ->
+    (Job.Parse_error, Fmt.str "line %d: %s" line msg)
+  | Sys_error msg -> (Job.Parse_error, msg)
+  | Qcec.Strategy.Non_unitary op ->
+    (Job.Non_unitary, Fmt.str "non-unitary operation %a" Circuit.Op.pp op)
+  | Qcec.Verify.Rejected d -> (Job.Rejected, Analysis.Diagnostic.to_string d)
+  | e -> (Job.Crash, Printexc.to_string e)
+
+(* Timed-out attempts may retry with a proportionally relaxed auto-GC
+   threshold: a job that spent its budget collecting garbage gets to trade
+   memory for time on the next try. *)
+let relax cfg dd_config =
+  match dd_config with
+  | Some c ->
+    Some
+      { c with
+        Dd.Pkg.gc_threshold =
+          Option.map (fun t -> t * cfg.gc_retry_scale) c.Dd.Pkg.gc_threshold
+      }
+  | None -> None
+
+let run_job cfg ~worker (spec : Job.spec) =
+  let m0 = M.snapshot () in
+  let t0 = now () in
+  let rec go ~attempts dd_config =
+    let outcome =
+      match attempt cfg ~dd_config spec with
+      | v -> Job.Verdict v
+      | exception e ->
+        let reason, message = classify e in
+        Job.Failed { reason; message }
+    in
+    match outcome with
+    | Job.Failed { reason = Job.Timeout; _ } when attempts <= spec.retries ->
+      M.incr m_retried;
+      go ~attempts:(attempts + 1) (relax cfg dd_config)
+    | outcome -> (outcome, attempts)
+  in
+  let outcome, attempts = go ~attempts:1 cfg.dd_config in
+  (match outcome with
+   | Job.Verdict _ -> M.incr m_completed
+   | Job.Failed { reason; _ } ->
+     M.incr m_failed;
+     if reason = Job.Timeout then M.incr m_timeout);
+  { Job.index = spec.index
+  ; label = spec.label
+  ; files_checked =
+      (match spec.source with
+       | Job.Files { file_a; file_b } -> Some (file_a, file_b)
+       | Job.Circuits _ -> None)
+  ; outcome
+  ; duration = now () -. t0
+  ; attempts
+  ; worker
+  ; seed = spec.seed
+  ; metrics = M.diff ~before:m0 ~after:(M.snapshot ())
+  }
+
+let run (cfg : config) specs =
+  let specs = Array.of_list specs in
+  let n = Array.length specs in
+  (* scheduling counters land on the calling domain; remember the delta so
+     the batch aggregate (merged from worker registries) includes them *)
+  let m_before = M.snapshot () in
+  M.add m_scheduled n;
+  let workers = max 1 (min cfg.workers (max 1 n)) in
+  M.observe m_workers workers;
+  let scheduling_delta = M.diff ~before:m_before ~after:(M.snapshot ()) in
+  let t0 = now () in
+  let lock = Mutex.create () in
+  let next = ref 0 in
+  let results = Array.make n None in
+  let take () =
+    Mutex.protect lock (fun () ->
+      if !next >= n then None
+      else begin
+        let i = !next in
+        incr next;
+        Some i
+      end)
+  in
+  let publish i r =
+    Mutex.protect lock (fun () ->
+      results.(i) <- Some r;
+      match cfg.on_result with None -> () | Some f -> f r)
+  in
+  (* Workers are plain domains; each job builds its own [Dd.Pkg.t] inside
+     [Verify.functional], so packages never cross domains (and the package
+     owner guard would catch it if one did). *)
+  let worker_fn wid () =
+    let rec loop () =
+      match take () with
+      | None -> ()
+      | Some i ->
+        publish i (run_job cfg ~worker:wid specs.(i));
+        loop ()
+    in
+    loop ();
+    (M.snapshot (), Obs.Span.report ())
+  in
+  let harvests =
+    let domains = List.init workers (fun wid -> Domain.spawn (worker_fn wid)) in
+    List.map Domain.join domains
+  in
+  let wall_seconds = now () -. t0 in
+  (* Fold worker registries into the calling domain so process-level
+     reports ([qcec_cli stats], bench output) see the batch's work, and
+     keep the merged reading for the batch aggregate. *)
+  List.iter
+    (fun (m, s) ->
+      M.absorb m;
+      Obs.Span.absorb s)
+    harvests;
+  let metrics = M.merge (scheduling_delta :: List.map fst harvests) in
+  let spans =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun (_, entries) ->
+        List.iter
+          (fun (e : Obs.Span.entry) ->
+            match Hashtbl.find_opt tbl e.path with
+            | None -> Hashtbl.replace tbl e.path e
+            | Some prev ->
+              Hashtbl.replace tbl e.path
+                { e with
+                  count = prev.Obs.Span.count + e.count
+                ; seconds = prev.Obs.Span.seconds +. e.seconds
+                })
+          entries)
+      harvests;
+    Hashtbl.fold (fun _ e acc -> e :: acc) tbl []
+    |> List.sort (fun (a : Obs.Span.entry) b -> compare a.path b.path)
+  in
+  let results =
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> assert false (* every index was taken and published *))
+  in
+  { results; wall_seconds; workers; metrics; spans }

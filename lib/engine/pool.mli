@@ -1,0 +1,59 @@
+(** The domain worker pool: runs a list of {!Job.spec}s across OCaml 5
+    domains and collects one {!Job.result} per job.
+
+    {2 Isolation}
+
+    Each job constructs its own DD package (inside
+    [Qcec.Verify.functional]) on the worker domain that runs it, so
+    packages never cross domains — [Dd.Pkg]'s owner guard enforces the
+    contract.  Metric and span registries are domain-local; the pool
+    harvests every worker's readings at join time, folds them into the
+    calling domain ({!Obs.Metrics.absorb} / {!Obs.Span.absorb}) and
+    exposes the merged batch-attributable reading in {!batch.metrics}.
+
+    {2 Robustness}
+
+    A job never aborts the batch: parse errors, lint errors,
+    [Strategy.Non_unitary], [Verify.Rejected], wall-clock timeouts and
+    node-budget overruns all come back as structured
+    [Job.Failed] outcomes.  Timeouts and node budgets cancel
+    {e cooperatively}: a hook installed at the DD package's safepoints
+    ([Dd.Pkg.checkpoint], reached after every gate application) raises
+    {!Cancelled} when the attempt's deadline or the pool's node limit is
+    exceeded — a tiny job may finish before its first safepoint even with
+    a zero budget.  Timed-out jobs retry (up to [spec.retries] extra
+    attempts) with the auto-GC threshold scaled by [gc_retry_scale],
+    trading memory for time. *)
+
+(** Raised inside a worker at a DD safepoint to unwind a cancelled
+    attempt; classified into [Job.Timeout] / [Job.Node_limit]. *)
+exception Cancelled of [ `Timeout | `Node_limit of int ]
+
+type config =
+  { workers : int  (** domain count; clamped to [1 .. max 1 (#jobs)] *)
+  ; dd_config : Dd.Pkg.config option  (** per-job DD package bounds *)
+  ; node_limit : int option  (** live-node budget, checked at safepoints *)
+  ; lint : bool  (** run the lint pre-flight before each verification *)
+  ; gc_retry_scale : int  (** GC-threshold multiplier for timeout retries *)
+  ; on_result : (Job.result -> unit) option
+        (** streaming callback, invoked under the pool lock as each job
+            finishes (from a worker domain, in completion order) *)
+  }
+
+(** [workers = Domain.recommended_domain_count ()], no DD bounds, no node
+    limit, lint on, [gc_retry_scale = 4], no callback. *)
+val default_config : config
+
+type batch =
+  { results : Job.result list  (** in job-index order *)
+  ; wall_seconds : float
+  ; workers : int  (** domains actually used *)
+  ; metrics : Obs.Metrics.snapshot
+        (** merged worker registries — exactly the batch's work *)
+  ; spans : Obs.Span.entry list  (** merged worker span reports *)
+  }
+
+(** [run config specs] executes the batch and blocks until every job has a
+    result.  Worker domains are always spawned (also for [workers = 1]),
+    so single- and multi-worker runs execute identically. *)
+val run : config -> Job.spec list -> batch

@@ -1,62 +1,108 @@
-type counter =
-  { c_name : string
-  ; mutable c_value : int
+(* Domain-local metric registries.  Metric *names* are registered globally
+   (under a mutex), but every domain holds its own value slots in
+   domain-local storage: increments from parallel workers never race, and a
+   worker's readings can be harvested with [snapshot] at join time and
+   folded into another domain's registry with [absorb] (or combined
+   off-registry with [merge]). *)
+
+type kind =
+  | Counter
+  | Gauge
+
+(* A metric handle is just its registration record; values live in the
+   per-domain slot arrays below. *)
+type meta =
+  { name : string
+  ; ix : int
+  ; kind : kind
   }
 
-type gauge =
-  { g_name : string
-  ; mutable g_peak : int
-  }
-
-type entry =
-  | Counter of counter
-  | Gauge of gauge
+type counter = meta
+type gauge = meta
 
 (* The global-off fast path: every hot-path operation checks this single
-   flag first, so disabled instrumentation costs one load + branch. *)
-let on = ref false
-let enabled () = !on
-let set_enabled b = on := b
+   flag first, so disabled instrumentation costs one load + branch.  An
+   [Atomic] so the flag is well-defined when read from worker domains (on
+   x86/arm the load compiles to a plain move). *)
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
 
-let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+let metas : (string, meta) Hashtbl.t = Hashtbl.create 64
+let slot_count = ref 0
 
-let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c
-  | Some (Gauge _) -> invalid_arg ("Obs.Metrics.counter: " ^ name ^ " is a gauge")
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.add registry name (Counter c);
-    c
+(* Per-domain value slots, grown on demand to the global slot count.  A
+   fresh domain starts from all zeros: it observes only its own activity. *)
+let slots_key : int array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
 
-let incr c = if !on then c.c_value <- c.c_value + 1
-let add c n = if !on then c.c_value <- c.c_value + n
-let value c = c.c_value
+let slots_for ix =
+  let r = Domain.DLS.get slots_key in
+  let a = !r in
+  if ix < Array.length a then a
+  else begin
+    let target = Mutex.protect lock (fun () -> !slot_count) in
+    let a' = Array.make (max target (ix + 1)) 0 in
+    Array.blit a 0 a' 0 (Array.length a);
+    r := a';
+    a'
+  end
 
-let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (Gauge g) -> g
-  | Some (Counter _) -> invalid_arg ("Obs.Metrics.gauge: " ^ name ^ " is a counter")
-  | None ->
-    let g = { g_name = name; g_peak = 0 } in
-    Hashtbl.add registry name (Gauge g);
-    g
+let register kind name =
+  Mutex.protect lock (fun () ->
+    match Hashtbl.find_opt metas name with
+    | Some m ->
+      if m.kind <> kind then
+        invalid_arg
+          ("Obs.Metrics: " ^ name ^ " is already registered as a "
+          ^ (match m.kind with Counter -> "counter" | Gauge -> "gauge"));
+      m
+    | None ->
+      let m = { name; ix = !slot_count; kind } in
+      incr slot_count;
+      Hashtbl.add metas name m;
+      m)
 
-let observe g v = if !on && v > g.g_peak then g.g_peak <- v
-let peak g = g.g_peak
+let counter name = register Counter name
+let gauge name = register Gauge name
+
+let incr c =
+  if Atomic.get on then begin
+    let a = slots_for c.ix in
+    a.(c.ix) <- a.(c.ix) + 1
+  end
+
+let add c n =
+  if Atomic.get on then begin
+    let a = slots_for c.ix in
+    a.(c.ix) <- a.(c.ix) + n
+  end
+
+let value c = (slots_for c.ix).(c.ix)
+
+let observe g v =
+  if Atomic.get on then begin
+    let a = slots_for g.ix in
+    if v > a.(g.ix) then a.(g.ix) <- v
+  end
+
+let peak g = (slots_for g.ix).(g.ix)
 
 type snapshot = (string * int) list
 
+let all_metas () =
+  Mutex.protect lock (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) metas [])
+
 let snapshot () =
-  Hashtbl.fold
-    (fun name entry acc ->
-      let v = match entry with Counter c -> c.c_value | Gauge g -> g.g_peak in
-      (name, v) :: acc)
-    registry []
+  List.map (fun m -> (m.name, (slots_for m.ix).(m.ix))) (all_metas ())
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let is_gauge name =
-  match Hashtbl.find_opt registry name with Some (Gauge _) -> true | _ -> false
+let kind_of name =
+  Mutex.protect lock (fun () ->
+    Option.map (fun m -> m.kind) (Hashtbl.find_opt metas name))
+
+let is_gauge name = kind_of name = Some Gauge
 
 let diff ~before ~after =
   List.map
@@ -68,17 +114,35 @@ let diff ~before ~after =
       end)
     after
 
+let merge snaps =
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt tbl name with
+          | None -> Hashtbl.add tbl name v
+          | Some prev ->
+            Hashtbl.replace tbl name (if is_gauge name then max prev v else prev + v))
+        snap)
+    snaps;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let absorb snap =
+  List.iter
+    (fun (name, v) ->
+      match Mutex.protect lock (fun () -> Hashtbl.find_opt metas name) with
+      | None -> () (* a name no live registry knows; nothing to fold into *)
+      | Some m ->
+        let a = slots_for m.ix in
+        a.(m.ix) <- (match m.kind with Counter -> a.(m.ix) + v | Gauge -> max a.(m.ix) v))
+    snap
+
 let find s name = match List.assoc_opt name s with Some v -> v | None -> 0
 
 let reset () =
-  Hashtbl.iter
-    (fun _ entry ->
-      match entry with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_peak <- 0)
-    registry
+  let a = !(Domain.DLS.get slots_key) in
+  Array.fill a 0 (Array.length a) 0
 
 let to_json s = Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) s)
-
-(* silence unused-field warnings: names are carried for debugging *)
-let _ = fun (c : counter) (g : gauge) -> (c.c_name, g.g_name)

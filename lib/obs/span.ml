@@ -3,18 +3,24 @@ type agg =
   ; mutable total_ns : int64
   }
 
-let table : (string, agg) Hashtbl.t = Hashtbl.create 32
+(* Aggregates and the open-span stack are domain-local: spans opened by
+   parallel workers nest and aggregate within their own domain, and the
+   pool folds worker reports back with [absorb] at join time. *)
+type state =
+  { table : (string, agg) Hashtbl.t
+  ; mutable stack : string list (* open span paths, innermost first *)
+  }
 
-(* stack of open span paths, innermost first *)
-let stack : string list ref = ref []
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { table = Hashtbl.create 32; stack = [] })
 
-let record path dt =
+let record st path dt =
   let a =
-    match Hashtbl.find_opt table path with
+    match Hashtbl.find_opt st.table path with
     | Some a -> a
     | None ->
       let a = { count = 0; total_ns = 0L } in
-      Hashtbl.add table path a;
+      Hashtbl.add st.table path a;
       a
   in
   a.count <- a.count + 1;
@@ -23,20 +29,21 @@ let record path dt =
 let with_ name f =
   if not (Metrics.enabled ()) then f ()
   else begin
+    let st = Domain.DLS.get state_key in
     let path =
-      match !stack with
+      match st.stack with
       | [] -> name
       | parent :: _ -> parent ^ "/" ^ name
     in
-    stack := path :: !stack;
+    st.stack <- path :: st.stack;
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let dt = Int64.sub (Clock.now_ns ()) t0 in
-        (match !stack with
-         | p :: rest when String.equal p path -> stack := rest
+        (match st.stack with
+         | p :: rest when String.equal p path -> st.stack <- rest
          | _ -> () (* a nested span leaked; keep going rather than corrupt *));
-        record path dt)
+        record st path dt)
       f
   end
 
@@ -47,17 +54,35 @@ type entry =
   }
 
 let report () =
+  let st = Domain.DLS.get state_key in
   Hashtbl.fold
     (fun path (a : agg) acc ->
       { path; count = a.count; seconds = Int64.to_float a.total_ns *. 1e-9 } :: acc)
-    table []
+    st.table []
   |> List.sort (fun a b -> String.compare a.path b.path)
 
-let reset () =
-  Hashtbl.reset table;
-  stack := []
+let absorb entries =
+  let st = Domain.DLS.get state_key in
+  List.iter
+    (fun e ->
+      let a =
+        match Hashtbl.find_opt st.table e.path with
+        | Some a -> a
+        | None ->
+          let a = { count = 0; total_ns = 0L } in
+          Hashtbl.add st.table e.path a;
+          a
+      in
+      a.count <- a.count + e.count;
+      a.total_ns <- Int64.add a.total_ns (Int64.of_float (e.seconds *. 1e9)))
+    entries
 
-let to_json () =
+let reset () =
+  let st = Domain.DLS.get state_key in
+  Hashtbl.reset st.table;
+  st.stack <- []
+
+let entries_to_json entries =
   Json.List
     (List.map
        (fun e ->
@@ -66,4 +91,6 @@ let to_json () =
            ; ("count", Json.Int e.count)
            ; ("seconds", Json.Float e.seconds)
            ])
-       (report ()))
+       entries)
+
+let to_json () = entries_to_json (report ())

@@ -8,9 +8,10 @@
     Spans obey the {!Metrics} global switch: when collection is disabled,
     {!with_} runs its thunk with no bookkeeping at all.
 
-    Nesting state is per-process (not per-domain); open spans from multiple
-    domains concurrently and the attribution becomes approximate — the
-    same trade-off the counters make. *)
+    Nesting state and aggregates are {e domain-local}: spans opened by
+    parallel workers nest within their own domain and never interleave
+    with another domain's stack.  Harvest a worker's {!report} at join
+    time and fold it into the calling domain with {!absorb}. *)
 
 (** [with_ name f] runs [f ()] inside a span called [name], nested under
     the currently open span (if any).  The span is closed — and its
@@ -23,12 +24,19 @@ type entry =
   ; seconds : float  (** total wall-clock time across completions *)
   }
 
-(** All recorded aggregates, sorted by path. *)
+(** The calling domain's recorded aggregates, sorted by path. *)
 val report : unit -> entry list
 
-(** Drop all recorded aggregates and any stale nesting state. *)
+(** [absorb entries] adds another domain's report into the calling
+    domain's aggregates (counts and durations accumulate). *)
+val absorb : entry list -> unit
+
+(** Drop the calling domain's aggregates and any stale nesting state. *)
 val reset : unit -> unit
 
-(** [to_json ()] is the report as a JSON array of
-    [{"path": ..., "count": ..., "seconds": ...}] objects. *)
+(** [entries_to_json entries] serializes a report (e.g. one harvested from
+    a worker domain). *)
+val entries_to_json : entry list -> Json.t
+
+(** [to_json ()] is [entries_to_json (report ())]. *)
 val to_json : unit -> Json.t

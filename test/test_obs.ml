@@ -78,6 +78,48 @@ let test_span_nesting () =
     Alcotest.(check bool) "durations are non-negative" true
       (List.for_all (fun (e : Span.entry) -> e.seconds >= 0.0) report))
 
+let test_domain_local_merge_absorb () =
+  with_metrics (fun () ->
+    let c = M.counter "test.obs.domc" in
+    let g = M.gauge "test.obs.domg" in
+    M.incr c;
+    M.observe g 5;
+    let worker =
+      Domain.spawn (fun () ->
+        M.add c 10;
+        M.observe g 40;
+        M.snapshot ())
+      |> Domain.join
+    in
+    (* registries are domain-local: worker increments are invisible here *)
+    Alcotest.(check int) "worker work does not leak across domains" 1 (M.value c);
+    Alcotest.(check int) "worker snapshot sees only its own work" 10
+      (M.find worker "test.obs.domc");
+    let merged = M.merge [ M.snapshot (); worker ] in
+    Alcotest.(check int) "merge sums counters" 11 (M.find merged "test.obs.domc");
+    Alcotest.(check int) "merge maxes gauges" 40 (M.find merged "test.obs.domg");
+    M.absorb worker;
+    Alcotest.(check int) "absorb folds counters into this domain" 11 (M.value c);
+    Alcotest.(check int) "absorb maxes gauges" 40 (M.peak g))
+
+let test_span_absorb () =
+  with_metrics (fun () ->
+    Span.reset ();
+    Span.with_ "absorbed" (fun () -> ());
+    let worker =
+      Domain.spawn (fun () ->
+        Span.with_ "absorbed" (fun () -> ());
+        Span.with_ "absorbed" (fun () -> ());
+        Span.report ())
+      |> Domain.join
+    in
+    Span.absorb worker;
+    match List.find_opt (fun (e : Span.entry) -> e.path = "absorbed") (Span.report ()) with
+    | Some e ->
+      Alcotest.(check int) "absorbed counts accumulate" 3 e.count;
+      Alcotest.(check bool) "absorbed durations accumulate" true (e.seconds >= 0.0)
+    | None -> Alcotest.fail "absorbed span path missing")
+
 let test_span_survives_exception () =
   with_metrics (fun () ->
     Span.reset ();
@@ -194,6 +236,9 @@ let suite =
       test_counter_increment_and_reset
   ; Alcotest.test_case "gauge records peak" `Quick test_gauge_peak
   ; Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff
+  ; Alcotest.test_case "domain-local registries, merge, absorb" `Quick
+      test_domain_local_merge_absorb
+  ; Alcotest.test_case "span absorb across domains" `Quick test_span_absorb
   ; Alcotest.test_case "spans nest" `Quick test_span_nesting
   ; Alcotest.test_case "span survives exception" `Quick test_span_survives_exception
   ; Alcotest.test_case "json round trip" `Quick test_json_roundtrip
