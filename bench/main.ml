@@ -31,6 +31,11 @@ let report_failure fmt =
    historical unbounded/no-GC behaviour. *)
 let dd_config : Dd.Pkg.config option ref = ref None
 
+(* --no-kernels routes every check through the generic
+   build-gate-DD-then-multiply path; the dedicated "kernels" section always
+   runs both paths regardless of this flag. *)
+let use_kernels = ref true
+
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -79,7 +84,7 @@ let bench_pair ?(extract = true) ?(verify = true) (pair : Pair.t) =
     if verify then begin
       let r =
         Qcec.Verify.functional ~perm:pair.Pair.dyn_to_static ?dd_config:!dd_config
-          static dyn
+          ~use_kernels:!use_kernels static dyn
       in
       if not r.Qcec.Verify.equivalent then
         report_failure "%s: NOT equivalent!@." static.Circ.name;
@@ -96,7 +101,10 @@ let bench_pair ?(extract = true) ?(verify = true) (pair : Pair.t) =
   in
   let t_extract, t_sim, distributions_equal =
     if extract then begin
-      let r = Qcec.Verify.distribution ?dd_config:!dd_config dyn static in
+      let r =
+        Qcec.Verify.distribution ?dd_config:!dd_config ~use_kernels:!use_kernels
+          dyn static
+      in
       if not r.Qcec.Verify.distributions_equal then
         report_failure "%s: distributions differ!@." static.Circ.name;
       ( Some r.Qcec.Verify.t_extract
@@ -135,6 +143,9 @@ let json_rows : (string * row) list ref = ref []
 
 (* filled by the scaling section, emitted as the "scaling" field *)
 let scaling_json : Obs.Json.t option ref = ref None
+
+(* filled by the kernels section, emitted as the "kernels" field *)
+let kernels_json : Obs.Json.t option ref = ref None
 
 let collect family row =
   if !json_path <> None then json_rows := (family, row) :: !json_rows
@@ -177,6 +188,9 @@ let write_json ~mode path =
   let scaling =
     match !scaling_json with None -> [] | Some j -> [ ("scaling", j) ]
   in
+  let kernels =
+    match !kernels_json with None -> [] | Some j -> [ ("kernels", j) ]
+  in
   let doc =
     Obs.Json.Obj
       ([ ("schema", Obs.Json.String "qcec-bench/v1")
@@ -184,6 +198,7 @@ let write_json ~mode path =
        ; ("table1", Obs.Json.List table1)
        ]
       @ scaling
+      @ kernels
       @ [ ("failures", Obs.Json.Int !failures)
         ; ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()))
         ; ("spans", Obs.Span.to_json ())
@@ -566,6 +581,93 @@ let scaling ~full ~quick () =
          ])
 
 (* ------------------------------------------------------------------ *)
+(* Kernels: direct gate-application kernels vs the generic path        *)
+(* ------------------------------------------------------------------ *)
+
+(* A/B leg over the Table 1 functional workload: every pair is verified
+   once with the direct kernels and once through the generic
+   build-gate-DD-then-multiply path.  Verdicts must be identical (the
+   kernels are bit-identical by construction, and qcheck-tested to be);
+   the wall-clock ratio is the speedup the kernels buy. *)
+let kernels_section ~full ~quick () =
+  pr "@.== Kernels: direct gate application vs generic gate-DD multiply ==@.@.";
+  let pairs =
+    let bv n = Algorithms.Bv.make (Algorithms.Bv.hidden_string ~seed:n n) in
+    let qft n = Algorithms.Qft.make n in
+    let qpe m =
+      Algorithms.Qpe.make ~theta:(Algorithms.Qpe.random_theta ~seed:m ~bits:m) ~bits:m
+    in
+    if quick then List.map bv [ 16; 24 ] @ List.map qft [ 8; 9 ] @ List.map qpe [ 8; 9 ]
+    else if full then
+      List.map bv [ 64; 96; 128 ] @ List.map qft [ 11; 12; 13 ] @ List.map qpe [ 12; 13; 14 ]
+    else
+      List.map bv [ 32; 48 ] @ List.map qft [ 9; 10 ] @ List.map qpe [ 10; 11 ]
+  in
+  (* the speedup compares the check phase only: the dynamic-to-static
+     transform and wire alignment run identically on both legs and would
+     just dilute the ratio the kernels actually change *)
+  let run_leg ~kernels =
+    let m0 = Obs.Metrics.snapshot () in
+    let t0 = Qcec.Verify.now () in
+    let check = ref 0.0 in
+    let verdicts =
+      List.map
+        (fun (pair : Pair.t) ->
+          let r =
+            Qcec.Verify.functional ~perm:pair.Pair.dyn_to_static
+              ?dd_config:!dd_config ~use_kernels:kernels pair.Pair.static_circuit
+              pair.Pair.dynamic_circuit
+          in
+          check := !check +. r.Qcec.Verify.t_check;
+          if not r.Qcec.Verify.equivalent then
+            report_failure "kernels: %s NOT equivalent (kernels = %b)!@."
+              pair.Pair.static_circuit.Circ.name kernels;
+          (r.Qcec.Verify.equivalent, r.Qcec.Verify.exactly_equal))
+        pairs
+    in
+    let dt = Qcec.Verify.now () -. t0 in
+    (verdicts, dt, !check, Obs.Metrics.diff ~before:m0 ~after:(Obs.Metrics.snapshot ()))
+  in
+  let v_kernel, t_kernel, c_kernel, m_kernel = run_leg ~kernels:true in
+  let v_generic, t_generic, c_generic, m_generic = run_leg ~kernels:false in
+  if v_kernel <> v_generic then
+    report_failure "kernels: verdicts differ between kernel and generic paths!@.";
+  (* best-of-N: each leg keeps its fastest repetition, and the extra
+     repetitions alternate legs, so a transient machine-load spike cannot
+     land entirely on one side of the ratio *)
+  let reps = if quick || full then 1 else 3 in
+  let t_kernel = ref t_kernel and c_kernel = ref c_kernel in
+  let t_generic = ref t_generic and c_generic = ref c_generic in
+  for _ = 2 to reps do
+    let _, t, c, _ = run_leg ~kernels:true in
+    if c < !c_kernel then begin t_kernel := t; c_kernel := c end;
+    let _, t, c, _ = run_leg ~kernels:false in
+    if c < !c_generic then begin t_generic := t; c_generic := c end
+  done;
+  let t_kernel = !t_kernel and c_kernel = !c_kernel in
+  let t_generic = !t_generic and c_generic = !c_generic in
+  let speedup = if c_kernel > 0.0 then c_generic /. c_kernel else 1.0 in
+  pr "%10s %12s %12s@." "path" "wall [s]" "check [s]";
+  pr "%10s %12.4f %12.4f@." "kernels" t_kernel c_kernel;
+  pr "%10s %12.4f %12.4f@." "generic" t_generic c_generic;
+  pr "@.%d functional checks; kernel check-phase speedup: %.2fx@."
+    (List.length pairs) speedup;
+  kernels_json :=
+    Some
+      (Obs.Json.Obj
+         [ ("jobs", Obs.Json.Int (List.length pairs))
+         ; ("reps", Obs.Json.Int reps)
+         ; ("verdicts_equal", Obs.Json.Bool (v_kernel = v_generic))
+         ; ("wall_seconds_kernels", Obs.Json.Float t_kernel)
+         ; ("wall_seconds_generic", Obs.Json.Float t_generic)
+         ; ("check_seconds_kernels", Obs.Json.Float c_kernel)
+         ; ("check_seconds_generic", Obs.Json.Float c_generic)
+         ; ("speedup", Obs.Json.Float speedup)
+         ; ("metrics_kernels", Obs.Metrics.to_json m_kernel)
+         ; ("metrics_generic", Obs.Metrics.to_json m_generic)
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -641,6 +743,9 @@ let () =
     | "--jobs" :: n :: rest ->
       jobs_n := int_opt "--jobs" n;
       extract_opts acc rest
+    | "--no-kernels" :: rest ->
+      use_kernels := false;
+      extract_opts acc rest
     | x :: rest -> extract_opts (x :: acc) rest
     | [] -> List.rev acc
   in
@@ -653,15 +758,18 @@ let () =
     | "fig4" -> fig4 ()
     | "ablation" -> ablation ~full ()
     | "scaling" -> scaling ~full ~quick ()
+    | "kernels" -> kernels_section ~full ~quick ()
     | "micro" -> micro ()
     | "all" ->
       table1 ~full ~quick ();
       fig4 ();
       ablation ~full ();
       scaling ~full ~quick ();
+      kernels_section ~full ~quick ();
       micro ()
     | other ->
-      Fmt.epr "unknown section %S (expected table1|fig4|ablation|scaling|micro|all)@."
+      Fmt.epr
+        "unknown section %S (expected table1|fig4|ablation|scaling|kernels|micro|all)@."
         other;
       exit 2
   in

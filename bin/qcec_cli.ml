@@ -49,6 +49,16 @@ let gc_threshold_arg =
           "Compact the DD package automatically once its unique tables grow \
            by $(docv) nodes since the last sweep (default: no auto-GC)")
 
+let no_kernels_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-kernels" ]
+        ~doc:
+          "Apply gates via the generic build-gate-DD-then-multiply path \
+           instead of the direct gate-application kernels (A/B escape \
+           hatch; verdicts are bit-identical either way)")
+
 let dd_config_of cache_cap gc_threshold : Dd.Pkg.config option =
   match (cache_cap, gc_threshold) with
   | None, None -> None
@@ -107,12 +117,15 @@ let maybe_write_stats stats_json ~command ~files ~result =
 (* -- check ------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file_a file_b strategy perm quiet stats_json cache_cap gc_threshold =
+  let run file_a file_b strategy perm quiet stats_json cache_cap gc_threshold
+      no_kernels =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
     let a = load file_a and b = load file_b in
     let r =
-      try Qcec.Verify.functional ~strategy ?perm ?dd_config a b
+      try
+        Qcec.Verify.functional ~strategy ?perm ?dd_config
+          ~use_kernels:(not no_kernels) a b
       with Qcec.Strategy.Non_unitary op -> report_non_unitary op
     in
     if not quiet then Fmt.pr "%a@." Qcec.Verify.pp_functional r;
@@ -160,16 +173,20 @@ let check_cmd =
           transformed with the Section 4 scheme first)")
     Term.(
       const run $ file_a $ file_b $ strategy $ perm $ quiet $ stats_json_arg
-      $ cache_cap_arg $ gc_threshold_arg)
+      $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg)
 
 (* -- distribution ------------------------------------------------------ *)
 
 let distribution_cmd =
-  let run dyn_file static_file cutoff domains eps stats_json cache_cap gc_threshold =
+  let run dyn_file static_file cutoff domains eps stats_json cache_cap gc_threshold
+      no_kernels =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
     let dyn = load dyn_file and static = load static_file in
-    let r = Qcec.Verify.distribution ~eps ~cutoff ~domains ?dd_config dyn static in
+    let r =
+      Qcec.Verify.distribution ~eps ~cutoff ~domains ?dd_config
+        ~use_kernels:(not no_kernels) dyn static
+    in
     Fmt.pr "%a@." Qcec.Verify.pp_distribution r;
     maybe_write_stats stats_json ~command:"distribution"
       ~files:[ dyn_file; static_file ]
@@ -211,20 +228,22 @@ let distribution_cmd =
           (extracted with the Section 5 scheme) against a static reference")
     Term.(
       const run $ dyn $ static $ cutoff $ domains $ eps $ stats_json_arg
-      $ cache_cap_arg $ gc_threshold_arg)
+      $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg)
 
 (* -- extract ------------------------------------------------------------ *)
 
 let extract_cmd =
-  let run file cutoff tree top stats_json cache_cap gc_threshold =
+  let run file cutoff tree top stats_json cache_cap gc_threshold no_kernels =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
+    let use_kernels = not no_kernels in
     let c = load file in
     if tree then begin
-      Fmt.pr "%a@." Qsim.Extraction.pp_tree (Qsim.Extraction.tree ~cutoff ?dd_config c)
+      Fmt.pr "%a@." Qsim.Extraction.pp_tree
+        (Qsim.Extraction.tree ~cutoff ~use_kernels ?dd_config c)
     end
     else begin
-      let r = Qsim.Extraction.run ~cutoff ?dd_config c in
+      let r = Qsim.Extraction.run ~cutoff ~use_kernels ?dd_config c in
       Fmt.pr "%a@." Qcec.Distribution.pp
         (Qcec.Distribution.most_probable ~count:top r.Qsim.Extraction.distribution);
       Fmt.pr "(%d leaves, %d branch points, %d pruned, mass %.6f)@."
@@ -257,7 +276,7 @@ let extract_cmd =
        ~doc:"Extract the measurement-outcome distribution of a dynamic circuit")
     Term.(
       const run $ file $ cutoff $ tree $ top $ stats_json_arg $ cache_cap_arg
-      $ gc_threshold_arg)
+      $ gc_threshold_arg $ no_kernels_arg)
 
 (* -- transform ------------------------------------------------------------ *)
 
@@ -394,7 +413,7 @@ let lint_cmd =
    restores the automatic Section 4 routing of [check]. *)
 let verify_cmd =
   let run file_a file_b strategy perm transform quiet stats_json cache_cap
-      gc_threshold =
+      gc_threshold no_kernels =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
     let load_located path =
@@ -440,7 +459,7 @@ let verify_cmd =
       try
         Qcec.Verify.functional ~strategy ?perm
           ~on_dynamic:(if transform then `Transform else `Reject)
-          ?dd_config a b
+          ?dd_config ~use_kernels:(not no_kernels) a b
       with
       | Qcec.Strategy.Non_unitary op -> report_non_unitary op
       | Qcec.Verify.Rejected d ->
@@ -509,7 +528,7 @@ let verify_cmd =
           restores the automatic transformation of $(b,check)")
     Term.(
       const run $ file_a $ file_b $ strategy $ perm $ transform $ quiet
-      $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg)
+      $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg)
 
 (* -- batch ------------------------------------------------------------ *)
 
@@ -519,7 +538,7 @@ let verify_cmd =
    out.  Per-job failures are structured results, never batch aborts. *)
 let batch_cmd =
   let run inputs workers out summary strategy timeout retries seed node_limit
-      no_lint quiet cache_cap gc_threshold =
+      no_lint quiet cache_cap gc_threshold no_kernels =
     (* per-job metric deltas are part of the result schema, so collection
        is on for batch runs (flipped before any worker spawns) *)
     Obs.Metrics.set_enabled true;
@@ -553,6 +572,7 @@ let batch_cmd =
               (match seed with
                | Some s0 -> Some (s0 + s.Engine.Job.index)
                | None -> s.Engine.Job.seed)
+          ; kernels = s.Engine.Job.kernels && not no_kernels
           })
         manifest.Engine.Manifest.jobs
     in
@@ -701,7 +721,7 @@ let batch_cmd =
     Term.(
       const run $ inputs $ workers $ out $ summary $ strategy $ timeout
       $ retries $ seed $ node_limit $ no_lint $ quiet $ cache_cap_arg
-      $ gc_threshold_arg)
+      $ gc_threshold_arg $ no_kernels_arg)
 
 (* -- stats ------------------------------------------------------------ *)
 

@@ -81,12 +81,15 @@ let unitary_ops (c : Circ.t) =
       | (Op.Reset _ | Op.Cond _) as op -> raise (Non_unitary op))
     c.Circ.ops
 
-let check_construction p (g : Circ.t) (g' : Circ.t) =
+let check_construction ~use_kernels p (g : Circ.t) (g' : Circ.t) =
   (* keep [u] rooted while [u'] is built: construction may cross auto-GC
      safepoints inside [build_unitary] *)
-  Dd.Pkg.with_root_m p (Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g))
+  Dd.Pkg.with_root_m p
+    (Qsim.Dd_sim.build_unitary p ~use_kernels (Circ.strip_measurements g))
     (fun ru ->
-      let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
+      let u' =
+        Qsim.Dd_sim.build_unitary p ~use_kernels (Circ.strip_measurements g')
+      in
       let u = Dd.Pkg.mroot_edge ru in
       { equivalent = Dd.Mat.equal p u u'
       ; equivalent_up_to_phase = Dd.Mat.equal_up_to_phase p u u'
@@ -123,20 +126,19 @@ let identity_outcome p m ~n =
   ; peak_nodes = Dd.Mat.node_count m
   }
 
-let check_alternating ~take_left p (g : Circ.t) (g' : Circ.t) =
+let check_alternating ~take_left ~use_kernels p (g : Circ.t) (g' : Circ.t) =
   let n = g.Circ.num_qubits in
   let left = unitary_ops g and right = unitary_ops g' in
   let nl = List.length left and nr = List.length right in
   Dd.Pkg.with_root_m p (Dd.Pkg.ident p n) (fun rm ->
       let apply_left op =
         Dd.Pkg.set_mroot rm
-          (Dd.Mat.mul p (Qsim.Dd_sim.op_unitary p ~n op) (Dd.Pkg.mroot_edge rm));
+          (Qsim.Dd_sim.mul_op_left p ~use_kernels ~n op (Dd.Pkg.mroot_edge rm));
         Dd.Pkg.checkpoint p
       in
       let apply_right op =
         Dd.Pkg.set_mroot rm
-          (Dd.Mat.mul p (Dd.Pkg.mroot_edge rm)
-             (Dd.Mat.adjoint p (Qsim.Dd_sim.op_unitary p ~n op)));
+          (Qsim.Dd_sim.mul_op_right p ~use_kernels ~n op (Dd.Pkg.mroot_edge rm));
         Dd.Pkg.checkpoint p
       in
       (* advance the side that is proportionally behind *)
@@ -165,10 +167,10 @@ let check_alternating ~take_left p (g : Circ.t) (g' : Circ.t) =
 (* Greedy node-count minimization: evaluate both candidate applications and
    keep the smaller product.  Costs two multiplications per step but copes
    with gate sequences that a fixed schedule cannot keep cancelling. *)
-let check_lookahead p (g : Circ.t) (g' : Circ.t) =
+let check_lookahead ~use_kernels p (g : Circ.t) (g' : Circ.t) =
   let n = g.Circ.num_qubits in
-  let left_of op m = Dd.Mat.mul p (Qsim.Dd_sim.op_unitary p ~n op) m in
-  let right_of op m = Dd.Mat.mul p m (Dd.Mat.adjoint p (Qsim.Dd_sim.op_unitary p ~n op)) in
+  let left_of op m = Qsim.Dd_sim.mul_op_left p ~use_kernels ~n op m in
+  let right_of op m = Qsim.Dd_sim.mul_op_right p ~use_kernels ~n op m in
   Dd.Pkg.with_root_m p (Dd.Pkg.ident p n) (fun rm ->
       let advance next =
         Dd.Pkg.set_mroot rm next;
@@ -200,7 +202,7 @@ let check_lookahead p (g : Circ.t) (g' : Circ.t) =
       go (unitary_ops g) (unitary_ops g');
       identity_outcome p (Dd.Pkg.mroot_edge rm) ~n)
 
-let random_stimulus p ~kind ~n st =
+let random_stimulus p ~use_kernels ~kind ~n st =
   match (kind : stimuli) with
   | Basis ->
     let bits = Array.init n (fun _ -> Random.State.bool st) in
@@ -233,12 +235,13 @@ let random_stimulus p ~kind ~n st =
                 gates.(Random.State.int st (Array.length gates))
                 (Random.State.int st n)
           in
-          Dd.Pkg.set_vroot r (Qsim.Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+          Dd.Pkg.set_vroot r
+            (Qsim.Dd_sim.apply_op p ~use_kernels ~n (Dd.Pkg.vroot_edge r) op);
           Dd.Pkg.checkpoint p
         done;
         Dd.Pkg.vroot_edge r)
 
-let check_simulation p ?seed ~kind shots (g : Circ.t) (g' : Circ.t) =
+let check_simulation p ?seed ~use_kernels ~kind shots (g : Circ.t) (g' : Circ.t) =
   let n = g.Circ.num_qubits in
   let ops = unitary_ops g and ops' = unitary_ops g' in
   (* deterministic by construction: the default state depends only on the
@@ -254,7 +257,8 @@ let check_simulation p ?seed ~kind shots (g : Circ.t) (g' : Circ.t) =
     Dd.Pkg.with_root_v p state (fun r ->
         List.iter
           (fun op ->
-            Dd.Pkg.set_vroot r (Qsim.Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+            Dd.Pkg.set_vroot r
+              (Qsim.Dd_sim.apply_op p ~use_kernels ~n (Dd.Pkg.vroot_edge r) op);
             Dd.Pkg.checkpoint p)
           ops;
         Dd.Pkg.vroot_edge r)
@@ -262,7 +266,7 @@ let check_simulation p ?seed ~kind shots (g : Circ.t) (g' : Circ.t) =
   (* the input must stay rooted while both circuits run on it, and the first
      output while the second one is produced; roots are released per shot *)
   let one_shot () =
-    Dd.Pkg.with_root_v p (random_stimulus p ~kind ~n st) (fun rin ->
+    Dd.Pkg.with_root_v p (random_stimulus p ~use_kernels ~kind ~n st) (fun rin ->
         Dd.Pkg.with_root_v p (run ops (Dd.Pkg.vroot_edge rin)) (fun rout ->
             let out' = run ops' (Dd.Pkg.vroot_edge rin) in
             let out = Dd.Pkg.vroot_edge rout in
@@ -280,16 +284,21 @@ let check_simulation p ?seed ~kind shots (g : Circ.t) (g' : Circ.t) =
   let ok, peak = shoot shots true 0 in
   { equivalent = ok; equivalent_up_to_phase = ok; peak_nodes = peak }
 
-let check ?seed p strategy (g : Circ.t) (g' : Circ.t) =
+let check ?seed ?(use_kernels = true) p strategy (g : Circ.t) (g' : Circ.t) =
   if g.Circ.num_qubits <> g'.Circ.num_qubits then
     invalid_arg "Strategy.check: circuits act on different numbers of qubits";
   match strategy with
-  | Construction -> check_construction p g g'
+  | Construction -> check_construction ~use_kernels p g g'
   | Sequential ->
-    check_alternating ~take_left:(fun ~i:_ ~j:_ ~nl:_ ~nr:_ -> true) p g g'
+    check_alternating
+      ~take_left:(fun ~i:_ ~j:_ ~nl:_ ~nr:_ -> true)
+      ~use_kernels p g g'
   | Proportional ->
     (* advance whichever side is proportionally behind *)
-    check_alternating ~take_left:(fun ~i ~j ~nl ~nr -> i * nr <= j * nl) p g g'
-  | Lookahead -> check_lookahead p g g'
-  | Simulation shots -> check_simulation p ?seed ~kind:Basis shots g g'
-  | Random_stimuli { kind; shots } -> check_simulation p ?seed ~kind shots g g'
+    check_alternating
+      ~take_left:(fun ~i ~j ~nl ~nr -> i * nr <= j * nl)
+      ~use_kernels p g g'
+  | Lookahead -> check_lookahead ~use_kernels p g g'
+  | Simulation shots -> check_simulation p ?seed ~use_kernels ~kind:Basis shots g g'
+  | Random_stimuli { kind; shots } ->
+    check_simulation p ?seed ~use_kernels ~kind shots g g'

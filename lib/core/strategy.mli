@@ -70,6 +70,17 @@ exception Non_unitary of Circuit.Op.t
     [seed] perturbs the (otherwise instance-shape-derived) random-stimuli
     state of the simulative strategies, so batch runs can derive a
     distinct, reproducible stream per job from one manifest-level seed;
-    it is ignored by the exact strategies.  Raises [Invalid_argument] on
-    register mismatch and {!Non_unitary} on non-unitary operations. *)
-val check : ?seed:int -> Dd.Pkg.t -> t -> Circuit.Circ.t -> Circuit.Circ.t -> outcome
+    it is ignored by the exact strategies.  [use_kernels] (default
+    [true]) routes every gate application through the direct kernels
+    ({!Dd.Mat.apply_gate} and friends); [false] is the escape hatch onto
+    the generic build-gate-DD-then-multiply path, for A/B comparison.
+    Raises [Invalid_argument] on register mismatch and {!Non_unitary} on
+    non-unitary operations. *)
+val check :
+     ?seed:int
+  -> ?use_kernels:bool
+  -> Dd.Pkg.t
+  -> t
+  -> Circuit.Circ.t
+  -> Circuit.Circ.t
+  -> outcome

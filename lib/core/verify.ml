@@ -101,7 +101,7 @@ let preflight ~on_dynamic g g' =
       [ g; g' ]
 
 let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true)
-    ?(on_dynamic = `Transform) ?dd_config ?seed g g' =
+    ?(on_dynamic = `Transform) ?dd_config ?seed ?(use_kernels = true) g g' =
   preflight ~on_dynamic g g';
   let m0 = Obs.Metrics.snapshot () in
   let t0 = now () in
@@ -129,7 +129,7 @@ let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true)
   let p = Dd.Pkg.create ?config:dd_config () in
   let outcome =
     Obs.Span.with_ "verify.functional.check" (fun () ->
-      Strategy.check ?seed p strategy g g')
+      Strategy.check ?seed ~use_kernels p strategy g g')
   in
   let t2 = now () in
   { equivalent = outcome.Strategy.equivalent_up_to_phase
@@ -153,12 +153,13 @@ type distribution_result =
   ; metrics : Obs.Metrics.snapshot
   }
 
-let distribution ?(eps = 1e-9) ?(cutoff = 1e-12) ?(domains = 1) ?dd_config dyn static =
+let distribution ?(eps = 1e-9) ?(cutoff = 1e-12) ?(domains = 1) ?dd_config
+    ?(use_kernels = true) dyn static =
   let m0 = Obs.Metrics.snapshot () in
   let t0 = now () in
   let extraction =
     Obs.Span.with_ "verify.distribution.extract" (fun () ->
-      Qsim.Extraction.run ~cutoff ~domains ?dd_config dyn)
+      Qsim.Extraction.run ~cutoff ~domains ~use_kernels ?dd_config dyn)
   in
   let t1 = now () in
   (* a dynamic reference is extracted as well; a static one is simulated
@@ -166,12 +167,12 @@ let distribution ?(eps = 1e-9) ?(cutoff = 1e-12) ?(domains = 1) ?dd_config dyn s
   let static_dist, t2 =
     Obs.Span.with_ "verify.distribution.simulate" (fun () ->
       if Circ.is_dynamic static then begin
-        let r = Qsim.Extraction.run ~cutoff ~domains ?dd_config static in
+        let r = Qsim.Extraction.run ~cutoff ~domains ~use_kernels ?dd_config static in
         (r.Qsim.Extraction.distribution, now ())
       end
       else begin
         let p = Dd.Pkg.create ?config:dd_config () in
-        let final = Qsim.Dd_sim.simulate p static in
+        let final = Qsim.Dd_sim.simulate p ~use_kernels static in
         let t2 = now () in
         ( Qsim.Dd_sim.measured_distribution p final ~n:static.Circ.num_qubits
             ~num_cbits:static.Circ.num_cbits ~measures:(Circ.measurements static)
@@ -197,7 +198,8 @@ type approximate_result =
   ; t_check : float
   }
 
-let approximate ?(threshold = 1.0 -. 1e-9) ?perm ?(auto_align = true) ?dd_config g g' =
+let approximate ?(threshold = 1.0 -. 1e-9) ?perm ?(auto_align = true) ?dd_config
+    ?(use_kernels = true) g g' =
   let t0 = now () in
   let static_of c = if Circ.is_dynamic c then Transform.Dynamic.transform c else c in
   let g = static_of g in
@@ -216,9 +218,12 @@ let approximate ?(threshold = 1.0 -. 1e-9) ?perm ?(auto_align = true) ?dd_config
   let fidelity =
     Obs.Span.with_ "verify.approximate.check" (fun () ->
       (* [u] stays rooted while [u'] is built (auto-GC safepoints) *)
-      Dd.Pkg.with_root_m p (Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g))
+      Dd.Pkg.with_root_m p
+        (Qsim.Dd_sim.build_unitary p ~use_kernels (Circ.strip_measurements g))
         (fun ru ->
-          let u' = Qsim.Dd_sim.build_unitary p (Circ.strip_measurements g') in
+          let u' =
+            Qsim.Dd_sim.build_unitary p ~use_kernels (Circ.strip_measurements g')
+          in
           Dd.Mat.process_fidelity p (Dd.Pkg.mroot_edge ru) u' ~n:g.Circ.num_qubits))
   in
   let t2 = now () in

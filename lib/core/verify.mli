@@ -43,7 +43,10 @@ type functional_result =
     [dd_config] bounds the DD package's operation caches and enables
     automatic compaction (see {!Dd.Pkg.config}).
     [seed] perturbs the random-stimuli stream of the simulative
-    strategies (see {!Strategy.check}); batch runs derive one per job. *)
+    strategies (see {!Strategy.check}); batch runs derive one per job.
+    [use_kernels] (default [true]) routes gate applications through the
+    direct kernels; [false] falls back to the generic
+    build-gate-DD-then-multiply path (see {!Strategy.check}). *)
 val functional :
      ?strategy:Strategy.t
   -> ?perm:int array
@@ -51,6 +54,7 @@ val functional :
   -> ?on_dynamic:[ `Transform | `Reject ]
   -> ?dd_config:Dd.Pkg.config
   -> ?seed:int
+  -> ?use_kernels:bool
   -> Circuit.Circ.t
   -> Circuit.Circ.t
   -> functional_result
@@ -76,12 +80,14 @@ type approximate_result =
 
 (** [approximate ?threshold ?perm g g'] transforms dynamic inputs like
     {!functional} and computes the process fidelity via DD construction.
-    [threshold] defaults to [1. -. 1e-9]. *)
+    [threshold] defaults to [1. -. 1e-9]; [use_kernels] as in
+    {!functional}. *)
 val approximate :
      ?threshold:float
   -> ?perm:int array
   -> ?auto_align:bool
   -> ?dd_config:Dd.Pkg.config
+  -> ?use_kernels:bool
   -> Circuit.Circ.t
   -> Circuit.Circ.t
   -> approximate_result
@@ -109,12 +115,14 @@ type distribution_result =
     compares it with the distribution obtained by classically simulating
     [static] (which must not be dynamic) and marginalizing its final state
     onto its measured classical bits.  Both circuits start from |0...0>
-    and must write the same classical bits. *)
+    and must write the same classical bits.  [use_kernels] as in
+    {!functional}. *)
 val distribution :
      ?eps:float
   -> ?cutoff:float
   -> ?domains:int
   -> ?dd_config:Dd.Pkg.config
+  -> ?use_kernels:bool
   -> Circuit.Circ.t
   -> Circuit.Circ.t
   -> distribution_result

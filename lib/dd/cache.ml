@@ -24,15 +24,15 @@ type ('k, 'v) t =
   ; g_peak : M.gauge
   }
 
-let create ?(capacity = -1) name =
+let create ?(capacity = -1) ?(prefix = "dd.cache.") name =
   let initial = if capacity > 0 then max 16 (min capacity 1024) else 1024 in
   { tbl = Hashtbl.create initial
   ; queue = Queue.create ()
   ; capacity
-  ; m_hits = M.counter ("dd.cache." ^ name ^ ".hits")
-  ; m_misses = M.counter ("dd.cache." ^ name ^ ".misses")
-  ; m_evictions = M.counter ("dd.cache." ^ name ^ ".evictions")
-  ; g_peak = M.gauge ("dd.cache." ^ name ^ ".peak")
+  ; m_hits = M.counter (prefix ^ name ^ ".hits")
+  ; m_misses = M.counter (prefix ^ name ^ ".misses")
+  ; m_evictions = M.counter (prefix ^ name ^ ".evictions")
+  ; g_peak = M.gauge (prefix ^ name ^ ".peak")
   }
 
 let capacity t = t.capacity

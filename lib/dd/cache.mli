@@ -14,11 +14,13 @@
 
 type ('k, 'v) t
 
-(** [create ?capacity name] makes a cache publishing metrics under
-    [dd.cache.<name>.*].  A negative [capacity] (the default) means
-    unbounded; [0] disables storage entirely (every lookup misses); a
-    positive value bounds the entry count, evicting on overflow. *)
-val create : ?capacity:int -> string -> ('k, 'v) t
+(** [create ?capacity ?prefix name] makes a cache publishing metrics under
+    [<prefix><name>.*] ([prefix] defaults to ["dd.cache."]; the gate
+    kernels use ["dd."] so their two caches share the [dd.kernel.*]
+    counters).  A negative [capacity] (the default) means unbounded; [0]
+    disables storage entirely (every lookup misses); a positive value
+    bounds the entry count, evicting on overflow. *)
+val create : ?capacity:int -> ?prefix:string -> string -> ('k, 'v) t
 
 (** [find t k] looks [k] up, counting a hit or a miss and marking the entry
     as recently used. *)

@@ -14,6 +14,61 @@ val mul : Pkg.t -> medge -> medge -> medge
 (** [adjoint p a] is the conjugate transpose. *)
 val adjoint : Pkg.t -> medge -> medge
 
+(** {1 Direct gate-application kernels}
+
+    These apply one (controlled) single-qubit gate or swap without building
+    its full [n]-qubit matrix DD ({!Pkg.gate}) and without running the
+    generic all-levels {!apply}/{!mul} recursion: the descent stops at the
+    deepest involved qubit, levels above the gate's span are pure
+    pass-through, and subtrees below it are returned untouched.  Results
+    are bit-identical (same node, same interned weight) to the generic
+    path thanks to canonical normalization.  Memoized in the package's
+    kernel caches ([dd.kernel.*] metrics, [caps.kernel] capacity). *)
+
+(** [apply_gate p ~n ~controls ~target u v] is [G * v] where [G] is the
+    [n]-qubit operator applying the 2x2 matrix [u] (row-major) to [target]
+    under [controls] — equal to
+    [apply p (Pkg.gate p ~n ~controls ~target u) v]. *)
+val apply_gate :
+     Pkg.t
+  -> n:int
+  -> controls:(int * bool) list
+  -> target:int
+  -> Cxnum.Cx.t array
+  -> vedge
+  -> vedge
+
+(** [apply_swap p ~n a b v] applies the SWAP of wires [a] and [b]. *)
+val apply_swap : Pkg.t -> n:int -> int -> int -> vedge -> vedge
+
+(** [mul_gate_left p ~n ~controls ~target u m] is [G * m]. *)
+val mul_gate_left :
+     Pkg.t
+  -> n:int
+  -> controls:(int * bool) list
+  -> target:int
+  -> Cxnum.Cx.t array
+  -> medge
+  -> medge
+
+(** [mul_gate_right p ~n ~controls ~target u m] is [m * G^dagger]; the
+    adjoint of the 2x2 is taken entry-wise, with no {!adjoint} pass over
+    [m] and no gate DD. *)
+val mul_gate_right :
+     Pkg.t
+  -> n:int
+  -> controls:(int * bool) list
+  -> target:int
+  -> Cxnum.Cx.t array
+  -> medge
+  -> medge
+
+(** [mul_swap_left p ~n a b m] is [SWAP(a,b) * m]. *)
+val mul_swap_left : Pkg.t -> n:int -> int -> int -> medge -> medge
+
+(** [mul_swap_right p ~n a b m] is [m * SWAP(a,b)] ([= m * SWAP^dagger]). *)
+val mul_swap_right : Pkg.t -> n:int -> int -> int -> medge -> medge
+
 (** [trace p a ~n] is the trace of an [n]-qubit operator. *)
 val trace : Pkg.t -> medge -> n:int -> Cxnum.Cx.t
 

@@ -27,10 +27,14 @@ type caps =
   ; mm : int
   ; ip : int
   ; adj : int
+  ; kernel : int
   }
 
-let caps_unbounded = { vadd = -1; madd = -1; mv = -1; mm = -1; ip = -1; adj = -1 }
-let caps_uniform n = { vadd = n; madd = n; mv = n; mm = n; ip = n; adj = n }
+let caps_unbounded =
+  { vadd = -1; madd = -1; mv = -1; mm = -1; ip = -1; adj = -1; kernel = -1 }
+
+let caps_uniform n =
+  { vadd = n; madd = n; mv = n; mm = n; ip = n; adj = n; kernel = n }
 
 (* A package is single-domain state: its hash tables and caches have no
    synchronization, so using one from a domain other than its creator
@@ -65,19 +69,59 @@ type mroot =
   ; mutable mr_edge : medge
   }
 
+(* Hash-consed gate signatures: the small per-gate description the direct
+   application kernels ({!Mat.apply_gate} and friends) key their caches on.
+   Interning gives every distinct (u, controls, target) combination one
+   small integer id, so a kernel cache key is a handful of ints instead of
+   a weight array.  [gs_u] stores the raw complex entries (not interned
+   weights), so a signature held across a {!compact} stays usable: ids are
+   only ever compared against entries written after the same sweep (the
+   kernel caches are cleared by [compact], and [gs_id] is monotonic). *)
+type gate_sig =
+  { gs_id : int
+  ; gs_u : Cx.t array (* row-major 2x2 entries; [||] for a swap *)
+  ; gs_swap : bool
+  ; gs_target : int (* unary target; for a swap, the higher wire *)
+  ; gs_target2 : int (* swap: the lower wire; [-1] otherwise *)
+  ; gs_hi : int (* highest involved qubit (controls included) *)
+  ; gs_lo : int (* lowest involved qubit *)
+  ; gs_cmin : int (* lowest control below the target; [max_int] if none *)
+  ; gs_control_at : bool option array (* indexed by qubit, length gs_hi+1 *)
+  }
+
+(* intern key: tag (0 unary / 1 swap), sorted controls, u weight ids,
+   target, second target *)
+type sig_key = int * (int * bool) list * int list * int * int
+
+(* Kernel cache keys: [(sid lsl 3) lor opcode] packed into the head slot
+   plus up to three operand ids, where the opcode distinguishes the
+   kernel's internal recursions (pass-through descent, the
+   controls-below combine, swap block moves) so one cache serves them
+   all.  Unused positions are padded with [-2] (node ids are >= -1; the
+   combine uses [-3] to mark a zero operand).  Values are edge pairs:
+   the combine and swap-move recursions emit both result slices of one
+   shared descent, and the single-valued descent entries just duplicate
+   their edge. *)
+type kkey = int * int * int * int
+
 type t =
   { ctab : Ct.t
   ; vtab : (vkey, vnode) Hashtbl.t
   ; mtab : (mkey, mnode) Hashtbl.t
   ; mutable vnext : int
   ; mutable mnext : int
-  ; mutable idents : medge list (* idents in reverse: ident i at position .. *)
+  ; mutable idents : medge array (* idents.(i) = identity on i qubits, i < nidents *)
+  ; mutable nidents : int
   ; vadd : (int * int * int, vedge) Cache.t
   ; madd : (int * int * int, medge) Cache.t
   ; mv : (int * int, vedge) Cache.t
   ; mm : (int * int, medge) Cache.t
   ; ip : (int * int, Cx.t) Cache.t
   ; adj : (int, medge) Cache.t
+  ; kv : (kkey, vedge * vedge) Cache.t (* vector gate-kernel cache *)
+  ; km : (kkey, medge * medge) Cache.t (* matrix gate-kernel cache *)
+  ; sigs : (sig_key, gate_sig) Hashtbl.t
+  ; mutable sig_next : int
   ; vroots : (int, vroot) Hashtbl.t
   ; mroots : (int, mroot) Hashtbl.t
   ; mutable root_next : int
@@ -103,13 +147,20 @@ let create ?(tol = 1e-10) ?(config = default_config) () =
   ; mtab = Hashtbl.create 4096
   ; vnext = 0
   ; mnext = 0
-  ; idents = []
+  ; idents = [||]
+  ; nidents = 0
   ; vadd = Cache.create ~capacity:caps.vadd "vadd"
   ; madd = Cache.create ~capacity:caps.madd "madd"
   ; mv = Cache.create ~capacity:caps.mv "mv"
   ; mm = Cache.create ~capacity:caps.mm "mm"
   ; ip = Cache.create ~capacity:caps.ip "ip"
   ; adj = Cache.create ~capacity:caps.adj "adj"
+    (* both kernel caches publish under the same [dd.kernel.*] names:
+       {!Obs.Metrics.register} de-duplicates, so their counters sum *)
+  ; kv = Cache.create ~capacity:caps.kernel ~prefix:"dd." "kernel"
+  ; km = Cache.create ~capacity:caps.kernel ~prefix:"dd." "kernel"
+  ; sigs = Hashtbl.create 64
+  ; sig_next = 0
   ; vroots = Hashtbl.create 16
   ; mroots = Hashtbl.create 16
   ; root_next = 0
@@ -248,19 +299,28 @@ let mscale p z e =
     if Ct.is_zero w then mzero else { mw = w; mt = e.mt }
   end
 
-let rec ident p n =
-  let built = List.length p.idents in
-  if n < built then List.nth p.idents (built - 1 - n)
-  else if n = 0 then begin
-    let e = { mw = w_one; mt = None } in
-    p.idents <- e :: p.idents;
-    e
-  end
+(* The memoized identity chain lives in a growable array indexed by qubit
+   count, so the lookup is O(1) — it sits on the kernel fast path for every
+   positive/negative control branch. *)
+let ident p n =
+  if n < p.nidents then p.idents.(n)
   else begin
-    let below = ident p (n - 1) in
-    let e = make_mnode p (n - 1) below mzero mzero below in
-    p.idents <- e :: p.idents;
-    e
+    if n >= Array.length p.idents then begin
+      let cap = max 16 (max (n + 1) (2 * Array.length p.idents)) in
+      let grown = Array.make cap mzero in
+      Array.blit p.idents 0 grown 0 p.nidents;
+      p.idents <- grown
+    end;
+    for i = p.nidents to n do
+      p.idents.(i) <-
+        (if i = 0 then { mw = w_one; mt = None }
+         else begin
+           let below = p.idents.(i - 1) in
+           make_mnode p (i - 1) below mzero mzero below
+         end)
+    done;
+    p.nidents <- n + 1;
+    p.idents.(n)
   end
 
 let basis_state p n bits =
@@ -339,12 +399,69 @@ let gate p ~n ~controls ~target u =
   in
   extend (target + 1) at_target
 
+(* -- gate signatures --------------------------------------------------- *)
+
+let build_sig p ~key ~u ~swap ~controls ~target ~target2 =
+  let involved = target :: (if swap then [ target2 ] else List.map fst controls) in
+  let hi = List.fold_left max target involved in
+  let lo = List.fold_left min target involved in
+  let cmin =
+    List.fold_left
+      (fun acc (q, _) -> if q < target then min acc q else acc)
+      max_int controls
+  in
+  let control_at = Array.make (hi + 1) None in
+  List.iter (fun (q, pos) -> control_at.(q) <- Some pos) controls;
+  let s =
+    { gs_id = p.sig_next
+    ; gs_u = u
+    ; gs_swap = swap
+    ; gs_target = target
+    ; gs_target2 = target2
+    ; gs_hi = hi
+    ; gs_lo = lo
+    ; gs_cmin = cmin
+    ; gs_control_at = control_at
+    }
+  in
+  p.sig_next <- p.sig_next + 1;
+  Hashtbl.replace p.sigs key s;
+  s
+
+let gate_sig p ~controls ~target u =
+  guard p;
+  if Array.length u <> 4 then invalid_arg "Dd.Pkg.gate_sig: u must have 4 entries";
+  if List.exists (fun (q, _) -> q = target || q < 0) controls || target < 0 then
+    invalid_arg "Dd.Pkg.gate_sig: bad control/target wires";
+  let controls = List.sort_uniq compare controls in
+  (* key on interned weight ids so structurally equal matrices share a
+     signature even when built from fresh floats *)
+  let uw = Array.to_list (Array.map (fun z -> (weight p z).id) u) in
+  let key = (0, controls, uw, target, -1) in
+  match Hashtbl.find_opt p.sigs key with
+  | Some s -> s
+  | None -> build_sig p ~key ~u ~swap:false ~controls ~target ~target2:(-1)
+
+let swap_sig p a b =
+  guard p;
+  if a = b || a < 0 || b < 0 then invalid_arg "Dd.Pkg.swap_sig: bad wires";
+  let hi = max a b and lo = min a b in
+  let key = (1, [], [], hi, lo) in
+  match Hashtbl.find_opt p.sigs key with
+  | Some s -> s
+  | None -> build_sig p ~key ~u:[||] ~swap:true ~controls:[] ~target:hi ~target2:lo
+
+let sig_control_at (s : gate_sig) q =
+  if q <= s.gs_hi then s.gs_control_at.(q) else None
+
 let vadd_cache p = p.vadd
 let madd_cache p = p.madd
 let mv_cache p = p.mv
 let mm_cache p = p.mm
 let ip_cache p = p.ip
 let adj_cache p = p.adj
+let kernel_v_cache p = p.kv
+let kernel_m_cache p = p.km
 
 let clear_caches p =
   Cache.clear p.vadd;
@@ -352,7 +469,9 @@ let clear_caches p =
   Cache.clear p.mv;
   Cache.clear p.mm;
   Cache.clear p.ip;
-  Cache.clear p.adj
+  Cache.clear p.adj;
+  Cache.clear p.kv;
+  Cache.clear p.km
 
 (* -- root registry ---------------------------------------------------- *)
 
@@ -447,7 +566,13 @@ let compact p =
   Hashtbl.iter (fun _ r -> root_vedge r.vr_edge) p.vroots;
   Hashtbl.iter (fun _ r -> root_medge r.mr_edge) p.mroots;
   (* the cached identity chain must stay valid *)
-  List.iter root_medge p.idents;
+  for i = 0 to p.nidents - 1 do
+    root_medge p.idents.(i)
+  done;
+  (* gate signatures key on interned weight ids, which the rebuild below
+     invalidates; dropping them means the next application re-interns
+     (monotonic [gs_id]s keep cleared-cache keys collision-free) *)
+  Hashtbl.reset p.sigs;
   Ct.rebuild p.ctab (Hashtbl.fold (fun _ w acc -> w :: acc) weights []);
   p.gc_baseline <- live_nodes p;
   M.add m_gc_swept_nodes (nodes_before - live_nodes p);

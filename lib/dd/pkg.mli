@@ -31,9 +31,11 @@ val set_domain_guards : bool -> unit
 
 (** {1 Memory configuration} *)
 
-(** Per-cache capacities for the six operation caches.  Negative values
+(** Per-cache capacities for the operation caches.  Negative values
     mean unbounded, [0] disables a cache (every lookup misses), positive
-    values bound the entry count with second-chance eviction ({!Cache}). *)
+    values bound the entry count with second-chance eviction ({!Cache}).
+    [kernel] bounds each of the two gate-kernel caches (vector and matrix;
+    see {!Mat.apply_gate}), which report jointly under [dd.kernel.*]. *)
 type caps =
   { vadd : int
   ; madd : int
@@ -41,6 +43,7 @@ type caps =
   ; mm : int
   ; ip : int
   ; adj : int
+  ; kernel : int
   }
 
 val caps_unbounded : caps
@@ -130,9 +133,50 @@ val product_state : t -> (Cxnum.Cx.t * Cxnum.Cx.t) array -> vedge
 val gate :
   t -> n:int -> controls:(int * bool) list -> target:int -> Cxnum.Cx.t array -> medge
 
+(** {1 Gate signatures}
+
+    Hash-consed descriptions of a single gate application — the 2x2 matrix
+    entries, controls and target (or the two wires of a swap) — giving the
+    direct application kernels ({!Mat.apply_gate} and friends) one small
+    integer id per distinct gate to key their caches on.  The record is
+    exposed read-only for {!Mat}; construct via {!gate_sig}/{!swap_sig}. *)
+
+type gate_sig = private
+  { gs_id : int  (** monotonic per package; never reused, even across GC *)
+  ; gs_u : Cxnum.Cx.t array  (** row-major 2x2 entries; [[||]] for a swap *)
+  ; gs_swap : bool
+  ; gs_target : int  (** unary target; for a swap, the higher wire *)
+  ; gs_target2 : int  (** swap: the lower wire; [-1] otherwise *)
+  ; gs_hi : int  (** highest involved qubit (controls included) *)
+  ; gs_lo : int  (** lowest involved qubit *)
+  ; gs_cmin : int  (** lowest control below the target; [max_int] if none *)
+  ; gs_control_at : bool option array  (** indexed by qubit, length [gs_hi+1] *)
+  }
+
+(** [gate_sig p ~controls ~target u] interns the signature of applying the
+    2x2 matrix [u] (row-major, 4 entries) to [target] under [controls].
+    Raises [Invalid_argument] on malformed wires. *)
+val gate_sig :
+  t -> controls:(int * bool) list -> target:int -> Cxnum.Cx.t array -> gate_sig
+
+(** [swap_sig p a b] interns the signature of the SWAP of wires [a] and
+    [b] ([a <> b]). *)
+val swap_sig : t -> int -> int -> gate_sig
+
+(** [sig_control_at s q] is the control polarity of [s] at qubit [q], if
+    any (total: qubits above [gs_hi] answer [None]). *)
+val sig_control_at : gate_sig -> int -> bool option
+
 (** {1 Caches}
 
     Operation caches used by {!Vec} and {!Mat}; exposed for them only. *)
+
+(** Kernel cache keys: signature id and an opcode naming the kernel's
+    internal recursion packed as [(sid lsl 3) lor opcode], then operand
+    node/weight ids (padded with [-2]).  Values are edge pairs — paired
+    recursions store both result slices of one shared descent,
+    single-valued ones duplicate their edge. *)
+type kkey = int * int * int * int
 
 val vadd_cache : t -> (int * int * int, vedge) Cache.t
 val madd_cache : t -> (int * int * int, medge) Cache.t
@@ -140,6 +184,8 @@ val mv_cache : t -> (int * int, vedge) Cache.t
 val mm_cache : t -> (int * int, medge) Cache.t
 val ip_cache : t -> (int * int, Cxnum.Cx.t) Cache.t
 val adj_cache : t -> (int, medge) Cache.t
+val kernel_v_cache : t -> (kkey, vedge * vedge) Cache.t
+val kernel_m_cache : t -> (kkey, medge * medge) Cache.t
 
 (** Drop all operation caches (keeps the unique tables). *)
 val clear_caches : t -> unit

@@ -21,25 +21,26 @@ type spec =
   ; timeout : float option
   ; retries : int
   ; seed : int option
+  ; kernels : bool
   }
 
 let files ?label ?strategy ?perm ?(transform = true) ?timeout ?(retries = 0) ?seed
-    ~index file_a file_b =
+    ?(kernels = true) ~index file_a file_b =
   let label =
     match label with
     | Some l -> l
     | None -> Filename.basename file_a ^ " vs " ^ Filename.basename file_b
   in
   { index; label; source = Files { file_a; file_b }; strategy; perm; transform
-  ; timeout; retries; seed }
+  ; timeout; retries; seed; kernels }
 
 let circuits ?label ?strategy ?perm ?(transform = true) ?timeout ?(retries = 0) ?seed
-    ~index a b =
+    ?(kernels = true) ~index a b =
   let label =
     match label with Some l -> l | None -> a.Circ.name ^ " vs " ^ b.Circ.name
   in
   { index; label; source = Circuits { a; b }; strategy; perm; transform; timeout
-  ; retries; seed }
+  ; retries; seed; kernels }
 
 type verdict =
   { equivalent : bool

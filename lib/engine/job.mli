@@ -28,6 +28,10 @@ type spec =
   ; timeout : float option  (** per-job wall-clock budget, seconds *)
   ; retries : int  (** extra attempts granted to timed-out jobs *)
   ; seed : int option  (** per-job stimuli seed (manifest seed + index) *)
+  ; kernels : bool
+        (** route gate applications through the direct DD kernels
+            (default); [false] selects the generic
+            build-gate-DD-then-multiply path for A/B runs *)
   }
 
 val files :
@@ -38,6 +42,7 @@ val files :
   -> ?timeout:float
   -> ?retries:int
   -> ?seed:int
+  -> ?kernels:bool
   -> index:int
   -> string
   -> string
@@ -51,6 +56,7 @@ val circuits :
   -> ?timeout:float
   -> ?retries:int
   -> ?seed:int
+  -> ?kernels:bool
   -> index:int
   -> Circuit.Circ.t
   -> Circuit.Circ.t

@@ -5,9 +5,11 @@ type defaults =
   ; timeout : float option
   ; retries : int
   ; transform : bool
+  ; kernels : bool
   }
 
-let no_defaults = { strategy = None; timeout = None; retries = 0; transform = true }
+let no_defaults =
+  { strategy = None; timeout = None; retries = 0; transform = true; kernels = true }
 
 type t =
   { seed : int option
@@ -87,11 +89,13 @@ let defaults_of_json j =
     let* timeout = num_field "timeout" d in
     let* retries = int_field "retries" d in
     let* transform = bool_field "transform" d in
+    let* kernels = bool_field "kernels" d in
     Ok
       { strategy
       ; timeout
       ; retries = Option.value retries ~default:0
       ; transform = Option.value transform ~default:true
+      ; kernels = Option.value kernels ~default:true
       }
 
 (* Paths in a manifest are relative to the manifest file, so a manifest can
@@ -116,6 +120,7 @@ let job_of_json ~dir ~defaults ~manifest_seed ~index j =
   let* timeout = num_field "timeout" j in
   let* retries = int_field "retries" j in
   let* transform = bool_field "transform" j in
+  let* kernels = bool_field "kernels" j in
   let label =
     match label with
     | Some l -> l
@@ -131,6 +136,7 @@ let job_of_json ~dir ~defaults ~manifest_seed ~index j =
     ; timeout = (match timeout with Some _ as t -> t | None -> defaults.timeout)
     ; retries = Option.value retries ~default:defaults.retries
     ; seed = job_seed ~manifest_seed ~index
+    ; kernels = Option.value kernels ~default:defaults.kernels
     }
 
 let of_json ?(dir = Filename.current_dir_name) j =
@@ -179,7 +185,8 @@ let of_pairs ?seed ?(defaults = no_defaults) pairs =
       (fun index (a, b) ->
         Job.files ?strategy:defaults.strategy ?timeout:defaults.timeout
           ~retries:defaults.retries ~transform:defaults.transform
-          ?seed:(job_seed ~manifest_seed:seed ~index) ~index a b)
+          ~kernels:defaults.kernels ?seed:(job_seed ~manifest_seed:seed ~index)
+          ~index a b)
       pairs
   in
   { seed; jobs }

@@ -4,7 +4,7 @@
     { "schema": "qcec-manifest/v1",
       "seed": 42,
       "defaults": { "strategy": "proportional", "timeout": 30,
-                    "retries": 1, "transform": true },
+                    "retries": 1, "transform": true, "kernels": true },
       "jobs": [
         { "a": "bv6_dynamic.qasm", "b": "bv6_static.qasm",
           "label": "bv6", "strategy": "simulation:16",
@@ -25,6 +25,9 @@ type defaults =
   ; timeout : float option
   ; retries : int
   ; transform : bool
+  ; kernels : bool
+        (** default [true]; ["kernels": false] (per job or in defaults)
+            selects the generic gate-DD path for A/B comparison *)
   }
 
 val no_defaults : defaults

@@ -101,7 +101,7 @@ let attempt cfg ~dd_config (spec : Job.spec) =
     let on_dynamic = if spec.transform then `Transform else `Reject in
     let r =
       Qcec.Verify.functional ?strategy:spec.strategy ?perm:spec.perm ~on_dynamic
-        ?dd_config ?seed:spec.seed a b
+        ?dd_config ?seed:spec.seed ~use_kernels:spec.kernels a b
     in
     { Job.equivalent = r.Qcec.Verify.equivalent
     ; exactly_equal = r.Qcec.Verify.exactly_equal

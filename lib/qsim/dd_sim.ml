@@ -17,13 +17,37 @@ let op_unitary p ~n op =
   | Measure _ | Reset _ | Cond _ | Barrier _ ->
     invalid_arg "Dd_sim.op_unitary: non-unitary operation"
 
-let apply_op p ~n state op =
+let apply_op p ?(use_kernels = true) ~n state op =
   match (op : Op.t) with
+  | Apply { gate; controls; target } when use_kernels ->
+    Dd.Mat.apply_gate p ~n ~controls:(controls_of controls) ~target
+      (Gates.matrix gate) state
+  | Swap (a, b) when use_kernels -> Dd.Mat.apply_swap p ~n a b state
   | Apply _ | Swap _ -> Dd.Mat.apply p (op_unitary p ~n op) state
   | Measure _ | Reset _ | Cond _ | Barrier _ ->
     invalid_arg "Dd_sim.apply_op: non-unitary operation"
 
-let simulate p (c : Circ.t) =
+let mul_op_left p ~use_kernels ~n op m =
+  match (op : Op.t) with
+  | Apply { gate; controls; target } when use_kernels ->
+    Dd.Mat.mul_gate_left p ~n ~controls:(controls_of controls) ~target
+      (Gates.matrix gate) m
+  | Swap (a, b) when use_kernels -> Dd.Mat.mul_swap_left p ~n a b m
+  | Apply _ | Swap _ -> Dd.Mat.mul p (op_unitary p ~n op) m
+  | Measure _ | Reset _ | Cond _ | Barrier _ ->
+    invalid_arg "Dd_sim.mul_op_left: non-unitary operation"
+
+let mul_op_right p ~use_kernels ~n op m =
+  match (op : Op.t) with
+  | Apply { gate; controls; target } when use_kernels ->
+    Dd.Mat.mul_gate_right p ~n ~controls:(controls_of controls) ~target
+      (Gates.matrix gate) m
+  | Swap (a, b) when use_kernels -> Dd.Mat.mul_swap_right p ~n a b m
+  | Apply _ | Swap _ -> Dd.Mat.mul p m (Dd.Mat.adjoint p (op_unitary p ~n op))
+  | Measure _ | Reset _ | Cond _ | Barrier _ ->
+    invalid_arg "Dd_sim.mul_op_right: non-unitary operation"
+
+let simulate p ?(use_kernels = true) (c : Circ.t) =
   if Circ.is_dynamic c then
     invalid_arg "Dd_sim.simulate: dynamic circuit (use Extraction.run)";
   let n = c.Circ.num_qubits in
@@ -32,21 +56,22 @@ let simulate p (c : Circ.t) =
         match (op : Op.t) with
         | Measure _ | Barrier _ -> ()
         | Apply _ | Swap _ ->
-          Dd.Pkg.set_vroot r (apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+          Dd.Pkg.set_vroot r (apply_op p ~use_kernels ~n (Dd.Pkg.vroot_edge r) op);
           Dd.Pkg.checkpoint p
         | Reset _ | Cond _ -> assert false (* excluded by is_dynamic *)
       in
       List.iter step c.Circ.ops;
       Dd.Pkg.vroot_edge r)
 
-let build_unitary p (c : Circ.t) =
+let build_unitary p ?(use_kernels = true) (c : Circ.t) =
   let n = c.Circ.num_qubits in
   Dd.Pkg.with_root_m p (Dd.Pkg.ident p n) (fun r ->
       let step op =
         match (op : Op.t) with
         | Barrier _ -> ()
         | Apply _ | Swap _ ->
-          Dd.Pkg.set_mroot r (Dd.Mat.mul p (op_unitary p ~n op) (Dd.Pkg.mroot_edge r));
+          Dd.Pkg.set_mroot r
+            (mul_op_left p ~use_kernels ~n op (Dd.Pkg.mroot_edge r));
           Dd.Pkg.checkpoint p
         | Measure _ | Reset _ | Cond _ ->
           invalid_arg "Dd_sim.build_unitary: non-unitary operation in circuit"

@@ -78,10 +78,30 @@ let apply_unitary ~n op m =
     let controls = List.map (fun (c : Op.control) -> (c.cq, c.pos)) controls in
     conjugate_by ~n ~controls ~target (Gates.matrix gate) m
   | Swap (a, b) ->
-    (* three CNOT conjugations *)
-    conjugate_by ~n ~controls:[ (a, true) ] ~target:b x_matrix m;
-    conjugate_by ~n ~controls:[ (b, true) ] ~target:a x_matrix m;
-    conjugate_by ~n ~controls:[ (a, true) ] ~target:b x_matrix m
+    (* native: SWAP rho SWAP exchanges the rows, then the columns, of every
+       index pair differing exactly in bits [a] and [b] *)
+    let dim = dim_of n in
+    let ma = 1 lsl a
+    and mb = 1 lsl b in
+    for i = 0 to dim - 1 do
+      if i land ma <> 0 && i land mb = 0 then begin
+        let j = i lxor ma lxor mb in
+        let row = m.(i) in
+        m.(i) <- m.(j);
+        m.(j) <- row
+      end
+    done;
+    for r = 0 to dim - 1 do
+      let row = m.(r) in
+      for i = 0 to dim - 1 do
+        if i land ma <> 0 && i land mb = 0 then begin
+          let j = i lxor ma lxor mb in
+          let v = row.(i) in
+          row.(i) <- row.(j);
+          row.(j) <- v
+        end
+      done
+    done
   | Measure _ | Reset _ | Cond _ | Barrier _ ->
     invalid_arg "Density.apply_unitary: non-unitary operation"
 

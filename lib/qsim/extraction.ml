@@ -56,10 +56,12 @@ let outcome_probs p state qubit =
    the first outcome, so automatic compaction at any {!Dd.Pkg.checkpoint}
    safepoint cannot sweep a state that a pending sibling branch still
    needs. *)
-let walk ~pkg:p ~n ~cutoff ~counters ~record ?(forced = [||]) circuit_ops cvals_init =
+let walk ~pkg:p ~use_kernels ~n ~cutoff ~counters ~record ?(forced = [||])
+    circuit_ops cvals_init =
   let x_gate = Gates.matrix Gates.X in
   let apply_x state qubit =
-    Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
+    if use_kernels then Dd.Mat.apply_gate p ~n ~controls:[] ~target:qubit x_gate state
+    else Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
   in
   let rec go r ops cvals prob depth =
     match ops with
@@ -71,13 +73,15 @@ let walk ~pkg:p ~n ~cutoff ~counters ~record ?(forced = [||]) circuit_ops cvals_
        | Barrier _ -> go r rest cvals prob depth
        | Apply _ | Swap _ ->
          counters.c_gates <- counters.c_gates + 1;
-         Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+         Dd.Pkg.set_vroot r
+           (Dd_sim.apply_op p ~use_kernels ~n (Dd.Pkg.vroot_edge r) op);
          Dd.Pkg.checkpoint p;
          go r rest cvals prob depth
        | Cond { cond; op } ->
          if Classical.cond_holds cond cvals then begin
            counters.c_gates <- counters.c_gates + 1;
-           Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+           Dd.Pkg.set_vroot r
+             (Dd_sim.apply_op p ~use_kernels ~n (Dd.Pkg.vroot_edge r) op);
            Dd.Pkg.checkpoint p
          end;
          go r rest cvals prob depth
@@ -128,13 +132,14 @@ let walk ~pkg:p ~n ~cutoff ~counters ~record ?(forced = [||]) circuit_ops cvals_
   Dd.Pkg.with_root_v p (Dd.Pkg.zero_state p n) (fun r ->
       go r circuit_ops cvals_init 1.0 0)
 
-let run_sequential ~cutoff ?dd_config (c : Circ.t) =
+let run_sequential ~cutoff ~use_kernels ?dd_config (c : Circ.t) =
   let p = Dd.Pkg.create ?config:dd_config () in
   let counters = new_counters () in
   let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
   let record = Classical.add_weighted dist in
   Obs.Span.with_ "extract.walk" (fun () ->
-    walk ~pkg:p ~n:c.Circ.num_qubits ~cutoff ~counters ~record c.Circ.ops
+    walk ~pkg:p ~use_kernels ~n:c.Circ.num_qubits ~cutoff ~counters ~record
+      c.Circ.ops
       (Bytes.make c.Circ.num_cbits '0'));
   publish_counters counters;
   { distribution = Classical.sorted_bindings dist
@@ -149,11 +154,11 @@ let run_sequential ~cutoff ?dd_config (c : Circ.t) =
 (* Parallel driver: the first [depth] branch points are forced per task, so
    the 2^depth tasks partition the branching tree; each re-simulates its
    prefix in a private package (DD nodes cannot be shared across domains). *)
-let run_parallel ~cutoff ~domains ?dd_config (c : Circ.t) =
+let run_parallel ~cutoff ~use_kernels ~domains ?dd_config (c : Circ.t) =
   let branchy =
     List.exists (function Op.Measure _ | Op.Reset _ -> true | _ -> false) c.Circ.ops
   in
-  if not branchy then run_sequential ~cutoff ?dd_config c
+  if not branchy then run_sequential ~cutoff ~use_kernels ?dd_config c
   else begin
     let rec depth_for d = if 1 lsl d >= domains then d else depth_for (d + 1) in
     let n_branches =
@@ -168,7 +173,8 @@ let run_parallel ~cutoff ~domains ?dd_config (c : Circ.t) =
       let dist : (string, float) Hashtbl.t = Hashtbl.create 64 in
       let record = Classical.add_weighted dist in
       let forced = Array.init depth (fun k -> (idx lsr k) land 1) in
-      walk ~pkg:p ~n:c.Circ.num_qubits ~cutoff ~counters ~record ~forced c.Circ.ops
+      walk ~pkg:p ~use_kernels ~n:c.Circ.num_qubits ~cutoff ~counters ~record
+        ~forced c.Circ.ops
         (Bytes.make c.Circ.num_cbits '0');
       (dist, counters)
     in
@@ -207,10 +213,10 @@ let run_parallel ~cutoff ~domains ?dd_config (c : Circ.t) =
     }
   end
 
-let run ?(cutoff = 1e-12) ?(domains = 1) ?dd_config c =
+let run ?(cutoff = 1e-12) ?(domains = 1) ?(use_kernels = true) ?dd_config c =
   M.incr m_runs;
-  if domains <= 1 then run_sequential ~cutoff ?dd_config c
-  else run_parallel ~cutoff ~domains ?dd_config c
+  if domains <= 1 then run_sequential ~cutoff ~use_kernels ?dd_config c
+  else run_parallel ~cutoff ~use_kernels ~domains ?dd_config c
 
 type tree =
   | Leaf of
@@ -226,12 +232,13 @@ type tree =
       ; one : tree option
       }
 
-let tree ?(cutoff = 1e-12) ?dd_config (c : Circ.t) =
+let tree ?(cutoff = 1e-12) ?(use_kernels = true) ?dd_config (c : Circ.t) =
   let p = Dd.Pkg.create ?config:dd_config () in
   let n = c.Circ.num_qubits in
   let x_gate = Gates.matrix Gates.X in
   let apply_x state qubit =
-    Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
+    if use_kernels then Dd.Mat.apply_gate p ~n ~controls:[] ~target:qubit x_gate state
+    else Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
   in
   let rec go r ops cvals prob =
     match ops with
@@ -240,12 +247,14 @@ let tree ?(cutoff = 1e-12) ?dd_config (c : Circ.t) =
       (match (op : Op.t) with
        | Barrier _ -> go r rest cvals prob
        | Apply _ | Swap _ ->
-         Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+         Dd.Pkg.set_vroot r
+           (Dd_sim.apply_op p ~use_kernels ~n (Dd.Pkg.vroot_edge r) op);
          Dd.Pkg.checkpoint p;
          go r rest cvals prob
        | Cond { cond; op } ->
          if Classical.cond_holds cond cvals then begin
-           Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n (Dd.Pkg.vroot_edge r) op);
+           Dd.Pkg.set_vroot r
+             (Dd_sim.apply_op p ~use_kernels ~n (Dd.Pkg.vroot_edge r) op);
            Dd.Pkg.checkpoint p
          end;
          go r rest cvals prob

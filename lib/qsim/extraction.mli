@@ -33,11 +33,18 @@ type result =
     over that many OCaml domains, each re-simulating its forced prefix with
     a private DD package (the paper notes the branches are embarrassingly
     parallel; its own evaluation is sequential, and so is the default
-    here).  [dd_config] bounds the DD packages' operation caches and
-    enables automatic compaction; the walk roots the state of every pending
-    branch, so mid-walk sweeps are safe. *)
+    here).  [use_kernels] (default [true]) routes gate applications through
+    the direct kernels ({!Dd.Mat.apply_gate}).  [dd_config] bounds the DD
+    packages' operation caches and enables automatic compaction; the walk
+    roots the state of every pending branch, so mid-walk sweeps are
+    safe. *)
 val run :
-  ?cutoff:float -> ?domains:int -> ?dd_config:Dd.Pkg.config -> Circuit.Circ.t -> result
+     ?cutoff:float
+  -> ?domains:int
+  -> ?use_kernels:bool
+  -> ?dd_config:Dd.Pkg.config
+  -> Circuit.Circ.t
+  -> result
 
 (** {1 Branching-tree view (paper Fig. 4)} *)
 
@@ -57,7 +64,12 @@ type tree =
 
 (** [tree c] materializes the whole branching structure; only sensible for
     small numbers of measurements. *)
-val tree : ?cutoff:float -> ?dd_config:Dd.Pkg.config -> Circuit.Circ.t -> tree
+val tree :
+     ?cutoff:float
+  -> ?use_kernels:bool
+  -> ?dd_config:Dd.Pkg.config
+  -> Circuit.Circ.t
+  -> tree
 
 (** [pp_tree] renders the tree with check-pointed probabilities, in the
     spirit of the paper's Fig. 4. *)

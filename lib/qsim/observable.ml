@@ -48,10 +48,9 @@ let expectation p state ~n obs =
                 match pauli with
                 | I -> ()
                 | _ ->
-                  let g =
-                    Dd.Pkg.gate p ~n ~controls:[] ~target:q (matrix_of_pauli pauli)
-                  in
-                  Dd.Pkg.set_vroot rt (Dd.Mat.apply p g (Dd.Pkg.vroot_edge rt));
+                  Dd.Pkg.set_vroot rt
+                    (Dd.Mat.apply_gate p ~n ~controls:[] ~target:q
+                       (matrix_of_pauli pauli) (Dd.Pkg.vroot_edge rt));
                   Dd.Pkg.checkpoint p)
               term.paulis;
             term.coefficient

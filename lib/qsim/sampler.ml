@@ -7,10 +7,11 @@ type result =
   ; shots : int
   }
 
-let one_shot ~rng p ~n (c : Circ.t) =
+let one_shot ~rng ~use_kernels p ~n (c : Circ.t) =
   let x_gate = Gates.matrix Gates.X in
   let apply_x state qubit =
-    Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
+    if use_kernels then Dd.Mat.apply_gate p ~n ~controls:[] ~target:qubit x_gate state
+    else Dd.Mat.apply p (Dd.Pkg.gate p ~n ~controls:[] ~target:qubit x_gate) state
   in
   let cvals = Bytes.make c.Circ.num_cbits '0' in
   let sample state qubit =
@@ -22,10 +23,11 @@ let one_shot ~rng p ~n (c : Circ.t) =
     let state = Dd.Pkg.vroot_edge r in
     (match (op : Op.t) with
      | Barrier _ -> ()
-     | Apply _ | Swap _ -> Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n state op)
+     | Apply _ | Swap _ ->
+       Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~use_kernels ~n state op)
      | Cond { cond; op } ->
        if Classical.cond_holds cond cvals then
-         Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~n state op)
+         Dd.Pkg.set_vroot r (Dd_sim.apply_op p ~use_kernels ~n state op)
      | Measure { qubit; cbit } ->
        let outcome, state = sample state qubit in
        Bytes.set cvals cbit (if outcome = 1 then '1' else '0');
@@ -39,7 +41,7 @@ let one_shot ~rng p ~n (c : Circ.t) =
       List.iter (step r) c.Circ.ops);
   Bytes.to_string cvals
 
-let run ~seed ~shots ?dd_config (c : Circ.t) =
+let run ~seed ~shots ?(use_kernels = true) ?dd_config (c : Circ.t) =
   let rng = Random.State.make [| seed; shots; 0x5a0d |] in
   let n = c.Circ.num_qubits in
   let counts = Hashtbl.create 64 in
@@ -47,7 +49,7 @@ let run ~seed ~shots ?dd_config (c : Circ.t) =
      which is exactly what makes repeated runs affordable *)
   let p = Dd.Pkg.create ?config:dd_config () in
   for _ = 1 to shots do
-    let key = one_shot ~rng p ~n c in
+    let key = one_shot ~rng ~use_kernels p ~n c in
     let prev = Option.value ~default:0 (Hashtbl.find_opt counts key) in
     Hashtbl.replace counts key (prev + 1)
   done;

@@ -15,11 +15,17 @@ type result =
   }
 
 (** [run ~seed ~shots c] performs [shots] independent end-to-end
-    simulations, sampling every measurement and reset outcome.  [dd_config]
-    bounds the shared DD package's caches and enables automatic compaction
-    between operations. *)
+    simulations, sampling every measurement and reset outcome.
+    [use_kernels] (default [true]) uses the direct gate-application
+    kernels; [dd_config] bounds the shared DD package's caches and enables
+    automatic compaction between operations. *)
 val run :
-  seed:int -> shots:int -> ?dd_config:Dd.Pkg.config -> Circuit.Circ.t -> result
+     seed:int
+  -> shots:int
+  -> ?use_kernels:bool
+  -> ?dd_config:Dd.Pkg.config
+  -> Circuit.Circ.t
+  -> result
 
 (** [empirical r] normalizes counts into a distribution comparable with
     {!Extraction.run}. *)

@@ -223,9 +223,19 @@ let test_verify_reports_metrics () =
     Alcotest.(check bool) "equivalent" true on.Qcec.Verify.equivalent;
     Alcotest.(check bool) "unique-table inserts recorded" true
       (M.find on.Qcec.Verify.metrics "dd.unique.mat.inserts" > 0);
+    Alcotest.(check bool) "kernel cache observed" true
+      (M.find on.Qcec.Verify.metrics "dd.kernel.hits"
+       + M.find on.Qcec.Verify.metrics "dd.kernel.misses"
+       > 0);
+    (* the generic path still reports through the mm cache *)
+    let generic =
+      Qcec.Verify.functional ~perm:pair.Algorithms.Pair.dyn_to_static
+        ~use_kernels:false pair.Algorithms.Pair.static_circuit
+        pair.Algorithms.Pair.dynamic_circuit
+    in
     Alcotest.(check bool) "mm cache observed" true
-      (M.find on.Qcec.Verify.metrics "dd.cache.mm.hits"
-       + M.find on.Qcec.Verify.metrics "dd.cache.mm.misses"
+      (M.find generic.Qcec.Verify.metrics "dd.cache.mm.hits"
+       + M.find generic.Qcec.Verify.metrics "dd.cache.mm.misses"
        > 0);
     Alcotest.(check bool) "timings non-negative" true
       (on.Qcec.Verify.t_transform >= 0.0 && on.Qcec.Verify.t_check >= 0.0))
