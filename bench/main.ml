@@ -147,6 +147,9 @@ let scaling_json : Obs.Json.t option ref = ref None
 (* filled by the kernels section, emitted as the "kernels" field *)
 let kernels_json : Obs.Json.t option ref = ref None
 
+(* filled by the cache section, emitted as the "cache" field *)
+let cache_json : Obs.Json.t option ref = ref None
+
 let collect family row =
   if !json_path <> None then json_rows := (family, row) :: !json_rows
 
@@ -191,6 +194,9 @@ let write_json ~mode path =
   let kernels =
     match !kernels_json with None -> [] | Some j -> [ ("kernels", j) ]
   in
+  let cache =
+    match !cache_json with None -> [] | Some j -> [ ("cache", j) ]
+  in
   let doc =
     Obs.Json.Obj
       ([ ("schema", Obs.Json.String "qcec-bench/v1")
@@ -199,6 +205,7 @@ let write_json ~mode path =
        ]
       @ scaling
       @ kernels
+      @ cache
       @ [ ("failures", Obs.Json.Int !failures)
         ; ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()))
         ; ("spans", Obs.Span.to_json ())
@@ -668,6 +675,105 @@ let kernels_section ~full ~quick () =
          ])
 
 (* ------------------------------------------------------------------ *)
+(* Cache: cold vs warm verification through the verdict store          *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold/warm A/B over a Table-1-style workload: the cold leg verifies
+   every pair through an empty persistent store, then the store is closed
+   and reopened so the warm leg replays the verdicts from disk — proving
+   the records round-trip through the JSONL segments, not just the
+   in-memory index.  Every warm result must carry [cached = true] and
+   match its cold verdict; the wall-clock ratio is what the cache buys. *)
+let cache_section ~full ~quick () =
+  pr "@.== Cache: cold vs warm verification through the verdict store ==@.@.";
+  let pairs =
+    let bv n = Algorithms.Bv.make (Algorithms.Bv.hidden_string ~seed:n n) in
+    let qft n = Algorithms.Qft.make n in
+    let qpe m =
+      Algorithms.Qpe.make ~theta:(Algorithms.Qpe.random_theta ~seed:m ~bits:m) ~bits:m
+    in
+    if quick then List.map bv [ 16; 24 ] @ List.map qft [ 8; 9 ] @ List.map qpe [ 8; 9 ]
+    else if full then
+      List.map bv [ 64; 96; 128 ] @ List.map qft [ 11; 12; 13 ] @ List.map qpe [ 12; 13; 14 ]
+    else
+      List.map bv [ 32; 48 ] @ List.map qft [ 9; 10 ] @ List.map qpe [ 10; 11 ]
+  in
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qcec-bench-cache-%d" (Unix.getpid ()))
+  in
+  let open_store () =
+    match Cache_store.Store.open_dir store_dir with
+    | Ok s -> s
+    | Error msg ->
+      Fmt.epr "cache: cannot open store at %s: %s@." store_dir msg;
+      exit 2
+  in
+  let run_leg store =
+    let m0 = Obs.Metrics.snapshot () in
+    let t0 = Qcec.Verify.now () in
+    let results =
+      List.map
+        (fun (pair : Pair.t) ->
+          let r =
+            Qcec.Verify.functional ~perm:pair.Pair.dyn_to_static
+              ?dd_config:!dd_config ~cache:store pair.Pair.static_circuit
+              pair.Pair.dynamic_circuit
+          in
+          if not r.Qcec.Verify.equivalent then
+            report_failure "cache: %s NOT equivalent!@."
+              pair.Pair.static_circuit.Circ.name;
+          r)
+        pairs
+    in
+    let dt = Qcec.Verify.now () -. t0 in
+    (results, dt, Obs.Metrics.diff ~before:m0 ~after:(Obs.Metrics.snapshot ()))
+  in
+  let cold_store = open_store () in
+  let r_cold, t_cold, m_cold = run_leg cold_store in
+  Cache_store.Store.close cold_store;
+  let warm_store = open_store () in
+  let r_warm, t_warm, m_warm = run_leg warm_store in
+  Cache_store.Store.close warm_store;
+  let verdict (r : Qcec.Verify.functional_result) =
+    (r.Qcec.Verify.equivalent, r.Qcec.Verify.exactly_equal)
+  in
+  let verdicts_equal = List.map verdict r_cold = List.map verdict r_warm in
+  if not verdicts_equal then
+    report_failure "cache: verdicts differ between cold and warm legs!@.";
+  let served = List.length (List.filter (fun r -> r.Qcec.Verify.cached) r_warm) in
+  if served <> List.length pairs then
+    report_failure "cache: only %d/%d warm verdicts served from the store!@."
+      served (List.length pairs);
+  let speedup = if t_warm > 0.0 then t_cold /. t_warm else 1.0 in
+  pr "%8s %12s %8s@." "leg" "wall [s]" "cached";
+  pr "%8s %12.4f %8d@." "cold" t_cold
+    (List.length (List.filter (fun r -> r.Qcec.Verify.cached) r_cold));
+  pr "%8s %12.4f %8d@." "warm" t_warm served;
+  pr "@.%d pairs; warm served %d from store; cold/warm speedup: %.2fx@."
+    (List.length pairs) served speedup;
+  cache_json :=
+    Some
+      (Obs.Json.Obj
+         [ ("jobs", Obs.Json.Int (List.length pairs))
+         ; ("verdicts_equal", Obs.Json.Bool verdicts_equal)
+         ; ("warm_cached", Obs.Json.Int served)
+         ; ("wall_seconds_cold", Obs.Json.Float t_cold)
+         ; ("wall_seconds_warm", Obs.Json.Float t_warm)
+         ; ("speedup", Obs.Json.Float speedup)
+         ; ("pkg_created_warm", Obs.Json.Int (Obs.Metrics.find m_warm "dd.pkg.created"))
+         ; ("metrics_cold", Obs.Metrics.to_json m_cold)
+         ; ("metrics_warm", Obs.Metrics.to_json m_warm)
+         ]);
+  (* best-effort temp-store cleanup: the dir only ever holds our segments *)
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat store_dir f))
+       (Sys.readdir store_dir);
+     Sys.rmdir store_dir
+   with Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -759,6 +865,7 @@ let () =
     | "ablation" -> ablation ~full ()
     | "scaling" -> scaling ~full ~quick ()
     | "kernels" -> kernels_section ~full ~quick ()
+    | "cache" -> cache_section ~full ~quick ()
     | "micro" -> micro ()
     | "all" ->
       table1 ~full ~quick ();
@@ -766,10 +873,11 @@ let () =
       ablation ~full ();
       scaling ~full ~quick ();
       kernels_section ~full ~quick ();
+      cache_section ~full ~quick ();
       micro ()
     | other ->
       Fmt.epr
-        "unknown section %S (expected table1|fig4|ablation|scaling|kernels|micro|all)@."
+        "unknown section %S (expected table1|fig4|ablation|scaling|kernels|cache|micro|all)@."
         other;
       exit 2
   in

@@ -114,6 +114,40 @@ let maybe_write_stats stats_json ~command ~files ~result =
   | None -> ()
   | Some path -> write_stats path ~command ~files ~result
 
+(* -- verdict cache ----------------------------------------------------- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Open (creating if needed) the content-addressed verdict store at \
+           $(docv): verdicts for already-seen circuit pairs are served from \
+           it without any decision-diagram work, fresh verdicts are \
+           appended (see docs/CACHING.md)")
+
+let no_result_cache_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-result-cache" ]
+        ~doc:
+          "Ignore the verdict store even when $(b,--cache-dir) or the \
+           manifest requests one: every pair is recomputed")
+
+(* Caching is strictly opt-in: no [--cache-dir] (or manifest [cache_dir])
+   means no store is opened and every verdict is computed. *)
+let open_store ~cache_dir ~no_result_cache =
+  match cache_dir with
+  | Some dir when not no_result_cache ->
+    (match Cache_store.Store.open_dir dir with
+     | Ok store -> Some store
+     | Error msg ->
+       Fmt.epr "qcec: cannot open verdict store: %s@." msg;
+       exit 2)
+  | _ -> None
+
 (* -- check ------------------------------------------------------------ *)
 
 let check_cmd =
@@ -413,9 +447,10 @@ let lint_cmd =
    restores the automatic Section 4 routing of [check]. *)
 let verify_cmd =
   let run file_a file_b strategy perm transform quiet stats_json cache_cap
-      gc_threshold no_kernels =
+      gc_threshold no_kernels cache_dir no_result_cache =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
+    let store = open_store ~cache_dir ~no_result_cache in
     let load_located path =
       try Circuit.Qasm3_parser.parse_any_file_located path with
       | Circuit.Qasm_parser.Parse_error (msg, line) ->
@@ -459,14 +494,18 @@ let verify_cmd =
       try
         Qcec.Verify.functional ~strategy ?perm
           ~on_dynamic:(if transform then `Transform else `Reject)
-          ?dd_config ~use_kernels:(not no_kernels) a b
+          ?dd_config ~use_kernels:(not no_kernels) ?cache:store a b
       with
       | Qcec.Strategy.Non_unitary op -> report_non_unitary op
       | Qcec.Verify.Rejected d ->
         Fmt.epr "%a@." Analysis.Diagnostic.pp d;
         exit 2
     in
-    if not quiet then Fmt.pr "%a@." Qcec.Verify.pp_functional r;
+    Option.iter Cache_store.Store.close store;
+    if not quiet then begin
+      Fmt.pr "%a@." Qcec.Verify.pp_functional r;
+      if r.Qcec.Verify.cached then Fmt.pr "verdict served from cache@."
+    end;
     maybe_write_stats stats_json ~command:"verify" ~files:[ file_a; file_b ]
       ~result:
         [ ("equivalent", Obs.Json.Bool r.Qcec.Verify.equivalent)
@@ -476,6 +515,7 @@ let verify_cmd =
         ; ("t_check", Obs.Json.Float r.Qcec.Verify.t_check)
         ; ("transformed_qubits", Obs.Json.Int r.Qcec.Verify.transformed_qubits)
         ; ("peak_nodes", Obs.Json.Int r.Qcec.Verify.peak_nodes)
+        ; ("cached", Obs.Json.Bool r.Qcec.Verify.cached)
         ; ( "profiles"
           , Obs.Json.List
               (List.map
@@ -528,7 +568,8 @@ let verify_cmd =
           restores the automatic transformation of $(b,check)")
     Term.(
       const run $ file_a $ file_b $ strategy $ perm $ transform $ quiet
-      $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg)
+      $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg
+      $ cache_dir_arg $ no_result_cache_arg)
 
 (* -- batch ------------------------------------------------------------ *)
 
@@ -538,7 +579,7 @@ let verify_cmd =
    out.  Per-job failures are structured results, never batch aborts. *)
 let batch_cmd =
   let run inputs workers out summary strategy timeout retries seed node_limit
-      no_lint quiet cache_cap gc_threshold no_kernels =
+      no_lint quiet cache_cap gc_threshold no_kernels cache_dir no_result_cache =
     (* per-job metric deltas are part of the result schema, so collection
        is on for batch runs (flipped before any worker spawns) *)
     Obs.Metrics.set_enabled true;
@@ -576,7 +617,18 @@ let batch_cmd =
           })
         manifest.Engine.Manifest.jobs
     in
-    if specs = [] then usage "manifest contains no jobs";
+    (* an empty (or all-skipped) manifest is a legitimate no-op batch, not
+       a usage error: it reports a zero-job summary and exits 0 *)
+    if specs = [] && not quiet then
+      Fmt.epr "qcec batch: 0 jobs (manifest is empty or every job is skipped)@.";
+    let store =
+      let cache_dir =
+        match cache_dir with
+        | Some _ as d -> d
+        | None -> manifest.Engine.Manifest.cache_dir
+      in
+      open_store ~cache_dir ~no_result_cache
+    in
     let oc, close_oc =
       match out with
       | "-" -> (stdout, fun () -> ())
@@ -597,9 +649,11 @@ let batch_cmd =
               Engine.Results.write_jsonl oc r;
               if (not quiet) && out <> "-" then
                 Fmt.epr "%a@." Engine.Job.pp_result r)
+      ; cache = store
       }
     in
     let batch = Engine.Pool.run cfg specs in
+    Option.iter Cache_store.Store.close store;
     close_oc ();
     (match summary with
      | None -> ()
@@ -614,11 +668,17 @@ let batch_cmd =
         (fun r -> not (Engine.Job.succeeded r))
         batch.Engine.Pool.results
     in
-    if not quiet then
+    if not quiet then begin
       Fmt.epr "%d jobs on %d workers in %.2fs wall; %d not equivalent or failed@."
         (List.length batch.Engine.Pool.results)
         batch.Engine.Pool.workers batch.Engine.Pool.wall_seconds
         (List.length not_ok);
+      if store <> None then
+        Fmt.epr "verdict cache: %d hits, %d misses, %d inserted@."
+          (Obs.Metrics.find batch.Engine.Pool.metrics "cache.result.hits")
+          (Obs.Metrics.find batch.Engine.Pool.metrics "cache.result.misses")
+          (Obs.Metrics.find batch.Engine.Pool.metrics "cache.result.inserts")
+    end;
     exit (if not_ok = [] then 0 else 1)
   in
   let inputs =
@@ -721,7 +781,7 @@ let batch_cmd =
     Term.(
       const run $ inputs $ workers $ out $ summary $ strategy $ timeout
       $ retries $ seed $ node_limit $ no_lint $ quiet $ cache_cap_arg
-      $ gc_threshold_arg $ no_kernels_arg)
+      $ gc_threshold_arg $ no_kernels_arg $ cache_dir_arg $ no_result_cache_arg)
 
 (* -- stats ------------------------------------------------------------ *)
 

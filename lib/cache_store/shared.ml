@@ -1,0 +1,49 @@
+module M = Obs.Metrics
+
+type meters =
+  { hits : M.counter
+  ; misses : M.counter
+  ; publishes : M.counter
+  }
+
+type ('k, 'v) t =
+  { snap : ('k, 'v) Hashtbl.t Atomic.t
+    (* the table behind [snap] is frozen: it is filled before the
+       [Atomic.set] that publishes it and never mutated afterwards, so
+       readers need no lock *)
+  ; lock : Mutex.t
+  ; meters : meters option
+  }
+
+let create ?metrics () =
+  { snap = Atomic.make (Hashtbl.create 16)
+  ; lock = Mutex.create ()
+  ; meters =
+      Option.map
+        (fun p ->
+          { hits = M.counter (p ^ ".hits")
+          ; misses = M.counter (p ^ ".misses")
+          ; publishes = M.counter (p ^ ".publishes")
+          })
+        metrics
+  }
+
+let find t k =
+  let r = Hashtbl.find_opt (Atomic.get t.snap) k in
+  (match (t.meters, r) with
+   | Some m, Some _ -> M.incr m.hits
+   | Some m, None -> M.incr m.misses
+   | None, _ -> ());
+  r
+
+let publish t k v =
+  Mutex.protect t.lock (fun () ->
+      let next = Hashtbl.copy (Atomic.get t.snap) in
+      Hashtbl.replace next k v;
+      Atomic.set t.snap next);
+  match t.meters with Some m -> M.incr m.publishes | None -> ()
+
+let size t = Hashtbl.length (Atomic.get t.snap)
+
+let clear t =
+  Mutex.protect t.lock (fun () -> Atomic.set t.snap (Hashtbl.create 16))

@@ -1,0 +1,38 @@
+(** Process-wide read-mostly maps with lock-free lookup.
+
+    A shared tier holds state that many domains consult but few produce:
+    hash-consed gate-signature blueprints, verdict-store indexes.  Reads
+    go through a single {!Atomic.get} of an immutable snapshot — no lock,
+    no contention — while publishes copy the snapshot under a mutex and
+    swap it in atomically.  Values must therefore be treated as immutable
+    once published: the same value may be observed concurrently from any
+    number of domains.
+
+    This complements the [Dd.Pkg] domain-ownership guard rather than
+    weakening it: mutable DD state (nodes, caches, roots) stays owned by
+    one domain, and only frozen, domain-agnostic data crosses through a
+    shared tier.
+
+    Publish cost is O(size) per call (copy-on-write), so this structure
+    suits read-dominated workloads; it is not a general concurrent map. *)
+
+type ('k, 'v) t
+
+(** [create ?metrics ()] makes an empty tier.  When [metrics] is given,
+    lookups and publishes are counted under [<metrics>.hits],
+    [<metrics>.misses] and [<metrics>.publishes] in {!Obs.Metrics}. *)
+val create : ?metrics:string -> unit -> ('k, 'v) t
+
+(** Lock-free lookup against the current snapshot. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [publish t k v] binds [k] to [v] in a fresh snapshot (replacing any
+    previous binding) and makes it visible to all domains.  Serialized by
+    an internal mutex; safe to call concurrently with {!find}. *)
+val publish : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** Number of bindings in the current snapshot. *)
+val size : ('k, 'v) t -> int
+
+(** Drop every binding (used by tests; publishes an empty snapshot). *)
+val clear : ('k, 'v) t -> unit

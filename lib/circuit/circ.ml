@@ -96,6 +96,75 @@ let append a b =
 
 let with_name c name = { c with name }
 
+(* Content digest over the canonical op stream.  Everything that cannot
+   change the implemented channel is left out: the circuit name (and any
+   source-level metadata like comments or line numbers, which the parsers
+   already discard), barriers, control list order, swap operand order.
+   Under [perm_invariant] qubits are relabeled by first use in structural
+   order — the label walk visits wire positions in the same sequence for a
+   circuit and any [remap] of it, so permuted copies serialize
+   identically. *)
+let digest ?(perm_invariant = false) c =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "qcd/v1|q%d|c%d|" c.num_qubits c.num_cbits);
+  let label =
+    if not perm_invariant then fun q -> q
+    else begin
+      let map = Array.make (max c.num_qubits 1) (-1) in
+      let next = ref 0 in
+      fun q ->
+        if map.(q) < 0 then begin
+          map.(q) <- !next;
+          incr next
+        end;
+        map.(q)
+    end
+  in
+  let add_gate g =
+    Buffer.add_string b (Gates.name g);
+    List.iter
+      (fun p -> Buffer.add_string b (Printf.sprintf ",%.17g" p))
+      (Gates.params g)
+  in
+  let rec add_op op =
+    (* fix labels in structural order (target before controls) so the
+       relabeling is independent of the sort below *)
+    List.iter (fun q -> ignore (label q)) (Op.qubits op);
+    match (op : Op.t) with
+    | Apply { gate; controls; target } ->
+      Buffer.add_string b "A:";
+      add_gate gate;
+      Buffer.add_char b ';';
+      List.map (fun (c : Op.control) -> (label c.cq, c.pos)) controls
+      |> List.sort compare
+      |> List.iter (fun (q, pos) ->
+             Buffer.add_string b (Printf.sprintf "%c%d," (if pos then '+' else '-') q));
+      Buffer.add_string b (Printf.sprintf ";%d" (label target))
+    | Swap (x, y) ->
+      let x = label x and y = label y in
+      Buffer.add_string b (Printf.sprintf "S:%d,%d" (min x y) (max x y))
+    | Measure { qubit; cbit } ->
+      Buffer.add_string b (Printf.sprintf "M:%d,%d" (label qubit) cbit)
+    | Reset q -> Buffer.add_string b (Printf.sprintf "R:%d" (label q))
+    | Cond { cond; op } ->
+      (* bit list order is semantic: [value] is read positionally *)
+      Buffer.add_string b "C:";
+      List.iter (fun bit -> Buffer.add_string b (string_of_int bit ^ ",")) cond.bits;
+      Buffer.add_string b (Printf.sprintf "=%d{" cond.value);
+      add_op op;
+      Buffer.add_char b '}'
+    | Barrier _ -> ()
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Barrier _ -> ()  (* no effect on any checking scheme *)
+      | _ ->
+        add_op op;
+        Buffer.add_char b '\n')
+    c.ops;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let pp ppf c =
   Fmt.pf ppf "@[<v>circuit %s (%d qubits, %d cbits):@,%a@]" c.name c.num_qubits
     c.num_cbits

@@ -47,6 +47,21 @@ val is_dynamic : t -> bool
 (** [measurements c] lists the (qubit, cbit) pairs in program order. *)
 val measurements : t -> (int * int) list
 
+(** [digest c] is a hex content digest of the canonical op stream:
+    register sizes plus every non-barrier operation with gate parameters
+    printed at full precision.  It is insensitive to anything that cannot
+    change the implemented channel — the circuit name (and source-level
+    metadata such as comments or line numbers, which never reach {!t}),
+    barriers, control list order and swap operand order — while any
+    single-gate edit changes it.
+
+    With [perm_invariant] (default [false]) qubits are additionally
+    relabeled by first use in structural order, so [digest ~perm_invariant:true
+    (remap c ~perm)] equals [digest ~perm_invariant:true c] for every
+    permutation.  Verdict caching uses the {e plain} digest: equivalence
+    of a pair is not invariant under permuting one side alone. *)
+val digest : ?perm_invariant:bool -> t -> string
+
 (** {1 Transformations} *)
 
 (** [strip_measurements c] removes measurements and barriers, for functional

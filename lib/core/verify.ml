@@ -15,6 +15,7 @@ type functional_result =
   ; t_check : float
   ; transformed_qubits : int
   ; peak_nodes : int
+  ; cached : bool
   ; metrics : Obs.Metrics.snapshot
   }
 
@@ -100,10 +101,51 @@ let preflight ~on_dynamic g g' =
         | None -> ())
       [ g; g' ]
 
+(* The verdict cache is keyed on both circuit digests plus everything else
+   that can change the outcome: strategy (shot counts included via
+   {!Strategy.name}), transform-vs-reject mode, any explicit permutation,
+   the stimuli seed, and the weight-interning tolerance ([Pkg.create]'s
+   default — [functional] never overrides it).  [use_kernels] and
+   [dd_config] are deliberately absent: they change performance, never
+   verdicts (CI enforces kernel/generic agreement). *)
+let cache_key ~strategy ~perm ~on_dynamic ~seed ~digest_a ~digest_b =
+  Cache_store.Key.make ~digest_a ~digest_b
+    { Cache_store.Key.strategy = Strategy.name strategy
+    ; transform = (match on_dynamic with `Transform -> true | `Reject -> false)
+    ; perm
+    ; seed
+    ; tol = 1e-10
+    }
+
 let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true)
-    ?(on_dynamic = `Transform) ?dd_config ?seed ?(use_kernels = true) g g' =
+    ?(on_dynamic = `Transform) ?dd_config ?seed ?(use_kernels = true) ?cache g g' =
   preflight ~on_dynamic g g';
+  (* consult the verdict store before any transformation or [Dd.Pkg]
+     construction — a warm run allocates no DD state at all *)
   let m0 = Obs.Metrics.snapshot () in
+  let hit, pending =
+    match cache with
+    | None -> (None, None)
+    | Some store ->
+      let digest_a = Circ.digest g and digest_b = Circ.digest g' in
+      let key = cache_key ~strategy ~perm ~on_dynamic ~seed ~digest_a ~digest_b in
+      (match Cache_store.Store.lookup store key with
+       | Some e -> (Some e, None)
+       | None -> (None, Some (store, key, digest_a, digest_b)))
+  in
+  match hit with
+  | Some e ->
+    { equivalent = e.Cache_store.Store.equivalent
+    ; exactly_equal = e.Cache_store.Store.exactly_equal
+    ; strategy
+    ; t_transform = 0.0
+    ; t_check = 0.0
+    ; transformed_qubits = e.Cache_store.Store.transformed_qubits
+    ; peak_nodes = e.Cache_store.Store.peak_nodes
+    ; cached = true
+    ; metrics = Obs.Metrics.diff ~before:m0 ~after:(Obs.Metrics.snapshot ())
+    }
+  | None ->
   let t0 = now () in
   let g, g' =
     Obs.Span.with_ "verify.functional.transform" (fun () ->
@@ -132,15 +174,34 @@ let functional ?(strategy = Strategy.default) ?perm ?(auto_align = true)
       Strategy.check ?seed ~use_kernels p strategy g g')
   in
   let t2 = now () in
-  { equivalent = outcome.Strategy.equivalent_up_to_phase
-  ; exactly_equal = outcome.Strategy.equivalent
-  ; strategy
-  ; t_transform = t1 -. t0
-  ; t_check = t2 -. t1
-  ; transformed_qubits = g'.Circ.num_qubits
-  ; peak_nodes = outcome.Strategy.peak_nodes
-  ; metrics = Obs.Metrics.diff ~before:m0 ~after:(Obs.Metrics.snapshot ())
-  }
+  let r =
+    { equivalent = outcome.Strategy.equivalent_up_to_phase
+    ; exactly_equal = outcome.Strategy.equivalent
+    ; strategy
+    ; t_transform = t1 -. t0
+    ; t_check = t2 -. t1
+    ; transformed_qubits = g'.Circ.num_qubits
+    ; peak_nodes = outcome.Strategy.peak_nodes
+    ; cached = false
+    ; metrics = Obs.Metrics.diff ~before:m0 ~after:(Obs.Metrics.snapshot ())
+    }
+  in
+  (match pending with
+   | None -> ()
+   | Some (store, key, digest_a, digest_b) ->
+     Cache_store.Store.insert store
+       { Cache_store.Store.key
+       ; digest_a
+       ; digest_b
+       ; strategy = Strategy.name strategy
+       ; equivalent = r.equivalent
+       ; exactly_equal = r.exactly_equal
+       ; transformed_qubits = r.transformed_qubits
+       ; peak_nodes = r.peak_nodes
+       ; t_transform = r.t_transform
+       ; t_check = r.t_check
+       });
+  r
 
 type distribution_result =
   { distributions_equal : bool

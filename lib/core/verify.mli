@@ -20,6 +20,10 @@ type functional_result =
   ; t_check : float  (** seconds spent in the equivalence check ([t_ver]) *)
   ; transformed_qubits : int  (** qubits after reset elimination *)
   ; peak_nodes : int
+  ; cached : bool
+        (** the verdict was served from the store; [t_transform] and
+            [t_check] are 0 and [transformed_qubits]/[peak_nodes] replay
+            the values recorded when it was first computed *)
   ; metrics : Obs.Metrics.snapshot
         (** DD-package counters attributable to this check (counter deltas;
             peak gauges report their process-wide peak).  All zeros unless
@@ -46,7 +50,14 @@ type functional_result =
     strategies (see {!Strategy.check}); batch runs derive one per job.
     [use_kernels] (default [true]) routes gate applications through the
     direct kernels; [false] falls back to the generic
-    build-gate-DD-then-multiply path (see {!Strategy.check}). *)
+    build-gate-DD-then-multiply path (see {!Strategy.check}).
+    [cache], when given, short-circuits the whole check from the verdict
+    store: the pair key covers both {!Circuit.Circ.digest}s plus strategy,
+    transform mode, [perm], [seed] and tolerance (see [docs/CACHING.md]);
+    a hit returns before any transformation or DD package construction
+    with [cached = true], a miss inserts the fresh verdict after the
+    check.  Pre-flight rejection still runs first, so [`Reject] raises
+    identically cold and warm. *)
 val functional :
      ?strategy:Strategy.t
   -> ?perm:int array
@@ -55,6 +66,7 @@ val functional :
   -> ?dd_config:Dd.Pkg.config
   -> ?seed:int
   -> ?use_kernels:bool
+  -> ?cache:Cache_store.Store.t
   -> Circuit.Circ.t
   -> Circuit.Circ.t
   -> functional_result

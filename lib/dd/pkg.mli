@@ -65,7 +65,9 @@ val default_config : config
 (** [create ?tol ?config ()] makes a fresh, empty package.  [tol] is the
     numerical tolerance used for interning complex weights (default
     [1e-10]); [config] bounds the operation caches and enables automatic
-    compaction (default {!default_config}). *)
+    compaction (default {!default_config}).  Every creation counts under
+    [dd.pkg.created] — the verdict cache's warm-path acceptance check
+    asserts this stays flat across cached runs. *)
 val create : ?tol:float -> ?config:config -> unit -> t
 
 val tol : t -> float
@@ -155,7 +157,15 @@ type gate_sig = private
 
 (** [gate_sig p ~controls ~target u] interns the signature of applying the
     2x2 matrix [u] (row-major, 4 entries) to [target] under [controls].
-    Raises [Invalid_argument] on malformed wires. *)
+    Raises [Invalid_argument] on malformed wires.
+
+    Interning is two-tier: a per-package table keyed on interned weight
+    ids (fast path), backed by a process-wide read-mostly blueprint tier
+    ({!Cache_store.Shared}, metrics [dd.sig.shared.*]) keyed on raw float
+    bits, so concurrent packages verifying the same workload derive the
+    wire extents and control table once.  Blueprints are immutable after
+    publication, which keeps the {!Cross_domain_use} ownership guarantee:
+    no mutable package state ever crosses domains. *)
 val gate_sig :
   t -> controls:(int * bool) list -> target:int -> Cxnum.Cx.t array -> gate_sig
 

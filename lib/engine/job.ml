@@ -22,25 +22,26 @@ type spec =
   ; retries : int
   ; seed : int option
   ; kernels : bool
+  ; cache : bool
   }
 
 let files ?label ?strategy ?perm ?(transform = true) ?timeout ?(retries = 0) ?seed
-    ?(kernels = true) ~index file_a file_b =
+    ?(kernels = true) ?(cache = true) ~index file_a file_b =
   let label =
     match label with
     | Some l -> l
     | None -> Filename.basename file_a ^ " vs " ^ Filename.basename file_b
   in
   { index; label; source = Files { file_a; file_b }; strategy; perm; transform
-  ; timeout; retries; seed; kernels }
+  ; timeout; retries; seed; kernels; cache }
 
 let circuits ?label ?strategy ?perm ?(transform = true) ?timeout ?(retries = 0) ?seed
-    ?(kernels = true) ~index a b =
+    ?(kernels = true) ?(cache = true) ~index a b =
   let label =
     match label with Some l -> l | None -> a.Circ.name ^ " vs " ^ b.Circ.name
   in
   { index; label; source = Circuits { a; b }; strategy; perm; transform; timeout
-  ; retries; seed; kernels }
+  ; retries; seed; kernels; cache }
 
 type verdict =
   { equivalent : bool
@@ -50,6 +51,7 @@ type verdict =
   ; t_check : float
   ; transformed_qubits : int
   ; peak_nodes : int
+  ; cached : bool
   }
 
 type failure_class =
@@ -100,6 +102,7 @@ let failure_class_of_string = function
   | _ -> None
 
 let exit_class = function
+  | Verdict { cached = true; _ } -> "cached"
   | Verdict { equivalent = true; _ } -> "equivalent"
   | Verdict { equivalent = false; _ } -> "not_equivalent"
   | Failed { reason; _ } -> failure_class_string reason
@@ -107,7 +110,10 @@ let exit_class = function
 let succeeded r = match r.outcome with Verdict { equivalent; _ } -> equivalent | _ -> false
 
 (* Scheduling-independent equality: timings vary run to run (and failure
-   messages may embed them); the verdict itself must not. *)
+   messages may embed them); the verdict itself must not.  [cached] is
+   ignored too — whether a verdict came from the store depends on what ran
+   before, not on what the answer is (a warm run must agree with its cold
+   run verdict for verdict). *)
 let same_outcome a b =
   match (a, b) with
   | Verdict va, Verdict vb ->
@@ -142,6 +148,7 @@ let to_json r =
       ; ("t_check", Json.Float v.t_check)
       ; ("transformed_qubits", Json.Int v.transformed_qubits)
       ; ("peak_nodes", Json.Int v.peak_nodes)
+      ; ("cached", Json.Bool v.cached)
       ; ("error", Json.Null)
       ]
     | Failed { message; _ } -> [ ("error", Json.String message) ]
@@ -199,7 +206,7 @@ let of_json j =
   let* exit = str "exit" in
   let* outcome =
     match exit with
-    | "equivalent" | "not_equivalent" ->
+    | "equivalent" | "not_equivalent" | "cached" ->
       let* equivalent = bool "equivalent" in
       let* exactly_equal = bool "exactly_equal" in
       let* strategy = str "strategy" in
@@ -207,10 +214,17 @@ let of_json j =
       let* t_check = num "t_check" in
       let* transformed_qubits = int "transformed_qubits" in
       let* peak_nodes = int "peak_nodes" in
+      (* absent in pre-cache result files *)
+      let* cached =
+        match field "cached" with
+        | Some (Json.Bool b) -> Ok b
+        | None -> Ok (exit = "cached")
+        | _ -> Error "result: malformed \"cached\""
+      in
       Ok
         (Verdict
            { equivalent; exactly_equal; strategy; t_transform; t_check
-           ; transformed_qubits; peak_nodes })
+           ; transformed_qubits; peak_nodes; cached })
     | other ->
       (match failure_class_of_string other with
        | None -> Error (Fmt.str "result: unknown exit class %S" other)

@@ -32,6 +32,9 @@ type spec =
         (** route gate applications through the direct DD kernels
             (default); [false] selects the generic
             build-gate-DD-then-multiply path for A/B runs *)
+  ; cache : bool
+        (** consult/populate the pool's verdict store (default; a no-op
+            when the pool has none configured); [false] opts this job out *)
   }
 
 val files :
@@ -43,6 +46,7 @@ val files :
   -> ?retries:int
   -> ?seed:int
   -> ?kernels:bool
+  -> ?cache:bool
   -> index:int
   -> string
   -> string
@@ -57,6 +61,7 @@ val circuits :
   -> ?retries:int
   -> ?seed:int
   -> ?kernels:bool
+  -> ?cache:bool
   -> index:int
   -> Circuit.Circ.t
   -> Circuit.Circ.t
@@ -72,6 +77,7 @@ type verdict =
   ; t_check : float
   ; transformed_qubits : int
   ; peak_nodes : int
+  ; cached : bool  (** served from the verdict store without a DD run *)
   }
 
 type failure_class =
@@ -108,7 +114,9 @@ val failure_class_string : failure_class -> string
 val failure_class_of_string : string -> failure_class option
 
 (** [exit_class o] is the stable string the [exit] field of a result line
-    carries: ["equivalent"], ["not_equivalent"], or a failure class. *)
+    carries: ["equivalent"], ["not_equivalent"], ["cached"] (a verdict
+    served from the store — its [equivalent] flag still says which), or a
+    failure class. *)
 val exit_class : outcome -> string
 
 (** [succeeded r] — the job ran to completion {e and} found the pair
@@ -116,9 +124,10 @@ val exit_class : outcome -> string
 val succeeded : result -> bool
 
 (** [same_outcome a b] compares outcomes modulo scheduling: verdict flags
-    and strategy must match (timings may differ), failures must agree on
-    the class (messages may differ).  This is the invariant batch runs
-    maintain across worker counts. *)
+    and strategy must match (timings, and whether the verdict came from
+    the cache, may differ), failures must agree on the class (messages may
+    differ).  This is the invariant batch runs maintain across worker
+    counts — and that warm runs maintain against their cold run. *)
 val same_outcome : outcome -> outcome -> bool
 
 val pp_result : Format.formatter -> result -> unit

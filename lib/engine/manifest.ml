@@ -6,13 +6,16 @@ type defaults =
   ; retries : int
   ; transform : bool
   ; kernels : bool
+  ; cache : bool
   }
 
 let no_defaults =
-  { strategy = None; timeout = None; retries = 0; transform = true; kernels = true }
+  { strategy = None; timeout = None; retries = 0; transform = true; kernels = true
+  ; cache = true }
 
 type t =
   { seed : int option
+  ; cache_dir : string option
   ; jobs : Job.spec list
   }
 
@@ -90,12 +93,14 @@ let defaults_of_json j =
     let* retries = int_field "retries" d in
     let* transform = bool_field "transform" d in
     let* kernels = bool_field "kernels" d in
+    let* cache = bool_field "cache" d in
     Ok
       { strategy
       ; timeout
       ; retries = Option.value retries ~default:0
       ; transform = Option.value transform ~default:true
       ; kernels = Option.value kernels ~default:true
+      ; cache = Option.value cache ~default:true
       }
 
 (* Paths in a manifest are relative to the manifest file, so a manifest can
@@ -103,41 +108,50 @@ let defaults_of_json j =
 let resolve ~dir path =
   if Filename.is_relative path then Filename.concat dir path else path
 
+(* A job with ["skip": true] compiles to [None]: it is dropped from the
+   batch while the remaining jobs keep their manifest indices (and hence
+   their derived seeds). *)
 let job_of_json ~dir ~defaults ~manifest_seed ~index j =
-  let* a =
-    match Json.member "a" j with
-    | Some (Json.String s) -> Ok s
-    | _ -> Error (Fmt.str "manifest: job %d: missing string field \"a\"" index)
-  in
-  let* b =
-    match Json.member "b" j with
-    | Some (Json.String s) -> Ok s
-    | _ -> Error (Fmt.str "manifest: job %d: missing string field \"b\"" index)
-  in
-  let* label = str_field "label" j in
-  let* strategy = strategy_field "strategy" j in
-  let* perm = perm_field j in
-  let* timeout = num_field "timeout" j in
-  let* retries = int_field "retries" j in
-  let* transform = bool_field "transform" j in
-  let* kernels = bool_field "kernels" j in
-  let label =
-    match label with
-    | Some l -> l
-    | None -> Filename.basename a ^ " vs " ^ Filename.basename b
-  in
-  Ok
-    { Job.index
-    ; label
-    ; source = Job.Files { file_a = resolve ~dir a; file_b = resolve ~dir b }
-    ; strategy = (match strategy with Some _ as s -> s | None -> defaults.strategy)
-    ; perm
-    ; transform = Option.value transform ~default:defaults.transform
-    ; timeout = (match timeout with Some _ as t -> t | None -> defaults.timeout)
-    ; retries = Option.value retries ~default:defaults.retries
-    ; seed = job_seed ~manifest_seed ~index
-    ; kernels = Option.value kernels ~default:defaults.kernels
-    }
+  let* skip = bool_field "skip" j in
+  if Option.value skip ~default:false then Ok None
+  else
+    let* a =
+      match Json.member "a" j with
+      | Some (Json.String s) -> Ok s
+      | _ -> Error (Fmt.str "manifest: job %d: missing string field \"a\"" index)
+    in
+    let* b =
+      match Json.member "b" j with
+      | Some (Json.String s) -> Ok s
+      | _ -> Error (Fmt.str "manifest: job %d: missing string field \"b\"" index)
+    in
+    let* label = str_field "label" j in
+    let* strategy = strategy_field "strategy" j in
+    let* perm = perm_field j in
+    let* timeout = num_field "timeout" j in
+    let* retries = int_field "retries" j in
+    let* transform = bool_field "transform" j in
+    let* kernels = bool_field "kernels" j in
+    let* cache = bool_field "cache" j in
+    let label =
+      match label with
+      | Some l -> l
+      | None -> Filename.basename a ^ " vs " ^ Filename.basename b
+    in
+    Ok
+      (Some
+         { Job.index
+         ; label
+         ; source = Job.Files { file_a = resolve ~dir a; file_b = resolve ~dir b }
+         ; strategy = (match strategy with Some _ as s -> s | None -> defaults.strategy)
+         ; perm
+         ; transform = Option.value transform ~default:defaults.transform
+         ; timeout = (match timeout with Some _ as t -> t | None -> defaults.timeout)
+         ; retries = Option.value retries ~default:defaults.retries
+         ; seed = job_seed ~manifest_seed ~index
+         ; kernels = Option.value kernels ~default:defaults.kernels
+         ; cache = Option.value cache ~default:defaults.cache
+         })
 
 let of_json ?(dir = Filename.current_dir_name) j =
   let* s =
@@ -150,6 +164,8 @@ let of_json ?(dir = Filename.current_dir_name) j =
     else Error (Fmt.str "manifest: unexpected schema %S (want %S)" s schema)
   in
   let* manifest_seed = int_field "seed" j in
+  let* cache_dir = str_field "cache_dir" j in
+  let cache_dir = Option.map (resolve ~dir) cache_dir in
   let* defaults = defaults_of_json j in
   let* jobs_json =
     match Json.member "jobs" j with
@@ -161,7 +177,7 @@ let of_json ?(dir = Filename.current_dir_name) j =
       (fun (index, j) -> job_of_json ~dir ~defaults ~manifest_seed ~index j)
       (List.mapi (fun i j -> (i, j)) jobs_json)
   in
-  Ok { seed = manifest_seed; jobs }
+  Ok { seed = manifest_seed; cache_dir; jobs = List.filter_map Fun.id jobs }
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
@@ -185,8 +201,8 @@ let of_pairs ?seed ?(defaults = no_defaults) pairs =
       (fun index (a, b) ->
         Job.files ?strategy:defaults.strategy ?timeout:defaults.timeout
           ~retries:defaults.retries ~transform:defaults.transform
-          ~kernels:defaults.kernels ?seed:(job_seed ~manifest_seed:seed ~index)
-          ~index a b)
+          ~kernels:defaults.kernels ~cache:defaults.cache
+          ?seed:(job_seed ~manifest_seed:seed ~index) ~index a b)
       pairs
   in
-  { seed; jobs }
+  { seed; cache_dir = None; jobs }

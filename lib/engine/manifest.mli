@@ -18,7 +18,13 @@
     directory.  The manifest-level ["seed"] derives one deterministic
     stimuli seed per job ([seed + job index]), so simulative strategies are
     reproducible — and identical — regardless of worker count or
-    scheduling order. *)
+    scheduling order.
+
+    A job may carry ["skip": true]: it is dropped at compile time while
+    the remaining jobs keep their manifest indices (and derived seeds), so
+    skipping never reshuffles a batch.  ["cache_dir"] (manifest-relative)
+    names a verdict store the runner should open; the CLI's [--cache-dir]
+    overrides it and [--no-result-cache] disables both. *)
 
 type defaults =
   { strategy : Qcec.Strategy.t option
@@ -28,12 +34,18 @@ type defaults =
   ; kernels : bool
         (** default [true]; ["kernels": false] (per job or in defaults)
             selects the generic gate-DD path for A/B comparison *)
+  ; cache : bool
+        (** default [true]; ["cache": false] (per job or in defaults)
+            opts jobs out of the verdict store even when one is open *)
   }
 
 val no_defaults : defaults
 
 type t =
   { seed : int option
+  ; cache_dir : string option
+        (** verdict store requested by the manifest, already resolved
+            against the manifest directory *)
   ; jobs : Job.spec list
   }
 

@@ -21,6 +21,7 @@ type config =
   ; lint : bool
   ; gc_retry_scale : int
   ; on_result : (Job.result -> unit) option
+  ; cache : Cache_store.Store.t option
   }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
   ; lint = true
   ; gc_retry_scale = 4
   ; on_result = None
+  ; cache = None
   }
 
 type batch =
@@ -99,9 +101,12 @@ let attempt cfg ~dd_config (spec : Job.spec) =
   install_guard ~deadline ~node_limit:cfg.node_limit;
   Fun.protect ~finally:clear_guard (fun () ->
     let on_dynamic = if spec.transform then `Transform else `Reject in
+    (* the store is shared across workers by design: lookups are
+       lock-free and inserts serialize inside [Cache_store.Store] *)
+    let cache = if spec.cache then cfg.cache else None in
     let r =
       Qcec.Verify.functional ?strategy:spec.strategy ?perm:spec.perm ~on_dynamic
-        ?dd_config ?seed:spec.seed ~use_kernels:spec.kernels a b
+        ?dd_config ?seed:spec.seed ~use_kernels:spec.kernels ?cache a b
     in
     { Job.equivalent = r.Qcec.Verify.equivalent
     ; exactly_equal = r.Qcec.Verify.exactly_equal
@@ -110,6 +115,7 @@ let attempt cfg ~dd_config (spec : Job.spec) =
     ; t_check = r.Qcec.Verify.t_check
     ; transformed_qubits = r.Qcec.Verify.transformed_qubits
     ; peak_nodes = r.Qcec.Verify.peak_nodes
+    ; cached = r.Qcec.Verify.cached
     })
 
 let classify = function

@@ -38,10 +38,14 @@ type config =
   ; on_result : (Job.result -> unit) option
         (** streaming callback, invoked under the pool lock as each job
             finishes (from a worker domain, in completion order) *)
+  ; cache : Cache_store.Store.t option
+        (** verdict store shared by every worker (lookups are lock-free,
+            inserts serialize inside the store); jobs with
+            [spec.cache = false] bypass it *)
   }
 
 (** [workers = Domain.recommended_domain_count ()], no DD bounds, no node
-    limit, lint on, [gc_retry_scale = 4], no callback. *)
+    limit, lint on, [gc_retry_scale = 4], no callback, no verdict store. *)
 val default_config : config
 
 type batch =

@@ -263,7 +263,7 @@ let gen_result =
   let label = map (fun i -> Printf.sprintf "job %d \"quoted\"" i) small_nat in
   let verdict =
     map
-      (fun (((equivalent, exactly_equal), strategy), ((t1, t2), (q, p))) ->
+      (fun ((((equivalent, exactly_equal), cached), strategy), ((t1, t2), (q, p))) ->
         Job.Verdict
           { Job.equivalent
           ; exactly_equal
@@ -272,9 +272,12 @@ let gen_result =
           ; t_check = t2
           ; transformed_qubits = q
           ; peak_nodes = p
+          ; cached
           })
       (pair
-         (pair (pair bool bool) (oneofl [ "proportional"; "lookahead"; "simulation(16)" ]))
+         (pair
+            (pair (pair bool bool) bool)
+            (oneofl [ "proportional"; "lookahead"; "simulation(16)" ]))
          (pair (pair small_float small_float) (pair small_nat small_nat)))
   in
   let failure =
