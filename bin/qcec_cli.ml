@@ -59,6 +59,26 @@ let no_kernels_arg =
            instead of the direct gate-application kernels (A/B escape \
            hatch; verdicts are bit-identical either way)")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt string Dd.Registry.default
+    & info [ "backend" ] ~docv:"NAME"
+        ~doc:
+          "DD backend: $(b,classic) (hash-consed node records, the \
+           default) or $(b,packed) (packed int-array nodes).  Both build \
+           isomorphic diagrams and produce identical verdicts; they \
+           differ only in memory layout and speed")
+
+(* exit code 2 = usage error, consistent with the other input failures *)
+let resolve_backend name =
+  match Dd.Registry.find name with
+  | Some b -> b
+  | None ->
+    Fmt.epr "qcec: unknown backend %S (available: %s)@." name
+      (String.concat ", " (Dd.Registry.names ()));
+    exit 2
+
 let dd_config_of cache_cap gc_threshold : Dd.Pkg.config option =
   match (cache_cap, gc_threshold) with
   | None, None -> None
@@ -152,13 +172,15 @@ let open_store ~cache_dir ~no_result_cache =
 
 let check_cmd =
   let run file_a file_b strategy perm quiet stats_json cache_cap gc_threshold
-      no_kernels =
+      no_kernels backend =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
+    let module B = (val resolve_backend backend : Dd.Backend.S) in
+    let module V = Qcec.Verify.Make (B) in
     let a = load file_a and b = load file_b in
     let r =
       try
-        Qcec.Verify.functional ~strategy ?perm ?dd_config
+        V.functional ~strategy ?perm ?dd_config
           ~use_kernels:(not no_kernels) a b
       with Qcec.Strategy.Non_unitary op -> report_non_unitary op
     in
@@ -172,6 +194,7 @@ let check_cmd =
         ; ("t_check", Obs.Json.Float r.Qcec.Verify.t_check)
         ; ("transformed_qubits", Obs.Json.Int r.Qcec.Verify.transformed_qubits)
         ; ("peak_nodes", Obs.Json.Int r.Qcec.Verify.peak_nodes)
+        ; ("backend", Obs.Json.String backend)
         ; ("metrics", Obs.Metrics.to_json r.Qcec.Verify.metrics)
         ];
     if r.Qcec.Verify.equivalent then begin
@@ -207,18 +230,20 @@ let check_cmd =
           transformed with the Section 4 scheme first)")
     Term.(
       const run $ file_a $ file_b $ strategy $ perm $ quiet $ stats_json_arg
-      $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg)
+      $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg $ backend_arg)
 
 (* -- distribution ------------------------------------------------------ *)
 
 let distribution_cmd =
   let run dyn_file static_file cutoff domains eps stats_json cache_cap gc_threshold
-      no_kernels =
+      no_kernels backend =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
+    let module B = (val resolve_backend backend : Dd.Backend.S) in
+    let module V = Qcec.Verify.Make (B) in
     let dyn = load dyn_file and static = load static_file in
     let r =
-      Qcec.Verify.distribution ~eps ~cutoff ~domains ?dd_config
+      V.distribution ~eps ~cutoff ~domains ?dd_config
         ~use_kernels:(not no_kernels) dyn static
     in
     Fmt.pr "%a@." Qcec.Verify.pp_distribution r;
@@ -262,22 +287,25 @@ let distribution_cmd =
           (extracted with the Section 5 scheme) against a static reference")
     Term.(
       const run $ dyn $ static $ cutoff $ domains $ eps $ stats_json_arg
-      $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg)
+      $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg $ backend_arg)
 
 (* -- extract ------------------------------------------------------------ *)
 
 let extract_cmd =
-  let run file cutoff tree top stats_json cache_cap gc_threshold no_kernels =
+  let run file cutoff tree top stats_json cache_cap gc_threshold no_kernels
+      backend =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
+    let module B = (val resolve_backend backend : Dd.Backend.S) in
+    let module E = Qsim.Extraction.Make (B) in
     let use_kernels = not no_kernels in
     let c = load file in
     if tree then begin
       Fmt.pr "%a@." Qsim.Extraction.pp_tree
-        (Qsim.Extraction.tree ~cutoff ~use_kernels ?dd_config c)
+        (E.tree ~cutoff ~use_kernels ?dd_config c)
     end
     else begin
-      let r = Qsim.Extraction.run ~cutoff ~use_kernels ?dd_config c in
+      let r = E.run ~cutoff ~use_kernels ?dd_config c in
       Fmt.pr "%a@." Qcec.Distribution.pp
         (Qcec.Distribution.most_probable ~count:top r.Qsim.Extraction.distribution);
       Fmt.pr "(%d leaves, %d branch points, %d pruned, mass %.6f)@."
@@ -310,7 +338,7 @@ let extract_cmd =
        ~doc:"Extract the measurement-outcome distribution of a dynamic circuit")
     Term.(
       const run $ file $ cutoff $ tree $ top $ stats_json_arg $ cache_cap_arg
-      $ gc_threshold_arg $ no_kernels_arg)
+      $ gc_threshold_arg $ no_kernels_arg $ backend_arg)
 
 (* -- transform ------------------------------------------------------------ *)
 
@@ -447,9 +475,11 @@ let lint_cmd =
    restores the automatic Section 4 routing of [check]. *)
 let verify_cmd =
   let run file_a file_b strategy perm transform quiet stats_json cache_cap
-      gc_threshold no_kernels cache_dir no_result_cache =
+      gc_threshold no_kernels cache_dir no_result_cache backend =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
+    let module B = (val resolve_backend backend : Dd.Backend.S) in
+    let module V = Qcec.Verify.Make (B) in
     let store = open_store ~cache_dir ~no_result_cache in
     let load_located path =
       try Circuit.Qasm3_parser.parse_any_file_located path with
@@ -492,7 +522,7 @@ let verify_cmd =
         profiles;
     let r =
       try
-        Qcec.Verify.functional ~strategy ?perm
+        V.functional ~strategy ?perm
           ~on_dynamic:(if transform then `Transform else `Reject)
           ?dd_config ~use_kernels:(not no_kernels) ?cache:store a b
       with
@@ -516,6 +546,7 @@ let verify_cmd =
         ; ("transformed_qubits", Obs.Json.Int r.Qcec.Verify.transformed_qubits)
         ; ("peak_nodes", Obs.Json.Int r.Qcec.Verify.peak_nodes)
         ; ("cached", Obs.Json.Bool r.Qcec.Verify.cached)
+        ; ("backend", Obs.Json.String backend)
         ; ( "profiles"
           , Obs.Json.List
               (List.map
@@ -569,7 +600,7 @@ let verify_cmd =
     Term.(
       const run $ file_a $ file_b $ strategy $ perm $ transform $ quiet
       $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg
-      $ cache_dir_arg $ no_result_cache_arg)
+      $ cache_dir_arg $ no_result_cache_arg $ backend_arg)
 
 (* -- batch ------------------------------------------------------------ *)
 
@@ -579,10 +610,13 @@ let verify_cmd =
    out.  Per-job failures are structured results, never batch aborts. *)
 let batch_cmd =
   let run inputs workers out summary strategy timeout retries seed node_limit
-      no_lint quiet cache_cap gc_threshold no_kernels cache_dir no_result_cache =
+      no_lint quiet cache_cap gc_threshold no_kernels cache_dir no_result_cache
+      backend =
     (* per-job metric deltas are part of the result schema, so collection
        is on for batch runs (flipped before any worker spawns) *)
     Obs.Metrics.set_enabled true;
+    (* validate up front so a typo fails before any parsing or spawning *)
+    Option.iter (fun b -> ignore (resolve_backend b)) backend;
     let usage msg =
       Fmt.epr "qcec batch: %s@." msg;
       exit 2
@@ -614,6 +648,8 @@ let batch_cmd =
                | Some s0 -> Some (s0 + s.Engine.Job.index)
                | None -> s.Engine.Job.seed)
           ; kernels = s.Engine.Job.kernels && not no_kernels
+          ; backend =
+              (match backend with Some b -> b | None -> s.Engine.Job.backend)
           })
         manifest.Engine.Manifest.jobs
     in
@@ -767,6 +803,15 @@ let batch_cmd =
       value & flag
       & info [ "no-lint" ] ~doc:"skip the per-job lint pre-flight")
   in
+  let backend =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "backend" ] ~docv:"NAME"
+          ~doc:
+            "Run every job on this DD backend (classic or packed), \
+             overriding manifest defaults and per-job settings")
+  in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress progress on stderr")
   in
@@ -781,7 +826,8 @@ let batch_cmd =
     Term.(
       const run $ inputs $ workers $ out $ summary $ strategy $ timeout
       $ retries $ seed $ node_limit $ no_lint $ quiet $ cache_cap_arg
-      $ gc_threshold_arg $ no_kernels_arg $ cache_dir_arg $ no_result_cache_arg)
+      $ gc_threshold_arg $ no_kernels_arg $ cache_dir_arg $ no_result_cache_arg
+      $ backend)
 
 (* -- stats ------------------------------------------------------------ *)
 

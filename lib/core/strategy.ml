@@ -81,224 +81,229 @@ let unitary_ops (c : Circ.t) =
       | (Op.Reset _ | Op.Cond _) as op -> raise (Non_unitary op))
     c.Circ.ops
 
-let check_construction ~use_kernels p (g : Circ.t) (g' : Circ.t) =
-  (* keep [u] rooted while [u'] is built: construction may cross auto-GC
-     safepoints inside [build_unitary] *)
-  Dd.Pkg.with_root_m p
-    (Qsim.Dd_sim.build_unitary p ~use_kernels (Circ.strip_measurements g))
-    (fun ru ->
-      let u' =
-        Qsim.Dd_sim.build_unitary p ~use_kernels (Circ.strip_measurements g')
-      in
-      let u = Dd.Pkg.mroot_edge ru in
-      { equivalent = Dd.Mat.equal p u u'
-      ; equivalent_up_to_phase = Dd.Mat.equal_up_to_phase p u u'
-      ; peak_nodes = Dd.Mat.node_count u + Dd.Mat.node_count u'
-      })
+module Make (B : Dd.Backend.S) = struct
+  module Pkg = B.Pkg
+  module Vec = B.Vec
+  module Mat = B.Mat
+  module Sim = Qsim.Dd_sim.Make (B)
 
-(* The alternating scheme: maintain M, initially I, and aim for
-   M = G'^dagger * G = I.  Gates of G multiply from the left
-   (M <- U_i * M); inverted gates of G' from the right (M <- M * U'_j^dagger,
-   taken in reverse program order... no: taking them in forward order and
-   multiplying on the right composes exactly G'^dagger on the left of G's
-   prefix: after processing everything, M = U'_m^d ... applied so that
-   M = (U'_0^d applied last on the right) — i.e. forward order is correct:
-   M = U_{k} ... U_0 * (U'_0)^d ... (U'_j)^d builds G * G'^dagger read
-   right-to-left; at the end M = G * G'^dagger which is I iff G = G'. *)
-(* Identity test robust to accumulated floating drift: the running product
-   of unitaries M satisfies |Tr M| <= 2^n with equality exactly when
-   M = e^{i phi} I, so the canonical-pointer fast path can fall back to the
-   (cheap) trace. *)
-let identity_outcome p m ~n =
-  let dim = float_of_int (1 lsl n) in
-  let tr = Dd.Mat.trace p m ~n in
-  let exact =
-    Dd.Mat.is_identity p m ~n ~up_to_phase:false
-    || Cxnum.Cx.abs (Cxnum.Cx.sub tr (Cxnum.Cx.of_float dim)) <= 1e-7 *. dim
-  in
-  let up_to_phase =
-    exact
-    || Dd.Mat.is_identity p m ~n ~up_to_phase:true
-    || Float.abs (Cxnum.Cx.abs tr -. dim) <= 1e-7 *. dim
-  in
-  { equivalent = exact
-  ; equivalent_up_to_phase = up_to_phase
-  ; peak_nodes = Dd.Mat.node_count m
-  }
+  let check_construction ~use_kernels p (g : Circ.t) (g' : Circ.t) =
+    (* keep [u] rooted while [u'] is built: construction may cross auto-GC
+       safepoints inside [build_unitary] *)
+    Pkg.with_root_m p
+      (Sim.build_unitary p ~use_kernels (Circ.strip_measurements g))
+      (fun ru ->
+        let u' = Sim.build_unitary p ~use_kernels (Circ.strip_measurements g') in
+        let u = Pkg.mroot_edge ru in
+        { equivalent = Mat.equal p u u'
+        ; equivalent_up_to_phase = Mat.equal_up_to_phase p u u'
+        ; peak_nodes = Mat.node_count p u + Mat.node_count p u'
+        })
 
-let check_alternating ~take_left ~use_kernels p (g : Circ.t) (g' : Circ.t) =
-  let n = g.Circ.num_qubits in
-  let left = unitary_ops g and right = unitary_ops g' in
-  let nl = List.length left and nr = List.length right in
-  Dd.Pkg.with_root_m p (Dd.Pkg.ident p n) (fun rm ->
-      let apply_left op =
-        Dd.Pkg.set_mroot rm
-          (Qsim.Dd_sim.mul_op_left p ~use_kernels ~n op (Dd.Pkg.mroot_edge rm));
-        Dd.Pkg.checkpoint p
-      in
-      let apply_right op =
-        Dd.Pkg.set_mroot rm
-          (Qsim.Dd_sim.mul_op_right p ~use_kernels ~n op (Dd.Pkg.mroot_edge rm));
-        Dd.Pkg.checkpoint p
-      in
-      (* advance the side that is proportionally behind *)
-      let rec go i j left right =
-        match (left, right) with
-        | [], [] -> ()
-        | op :: rest, [] ->
-          apply_left op;
-          go (i + 1) j rest []
-        | [], op :: rest ->
-          apply_right op;
-          go i (j + 1) [] rest
-        | opl :: restl, opr :: restr ->
-          if take_left ~i ~j ~nl ~nr then begin
-            apply_left opl;
-            go (i + 1) j restl right
-          end
-          else begin
-            apply_right opr;
-            go i (j + 1) left restr
-          end
-      in
-      go 0 0 left right;
-      identity_outcome p (Dd.Pkg.mroot_edge rm) ~n)
-
-(* Greedy node-count minimization: evaluate both candidate applications and
-   keep the smaller product.  Costs two multiplications per step but copes
-   with gate sequences that a fixed schedule cannot keep cancelling. *)
-let check_lookahead ~use_kernels p (g : Circ.t) (g' : Circ.t) =
-  let n = g.Circ.num_qubits in
-  let left_of op m = Qsim.Dd_sim.mul_op_left p ~use_kernels ~n op m in
-  let right_of op m = Qsim.Dd_sim.mul_op_right p ~use_kernels ~n op m in
-  Dd.Pkg.with_root_m p (Dd.Pkg.ident p n) (fun rm ->
-      let advance next =
-        Dd.Pkg.set_mroot rm next;
-        Dd.Pkg.checkpoint p
-      in
-      let rec go left right =
-        let m = Dd.Pkg.mroot_edge rm in
-        match (left, right) with
-        | [], [] -> ()
-        | op :: rest, [] ->
-          advance (left_of op m);
-          go rest []
-        | [], op :: rest ->
-          advance (right_of op m);
-          go [] rest
-        | opl :: restl, opr :: restr ->
-          (* both candidates are computed before either is rooted; no
-             safepoint separates them, so both stay canonical *)
-          let ml = left_of opl m and mr = right_of opr m in
-          if Dd.Mat.node_count ml <= Dd.Mat.node_count mr then begin
-            advance ml;
-            go restl right
-          end
-          else begin
-            advance mr;
-            go left restr
-          end
-      in
-      go (unitary_ops g) (unitary_ops g');
-      identity_outcome p (Dd.Pkg.mroot_edge rm) ~n)
-
-let random_stimulus p ~use_kernels ~kind ~n st =
-  match (kind : stimuli) with
-  | Basis ->
-    let bits = Array.init n (fun _ -> Random.State.bool st) in
-    Dd.Pkg.basis_state p n (fun q -> bits.(q))
-  | Product ->
-    let amp () =
-      let theta = Random.State.float st Float.pi in
-      let phi = Random.State.float st (2.0 *. Float.pi) in
-      ( Cxnum.Cx.of_float (Float.cos (theta /. 2.0))
-      , Cxnum.Cx.polar (Float.sin (theta /. 2.0)) phi )
+  (* The alternating scheme: maintain M, initially I, and aim for
+     M = G'^dagger * G = I.  Gates of G multiply from the left
+     (M <- U_i * M); inverted gates of G' from the right
+     (M <- M * U'_j^dagger), in forward order: at the end
+     M = G * G'^dagger, which is I iff G = G'. *)
+  (* Identity test robust to accumulated floating drift: the running product
+     of unitaries M satisfies |Tr M| <= 2^n with equality exactly when
+     M = e^{i phi} I, so the canonical-pointer fast path can fall back to
+     the (cheap) trace. *)
+  let identity_outcome p m ~n =
+    let dim = float_of_int (1 lsl n) in
+    let tr = Mat.trace p m ~n in
+    let exact =
+      Mat.is_identity p m ~n ~up_to_phase:false
+      || Cxnum.Cx.abs (Cxnum.Cx.sub tr (Cxnum.Cx.of_float dim)) <= 1e-7 *. dim
     in
-    Dd.Pkg.product_state p (Array.init n (fun _ -> amp ()))
-  | Entangled ->
-    (* a short random Clifford circuit on a random basis state *)
-    let bits = Array.init n (fun _ -> Random.State.bool st) in
-    Dd.Pkg.with_root_v p (Dd.Pkg.basis_state p n (fun q -> bits.(q))) (fun r ->
-        let gates = [| Circuit.Gates.H; Circuit.Gates.S; Circuit.Gates.X |] in
-        for _ = 1 to 2 * n do
-          let op =
-            if n >= 2 && Random.State.bool st then begin
-              let a = Random.State.int st n in
-              let rec other () =
-                let b = Random.State.int st n in
-                if b = a then other () else b
-              in
-              Circuit.Op.controlled Circuit.Gates.X ~control:a ~target:(other ())
+    let up_to_phase =
+      exact
+      || Mat.is_identity p m ~n ~up_to_phase:true
+      || Float.abs (Cxnum.Cx.abs tr -. dim) <= 1e-7 *. dim
+    in
+    { equivalent = exact
+    ; equivalent_up_to_phase = up_to_phase
+    ; peak_nodes = Mat.node_count p m
+    }
+
+  let check_alternating ~take_left ~use_kernels p (g : Circ.t) (g' : Circ.t) =
+    let n = g.Circ.num_qubits in
+    let left = unitary_ops g and right = unitary_ops g' in
+    let nl = List.length left and nr = List.length right in
+    Pkg.with_root_m p (Pkg.ident p n) (fun rm ->
+        let apply_left op =
+          Pkg.set_mroot rm
+            (Sim.mul_op_left p ~use_kernels ~n op (Pkg.mroot_edge rm));
+          Pkg.checkpoint p
+        in
+        let apply_right op =
+          Pkg.set_mroot rm
+            (Sim.mul_op_right p ~use_kernels ~n op (Pkg.mroot_edge rm));
+          Pkg.checkpoint p
+        in
+        (* advance the side that is proportionally behind *)
+        let rec go i j left right =
+          match (left, right) with
+          | [], [] -> ()
+          | op :: rest, [] ->
+            apply_left op;
+            go (i + 1) j rest []
+          | [], op :: rest ->
+            apply_right op;
+            go i (j + 1) [] rest
+          | opl :: restl, opr :: restr ->
+            if take_left ~i ~j ~nl ~nr then begin
+              apply_left opl;
+              go (i + 1) j restl right
             end
-            else
-              Circuit.Op.apply
-                gates.(Random.State.int st (Array.length gates))
-                (Random.State.int st n)
-          in
-          Dd.Pkg.set_vroot r
-            (Qsim.Dd_sim.apply_op p ~use_kernels ~n (Dd.Pkg.vroot_edge r) op);
-          Dd.Pkg.checkpoint p
-        done;
-        Dd.Pkg.vroot_edge r)
+            else begin
+              apply_right opr;
+              go i (j + 1) left restr
+            end
+        in
+        go 0 0 left right;
+        identity_outcome p (Pkg.mroot_edge rm) ~n)
 
-let check_simulation p ?seed ~use_kernels ~kind shots (g : Circ.t) (g' : Circ.t) =
-  let n = g.Circ.num_qubits in
-  let ops = unitary_ops g and ops' = unitary_ops g' in
-  (* deterministic by construction: the default state depends only on the
-     instance shape, and an explicit [seed] (batch runs derive one per job
-     from the manifest seed) extends rather than replaces it, so seeded
-     runs are just as reproducible *)
-  let st =
-    match seed with
-    | None -> Random.State.make [| 0x51ab; n; shots |]
-    | Some seed -> Random.State.make [| 0x51ab; n; shots; seed |]
-  in
-  let run ops state =
-    Dd.Pkg.with_root_v p state (fun r ->
-        List.iter
-          (fun op ->
-            Dd.Pkg.set_vroot r
-              (Qsim.Dd_sim.apply_op p ~use_kernels ~n (Dd.Pkg.vroot_edge r) op);
-            Dd.Pkg.checkpoint p)
-          ops;
-        Dd.Pkg.vroot_edge r)
-  in
-  (* the input must stay rooted while both circuits run on it, and the first
-     output while the second one is produced; roots are released per shot *)
-  let one_shot () =
-    Dd.Pkg.with_root_v p (random_stimulus p ~use_kernels ~kind ~n st) (fun rin ->
-        Dd.Pkg.with_root_v p (run ops (Dd.Pkg.vroot_edge rin)) (fun rout ->
-            let out' = run ops' (Dd.Pkg.vroot_edge rin) in
-            let out = Dd.Pkg.vroot_edge rout in
-            let fid = Dd.Vec.fidelity p out out' in
-            ( Float.abs (fid -. 1.0) <= 1e-9
-            , Dd.Vec.node_count out + Dd.Vec.node_count out' )))
-  in
-  let rec shoot k ok peak =
-    if k = 0 || not ok then (ok, peak)
-    else begin
-      let ok', nodes = one_shot () in
-      shoot (k - 1) (ok && ok') (max peak nodes)
-    end
-  in
-  let ok, peak = shoot shots true 0 in
-  { equivalent = ok; equivalent_up_to_phase = ok; peak_nodes = peak }
+  (* Greedy node-count minimization: evaluate both candidate applications
+     and keep the smaller product.  Costs two multiplications per step but
+     copes with gate sequences that a fixed schedule cannot keep
+     cancelling. *)
+  let check_lookahead ~use_kernels p (g : Circ.t) (g' : Circ.t) =
+    let n = g.Circ.num_qubits in
+    let left_of op m = Sim.mul_op_left p ~use_kernels ~n op m in
+    let right_of op m = Sim.mul_op_right p ~use_kernels ~n op m in
+    Pkg.with_root_m p (Pkg.ident p n) (fun rm ->
+        let advance next =
+          Pkg.set_mroot rm next;
+          Pkg.checkpoint p
+        in
+        let rec go left right =
+          let m = Pkg.mroot_edge rm in
+          match (left, right) with
+          | [], [] -> ()
+          | op :: rest, [] ->
+            advance (left_of op m);
+            go rest []
+          | [], op :: rest ->
+            advance (right_of op m);
+            go [] rest
+          | opl :: restl, opr :: restr ->
+            (* both candidates are computed before either is rooted; no
+               safepoint separates them, so both stay canonical *)
+            let ml = left_of opl m and mr = right_of opr m in
+            if Mat.node_count p ml <= Mat.node_count p mr then begin
+              advance ml;
+              go restl right
+            end
+            else begin
+              advance mr;
+              go left restr
+            end
+        in
+        go (unitary_ops g) (unitary_ops g');
+        identity_outcome p (Pkg.mroot_edge rm) ~n)
 
-let check ?seed ?(use_kernels = true) p strategy (g : Circ.t) (g' : Circ.t) =
-  if g.Circ.num_qubits <> g'.Circ.num_qubits then
-    invalid_arg "Strategy.check: circuits act on different numbers of qubits";
-  match strategy with
-  | Construction -> check_construction ~use_kernels p g g'
-  | Sequential ->
-    check_alternating
-      ~take_left:(fun ~i:_ ~j:_ ~nl:_ ~nr:_ -> true)
-      ~use_kernels p g g'
-  | Proportional ->
-    (* advance whichever side is proportionally behind *)
-    check_alternating
-      ~take_left:(fun ~i ~j ~nl ~nr -> i * nr <= j * nl)
-      ~use_kernels p g g'
-  | Lookahead -> check_lookahead ~use_kernels p g g'
-  | Simulation shots -> check_simulation p ?seed ~use_kernels ~kind:Basis shots g g'
-  | Random_stimuli { kind; shots } ->
-    check_simulation p ?seed ~use_kernels ~kind shots g g'
+  let random_stimulus p ~use_kernels ~kind ~n st =
+    match (kind : stimuli) with
+    | Basis ->
+      let bits = Array.init n (fun _ -> Random.State.bool st) in
+      Pkg.basis_state p n (fun q -> bits.(q))
+    | Product ->
+      let amp () =
+        let theta = Random.State.float st Float.pi in
+        let phi = Random.State.float st (2.0 *. Float.pi) in
+        ( Cxnum.Cx.of_float (Float.cos (theta /. 2.0))
+        , Cxnum.Cx.polar (Float.sin (theta /. 2.0)) phi )
+      in
+      Pkg.product_state p (Array.init n (fun _ -> amp ()))
+    | Entangled ->
+      (* a short random Clifford circuit on a random basis state *)
+      let bits = Array.init n (fun _ -> Random.State.bool st) in
+      Pkg.with_root_v p (Pkg.basis_state p n (fun q -> bits.(q))) (fun r ->
+          let gates = [| Circuit.Gates.H; Circuit.Gates.S; Circuit.Gates.X |] in
+          for _ = 1 to 2 * n do
+            let op =
+              if n >= 2 && Random.State.bool st then begin
+                let a = Random.State.int st n in
+                let rec other () =
+                  let b = Random.State.int st n in
+                  if b = a then other () else b
+                in
+                Circuit.Op.controlled Circuit.Gates.X ~control:a ~target:(other ())
+              end
+              else
+                Circuit.Op.apply
+                  gates.(Random.State.int st (Array.length gates))
+                  (Random.State.int st n)
+            in
+            Pkg.set_vroot r
+              (Sim.apply_op p ~use_kernels ~n (Pkg.vroot_edge r) op);
+            Pkg.checkpoint p
+          done;
+          Pkg.vroot_edge r)
+
+  let check_simulation p ?seed ~use_kernels ~kind shots (g : Circ.t) (g' : Circ.t) =
+    let n = g.Circ.num_qubits in
+    let ops = unitary_ops g and ops' = unitary_ops g' in
+    (* deterministic by construction: the default state depends only on the
+       instance shape, and an explicit [seed] (batch runs derive one per
+       job from the manifest seed) extends rather than replaces it, so
+       seeded runs are just as reproducible *)
+    let st =
+      match seed with
+      | None -> Random.State.make [| 0x51ab; n; shots |]
+      | Some seed -> Random.State.make [| 0x51ab; n; shots; seed |]
+    in
+    let run ops state =
+      Pkg.with_root_v p state (fun r ->
+          List.iter
+            (fun op ->
+              Pkg.set_vroot r
+                (Sim.apply_op p ~use_kernels ~n (Pkg.vroot_edge r) op);
+              Pkg.checkpoint p)
+            ops;
+          Pkg.vroot_edge r)
+    in
+    (* the input must stay rooted while both circuits run on it, and the
+       first output while the second one is produced; roots are released
+       per shot *)
+    let one_shot () =
+      Pkg.with_root_v p (random_stimulus p ~use_kernels ~kind ~n st) (fun rin ->
+          Pkg.with_root_v p (run ops (Pkg.vroot_edge rin)) (fun rout ->
+              let out' = run ops' (Pkg.vroot_edge rin) in
+              let out = Pkg.vroot_edge rout in
+              let fid = Vec.fidelity p out out' in
+              ( Float.abs (fid -. 1.0) <= 1e-9
+              , Vec.node_count p out + Vec.node_count p out' )))
+    in
+    let rec shoot k ok peak =
+      if k = 0 || not ok then (ok, peak)
+      else begin
+        let ok', nodes = one_shot () in
+        shoot (k - 1) (ok && ok') (max peak nodes)
+      end
+    in
+    let ok, peak = shoot shots true 0 in
+    { equivalent = ok; equivalent_up_to_phase = ok; peak_nodes = peak }
+
+  let check ?seed ?(use_kernels = true) p strategy (g : Circ.t) (g' : Circ.t) =
+    if g.Circ.num_qubits <> g'.Circ.num_qubits then
+      invalid_arg "Strategy.check: circuits act on different numbers of qubits";
+    match strategy with
+    | Construction -> check_construction ~use_kernels p g g'
+    | Sequential ->
+      check_alternating
+        ~take_left:(fun ~i:_ ~j:_ ~nl:_ ~nr:_ -> true)
+        ~use_kernels p g g'
+    | Proportional ->
+      (* advance whichever side is proportionally behind *)
+      check_alternating
+        ~take_left:(fun ~i ~j ~nl ~nr -> i * nr <= j * nl)
+        ~use_kernels p g g'
+    | Lookahead -> check_lookahead ~use_kernels p g g'
+    | Simulation shots -> check_simulation p ?seed ~use_kernels ~kind:Basis shots g g'
+    | Random_stimuli { kind; shots } ->
+      check_simulation p ?seed ~use_kernels ~kind shots g g'
+end
+
+include Make (Dd.Classic)

@@ -65,17 +65,29 @@ val pp : Format.formatter -> t -> unit
     transformation first. *)
 exception Non_unitary of Circuit.Op.t
 
-(** [check ?seed p strategy g g'] compares two unitary circuits over the
-    same number of qubits (measurements and barriers are ignored).
-    [seed] perturbs the (otherwise instance-shape-derived) random-stimuli
-    state of the simulative strategies, so batch runs can derive a
-    distinct, reproducible stream per job from one manifest-level seed;
-    it is ignored by the exact strategies.  [use_kernels] (default
-    [true]) routes every gate application through the direct kernels
-    ({!Dd.Mat.apply_gate} and friends); [false] is the escape hatch onto
-    the generic build-gate-DD-then-multiply path, for A/B comparison.
-    Raises [Invalid_argument] on register mismatch and {!Non_unitary} on
-    non-unitary operations. *)
+module Make (B : Dd.Backend.S) : sig
+  (** [check ?seed p strategy g g'] compares two unitary circuits over the
+      same number of qubits (measurements and barriers are ignored).
+      [seed] perturbs the (otherwise instance-shape-derived)
+      random-stimuli state of the simulative strategies, so batch runs can
+      derive a distinct, reproducible stream per job from one
+      manifest-level seed; it is ignored by the exact strategies.
+      [use_kernels] (default [true]) routes every gate application through
+      the direct kernels ([Mat.apply_gate] and friends); [false] is the
+      escape hatch onto the generic build-gate-DD-then-multiply path, for
+      A/B comparison.  Raises [Invalid_argument] on register mismatch and
+      {!Non_unitary} on non-unitary operations. *)
+  val check :
+       ?seed:int
+    -> ?use_kernels:bool
+    -> B.pkg
+    -> t
+    -> Circuit.Circ.t
+    -> Circuit.Circ.t
+    -> outcome
+end
+
+(** {!Make}[.check] over the classic backend — the historical API. *)
 val check :
      ?seed:int
   -> ?use_kernels:bool

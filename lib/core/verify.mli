@@ -30,6 +30,79 @@ type functional_result =
             collection is enabled via {!Obs.Metrics.set_enabled}. *)
   }
 
+(** {1 Scheme 2 (Section 5): fixed-input distribution equivalence} *)
+
+type distribution_result =
+  { distributions_equal : bool
+  ; total_variation : float
+  ; t_extract : float
+        (** seconds extracting the dynamic circuit's distribution
+            ([t_extract]) *)
+  ; t_simulate : float
+        (** seconds classically simulating the static circuit ([t_sim]) *)
+  ; dynamic_distribution : Distribution.t
+  ; static_distribution : Distribution.t
+  ; extraction_stats : Qsim.Extraction.stats
+  ; metrics : Obs.Metrics.snapshot
+        (** DD-package and extraction counters attributable to this
+            comparison; see {!functional_result.metrics}. *)
+  }
+
+(** {1 Approximate equivalence}
+
+    For lossy flows (approximate synthesis, noise-aware compilation) exact
+    equality is the wrong question; the process fidelity
+    [|Tr(U^dagger U')| / 2^n] quantifies how close the functionalities
+    are. *)
+
+type approximate_result =
+  { process_fidelity : float  (** 1 iff equal up to global phase *)
+  ; within : bool  (** [process_fidelity >= threshold] *)
+  ; t_transform : float
+  ; t_check : float
+  }
+
+(** {1 Backend-generic flows}
+
+    All result types above are defined outside the functor, so results
+    from different backends are interchangeable (the engine relies on
+    this to dispatch per job at runtime via {!Dd.Registry}). *)
+
+module Make (B : Dd.Backend.S) : sig
+  val functional :
+       ?strategy:Strategy.t
+    -> ?perm:int array
+    -> ?auto_align:bool
+    -> ?on_dynamic:[ `Transform | `Reject ]
+    -> ?dd_config:Dd.Backend.config
+    -> ?seed:int
+    -> ?use_kernels:bool
+    -> ?cache:Cache_store.Store.t
+    -> Circuit.Circ.t
+    -> Circuit.Circ.t
+    -> functional_result
+
+  val distribution :
+       ?eps:float
+    -> ?cutoff:float
+    -> ?domains:int
+    -> ?dd_config:Dd.Backend.config
+    -> ?use_kernels:bool
+    -> Circuit.Circ.t
+    -> Circuit.Circ.t
+    -> distribution_result
+
+  val approximate :
+       ?threshold:float
+    -> ?perm:int array
+    -> ?auto_align:bool
+    -> ?dd_config:Dd.Backend.config
+    -> ?use_kernels:bool
+    -> Circuit.Circ.t
+    -> Circuit.Circ.t
+    -> approximate_result
+end
+
 (** [functional ?strategy ?perm g g'] checks full functional equivalence.
     Dynamic inputs are first transformed with the Section 4 scheme; [perm]
     (applied to the transformed [g']) aligns its wires with [g]'s (see
@@ -76,20 +149,6 @@ val functional :
     structures do not correspond. *)
 val measurement_alignment : Circuit.Circ.t -> Circuit.Circ.t -> int array option
 
-(** {1 Approximate equivalence}
-
-    For lossy flows (approximate synthesis, noise-aware compilation) exact
-    equality is the wrong question; the process fidelity
-    [|Tr(U^dagger U')| / 2^n] quantifies how close the functionalities
-    are. *)
-
-type approximate_result =
-  { process_fidelity : float  (** 1 iff equal up to global phase *)
-  ; within : bool  (** [process_fidelity >= threshold] *)
-  ; t_transform : float
-  ; t_check : float
-  }
-
 (** [approximate ?threshold ?perm g g'] transforms dynamic inputs like
     {!functional} and computes the process fidelity via DD construction.
     [threshold] defaults to [1. -. 1e-9]; [use_kernels] as in
@@ -103,24 +162,6 @@ val approximate :
   -> Circuit.Circ.t
   -> Circuit.Circ.t
   -> approximate_result
-
-(** {1 Scheme 2 (Section 5): fixed-input distribution equivalence} *)
-
-type distribution_result =
-  { distributions_equal : bool
-  ; total_variation : float
-  ; t_extract : float
-        (** seconds extracting the dynamic circuit's distribution
-            ([t_extract]) *)
-  ; t_simulate : float
-        (** seconds classically simulating the static circuit ([t_sim]) *)
-  ; dynamic_distribution : Distribution.t
-  ; static_distribution : Distribution.t
-  ; extraction_stats : Qsim.Extraction.stats
-  ; metrics : Obs.Metrics.snapshot
-        (** DD-package and extraction counters attributable to this
-            comparison; see {!functional_result.metrics}. *)
-  }
 
 (** [distribution ?eps ?cutoff ?domains dynamic static] extracts the
     measurement-outcome distribution of [dynamic] (Section 5 scheme) and

@@ -1,0 +1,58 @@
+(* The reference backend: the historical hash-consed package ({!Pkg},
+   {!Vec}, {!Mat}) presented through the {!Backend.S} boundary.  Pure
+   re-export — the only additions are the signatures' pkg-taking
+   [node_count] wrappers and the structural views. *)
+
+module Ct = Cxnum.Cx_table
+
+let name = "classic"
+
+type pkg = Pkg.t
+type vedge = Types.vedge
+type medge = Types.medge
+type vroot = Pkg.vroot
+type mroot = Pkg.mroot
+type gate_sig = Pkg.gate_sig
+
+module Pkg = struct
+  include Pkg
+
+  let sig_id (s : gate_sig) = s.gs_id
+end
+
+module Vec = struct
+  include Vec
+
+  let node_count (_ : pkg) e = Vec.node_count e
+end
+
+module Mat = struct
+  include Mat
+
+  let node_count (_ : pkg) e = Mat.node_count e
+end
+
+let vedge_is_zero (_ : pkg) e = Types.vedge_is_zero e
+let medge_is_zero (_ : pkg) e = Types.medge_is_zero e
+let vedge_weight (_ : pkg) (e : vedge) = Ct.to_cx e.Types.vw
+let medge_weight (_ : pkg) (e : medge) = Ct.to_cx e.Types.mw
+
+let vedge_view (_ : pkg) (e : vedge) =
+  match e.Types.vt with
+  | None -> None
+  | Some n ->
+    Some
+      { Backend.nv_id = n.Types.vid
+      ; nv_var = n.Types.vvar
+      ; nv_edges = [| n.Types.v0; n.Types.v1 |]
+      }
+
+let medge_view (_ : pkg) (e : medge) =
+  match e.Types.mt with
+  | None -> None
+  | Some n ->
+    Some
+      { Backend.nv_id = n.Types.mid
+      ; nv_var = n.Types.mvar
+      ; nv_edges = [| n.Types.m00; n.Types.m01; n.Types.m10; n.Types.m11 |]
+      }

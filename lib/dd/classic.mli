@@ -1,0 +1,13 @@
+(** The reference {!Backend.S} implementation: the hash-consed {!Pkg} /
+    {!Vec} / {!Mat} trio.  All types are shared with the historical
+    modules, so edges built through [Dd.Classic] interoperate with code
+    written directly against [Dd.Pkg]. *)
+
+include
+  Backend.S
+    with type pkg = Pkg.t
+     and type vedge = Types.vedge
+     and type medge = Types.medge
+     and type vroot = Pkg.vroot
+     and type mroot = Pkg.mroot
+     and type gate_sig = Pkg.gate_sig

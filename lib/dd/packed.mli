@@ -1,0 +1,11 @@
+(** The packed-array {!Backend.S} implementation: nodes in int-indexed
+    growable arrays (no per-node boxing), complex weights in unboxed
+    float-pair arrays, edges packed into single ints.  Same semantics,
+    normalization and tolerances as {!Classic} — the two backends build
+    isomorphic DDs and produce bit-identical verdicts — with a flat,
+    cache-local layout on the kernel descent paths.
+
+    Edge and package types are abstract: packed DDs are only ever driven
+    through the signature (directly or via the {!Registry}). *)
+
+include Backend.S

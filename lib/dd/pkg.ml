@@ -19,9 +19,10 @@ let g_vnodes_peak = M.gauge "dd.unique.vec.peak"
 let g_mnodes_peak = M.gauge "dd.unique.mat.peak"
 let m_pkg_created = M.counter "dd.pkg.created"
 
-(* Per-cache capacities: negative means unbounded, 0 disables the cache
-   (every lookup misses), positive bounds the entry count. *)
-type caps =
+(* Per-cache capacities, GC config and the domain-ownership machinery are
+   shared across backends and live in {!Backend}; re-exported here so the
+   historical [Dd.Pkg.config] record syntax keeps working. *)
+type caps = Backend.caps =
   { vadd : int
   ; madd : int
   ; mv : int
@@ -31,31 +32,20 @@ type caps =
   ; kernel : int
   }
 
-let caps_unbounded =
-  { vadd = -1; madd = -1; mv = -1; mm = -1; ip = -1; adj = -1; kernel = -1 }
+let caps_unbounded = Backend.caps_unbounded
+let caps_uniform = Backend.caps_uniform
 
-let caps_uniform n =
-  { vadd = n; madd = n; mv = n; mm = n; ip = n; adj = n; kernel = n }
+exception Cross_domain_use = Backend.Cross_domain_use
 
-(* A package is single-domain state: its hash tables and caches have no
-   synchronization, so using one from a domain other than its creator
-   would corrupt the unique tables silently.  Entry points carry a cheap
-   owner check (one atomic load, one domain-id compare) that turns such
-   misuse into a loud [Cross_domain_use] instead. *)
-exception Cross_domain_use of string
-
-let domain_guards = Atomic.make true
-let set_domain_guards b = Atomic.set domain_guards b
+let set_domain_guards = Backend.set_domain_guards
 let self_id () = (Domain.self () :> int)
 
-type config =
+type config = Backend.config =
   { caps : caps
   ; gc_threshold : int option
-        (* automatic compaction once the unique tables have grown by this
-           many nodes since the last sweep; [None] disables auto-GC *)
   }
 
-let default_config = { caps = caps_unbounded; gc_threshold = None }
+let default_config = Backend.default_config
 
 (* Registered roots.  A root is a mutable cell the package knows about:
    [compact] treats the edges held in live roots (plus the cached identity
@@ -132,7 +122,7 @@ type t =
   }
 
 let guard p =
-  if Atomic.get domain_guards then begin
+  if Backend.guards_enabled () then begin
     let d = self_id () in
     if d <> p.owner then
       raise
@@ -403,32 +393,9 @@ let gate p ~n ~controls ~target u =
 
 (* -- gate signatures --------------------------------------------------- *)
 
-(* Process-wide blueprint tier: the derived, package-independent part of a
-   gate signature (wire extents and the control lookup array, plus the
-   matrix itself) keyed on raw float bits rather than interned weight ids,
-   so concurrent packages checking the same workload compute it once.
-   Blueprints are frozen after publish — [gs_u] and [gs_control_at] are
-   only ever read — which is exactly what {!Cache_store.Shared} requires
-   and keeps the domain-ownership guard intact: mutable package state
-   never crosses domains, only these immutable derivations do. *)
-type sig_blueprint =
-  { b_u : Cx.t array
-  ; b_hi : int
-  ; b_lo : int
-  ; b_cmin : int
-  ; b_control_at : bool option array
-  }
-
-let sig_share : (int * (int * bool) list * int64 list, sig_blueprint) Cache_store.Shared.t =
-  Cache_store.Shared.create ~metrics:"dd.sig.shared" ()
-
-let shared_sig_key ~controls ~target u =
-  let bits =
-    Array.to_list u
-    |> List.concat_map (fun (z : Cx.t) ->
-           [ Int64.bits_of_float z.re; Int64.bits_of_float z.im ])
-  in
-  (target, controls, bits)
+(* The process-wide blueprint tier (derived, package-independent signature
+   parts shared across concurrent packages of any backend) lives in
+   {!Backend.shared_blueprint}. *)
 
 let build_sig p ~key ~u ~swap ~controls ~target ~target2 =
   let involved = target :: (if swap then [ target2 ] else List.map fst controls) in
@@ -470,35 +437,17 @@ let gate_sig p ~controls ~target u =
   match Hashtbl.find_opt p.sigs key with
   | Some s -> s
   | None ->
-    let skey = shared_sig_key ~controls ~target u in
-    let bp =
-      match Cache_store.Shared.find sig_share skey with
-      | Some bp -> bp
-      | None ->
-        let involved = target :: List.map fst controls in
-        let hi = List.fold_left max target involved in
-        let lo = List.fold_left min target involved in
-        let cmin =
-          List.fold_left
-            (fun acc (q, _) -> if q < target then min acc q else acc)
-            max_int controls
-        in
-        let control_at = Array.make (hi + 1) None in
-        List.iter (fun (q, pos) -> control_at.(q) <- Some pos) controls;
-        let bp = { b_u = u; b_hi = hi; b_lo = lo; b_cmin = cmin; b_control_at = control_at } in
-        Cache_store.Shared.publish sig_share skey bp;
-        bp
-    in
+    let bp = Backend.shared_blueprint ~controls ~target u in
     let s =
       { gs_id = p.sig_next
-      ; gs_u = bp.b_u
+      ; gs_u = bp.Backend.b_u
       ; gs_swap = false
       ; gs_target = target
       ; gs_target2 = -1
-      ; gs_hi = bp.b_hi
-      ; gs_lo = bp.b_lo
-      ; gs_cmin = bp.b_cmin
-      ; gs_control_at = bp.b_control_at
+      ; gs_hi = bp.Backend.b_hi
+      ; gs_lo = bp.Backend.b_lo
+      ; gs_cmin = bp.Backend.b_cmin
+      ; gs_control_at = bp.Backend.b_control_at
       }
     in
     p.sig_next <- p.sig_next + 1;
@@ -666,7 +615,7 @@ let checkpoint p =
     compact p
   | _ -> ()
 
-type stats =
+type stats = Backend.stats =
   { vector_nodes : int
   ; matrix_nodes : int
   ; weights : int

@@ -20,7 +20,8 @@ type t
 
 (** Raised when a package is used from a domain other than the one that
     created it — misuse that would otherwise corrupt the unique tables
-    silently.  The payload names both domain ids. *)
+    silently.  The payload names both domain ids.  The exception is shared
+    by every backend (it is {!Backend.Cross_domain_use}). *)
 exception Cross_domain_use of string
 
 (** [set_domain_guards b] enables or disables the owner check (default
@@ -35,8 +36,10 @@ val set_domain_guards : bool -> unit
     mean unbounded, [0] disables a cache (every lookup misses), positive
     values bound the entry count with second-chance eviction ({!Cache}).
     [kernel] bounds each of the two gate-kernel caches (vector and matrix;
-    see {!Mat.apply_gate}), which report jointly under [dd.kernel.*]. *)
-type caps =
+    see {!Mat.apply_gate}), which report jointly under [dd.kernel.*].
+    The record is {!Backend.caps}: one configuration type serves every
+    backend. *)
+type caps = Backend.caps =
   { vadd : int
   ; madd : int
   ; mv : int
@@ -51,7 +54,7 @@ val caps_unbounded : caps
 (** [caps_uniform n] applies the same capacity to every cache. *)
 val caps_uniform : int -> caps
 
-type config =
+type config = Backend.config =
   { caps : caps
   ; gc_threshold : int option
         (** run {!compact} automatically (at consumer {!checkpoint}s) once
@@ -268,7 +271,7 @@ val set_safepoint_hook : (t -> unit) option -> unit
 
 (** {1 Statistics} *)
 
-type stats =
+type stats = Backend.stats =
   { vector_nodes : int  (** live vector nodes in the unique table *)
   ; matrix_nodes : int  (** live matrix nodes in the unique table *)
   ; weights : int  (** interned complex values *)

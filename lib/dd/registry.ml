@@ -1,0 +1,16 @@
+(* Runtime backend registry: lets the CLI, the batch engine and the bench
+   driver pick a {!Backend.S} implementation by name without being
+   functorized themselves.  Both built-in backends register at module
+   initialization; [register] is exposed so an embedding application can
+   add its own. *)
+
+let tbl : (string, (module Backend.S)) Hashtbl.t = Hashtbl.create 8
+
+let register (module B : Backend.S) = Hashtbl.replace tbl B.name (module B : Backend.S)
+let find name = Hashtbl.find_opt tbl name
+let names () = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+let default = "classic"
+
+let () =
+  register (module Classic);
+  register (module Packed)

@@ -1,0 +1,28 @@
+(** Runtime registry of DD backends.
+
+    Maps backend names to first-class {!Backend.S} modules so
+    non-functorized entry points (the CLI, the batch engine, bench)
+    dispatch at runtime:
+
+    {[
+      match Dd.Registry.find name with
+      | None -> ...        (* unknown backend: usage error *)
+      | Some b ->
+        let module B = (val b) in
+        let module V = Qcec.Verify.Make (B) in
+        V.functional ...
+    ]}
+
+    {!Classic} and {!Packed} are registered at startup. *)
+
+(** [register (module B)] adds (or replaces) a backend under [B.name]. *)
+val register : (module Backend.S) -> unit
+
+(** [find name] resolves a backend by registry name. *)
+val find : string -> (module Backend.S) option
+
+(** Registered names, sorted ([["classic"; "packed"]] by default). *)
+val names : unit -> string list
+
+(** The default backend name, ["classic"]. *)
+val default : string

@@ -23,25 +23,27 @@ type spec =
   ; seed : int option
   ; kernels : bool
   ; cache : bool
+  ; backend : string
   }
 
 let files ?label ?strategy ?perm ?(transform = true) ?timeout ?(retries = 0) ?seed
-    ?(kernels = true) ?(cache = true) ~index file_a file_b =
+    ?(kernels = true) ?(cache = true) ?(backend = Dd.Registry.default) ~index
+    file_a file_b =
   let label =
     match label with
     | Some l -> l
     | None -> Filename.basename file_a ^ " vs " ^ Filename.basename file_b
   in
   { index; label; source = Files { file_a; file_b }; strategy; perm; transform
-  ; timeout; retries; seed; kernels; cache }
+  ; timeout; retries; seed; kernels; cache; backend }
 
 let circuits ?label ?strategy ?perm ?(transform = true) ?timeout ?(retries = 0) ?seed
-    ?(kernels = true) ?(cache = true) ~index a b =
+    ?(kernels = true) ?(cache = true) ?(backend = Dd.Registry.default) ~index a b =
   let label =
     match label with Some l -> l | None -> a.Circ.name ^ " vs " ^ b.Circ.name
   in
   { index; label; source = Circuits { a; b }; strategy; perm; transform; timeout
-  ; retries; seed; kernels; cache }
+  ; retries; seed; kernels; cache; backend }
 
 type verdict =
   { equivalent : bool
@@ -79,6 +81,7 @@ type result =
   ; attempts : int
   ; worker : int
   ; seed : int option
+  ; backend : string
   ; metrics : Obs.Metrics.snapshot
   }
 
@@ -166,6 +169,7 @@ let to_json r =
       ; ("attempts", Json.Int r.attempts)
       ; ("worker", Json.Int r.worker)
       ; ("seed", opt (fun s -> Json.Int s) r.seed)
+      ; ("backend", Json.String r.backend)
       ; ("metrics", Obs.Metrics.to_json r.metrics)
       ])
 
@@ -241,6 +245,13 @@ let of_json j =
     | Some Json.Null | None -> Ok None
     | _ -> Error "result: malformed \"seed\""
   in
+  (* absent in pre-backend result files: those ran the classic package *)
+  let* backend =
+    match field "backend" with
+    | Some (Json.String b) -> Ok b
+    | None -> Ok "classic"
+    | _ -> Error "result: malformed \"backend\""
+  in
   let* metrics =
     match field "metrics" with
     | Some (Json.Obj kvs) ->
@@ -255,7 +266,9 @@ let of_json j =
     | Some Json.Null | None -> Ok []
     | _ -> Error "result: malformed \"metrics\""
   in
-  Ok { index; label; files_checked; outcome; duration; attempts; worker; seed; metrics }
+  Ok
+    { index; label; files_checked; outcome; duration; attempts; worker; seed
+    ; backend; metrics }
 
 let of_string line =
   match Json.of_string_opt line with

@@ -35,6 +35,10 @@ type spec =
   ; cache : bool
         (** consult/populate the pool's verdict store (default; a no-op
             when the pool has none configured); [false] opts this job out *)
+  ; backend : string
+        (** DD backend registry name the job runs under (default
+            [Dd.Registry.default], i.e. ["classic"]); the pool resolves it
+            per job via {!Dd.Registry.find} *)
   }
 
 val files :
@@ -47,6 +51,7 @@ val files :
   -> ?seed:int
   -> ?kernels:bool
   -> ?cache:bool
+  -> ?backend:string
   -> index:int
   -> string
   -> string
@@ -62,6 +67,7 @@ val circuits :
   -> ?seed:int
   -> ?kernels:bool
   -> ?cache:bool
+  -> ?backend:string
   -> index:int
   -> Circuit.Circ.t
   -> Circuit.Circ.t
@@ -105,6 +111,9 @@ type result =
   ; attempts : int
   ; worker : int  (** pool worker id that ran the job *)
   ; seed : int option
+  ; backend : string
+        (** DD backend that ran (or would have run) the check; result
+            files predating the field parse as ["classic"] *)
   ; metrics : Obs.Metrics.snapshot
         (** per-job counter deltas from the worker's registry (all zeros
             unless collection is enabled) *)

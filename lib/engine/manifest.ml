@@ -7,11 +7,12 @@ type defaults =
   ; transform : bool
   ; kernels : bool
   ; cache : bool
+  ; backend : string
   }
 
 let no_defaults =
   { strategy = None; timeout = None; retries = 0; transform = true; kernels = true
-  ; cache = true }
+  ; cache = true; backend = Dd.Registry.default }
 
 type t =
   { seed : int option
@@ -61,6 +62,21 @@ let bool_field name j =
   | Some _ -> Error (Fmt.str "manifest: field %S must be a boolean" name)
   | None -> Ok None
 
+(* Backend names are validated against the runtime registry at parse
+   time, so a typo fails the whole manifest up front instead of surfacing
+   as N per-job crashes. *)
+let backend_field name j =
+  let* s = str_field name j in
+  match s with
+  | None -> Ok None
+  | Some b ->
+    (match Dd.Registry.find b with
+     | Some _ -> Ok (Some b)
+     | None ->
+       Error
+         (Fmt.str "manifest: unknown backend %S (expected one of: %s)" b
+            (String.concat ", " (Dd.Registry.names ()))))
+
 let strategy_field name j =
   let* s = str_field name j in
   match s with
@@ -94,6 +110,7 @@ let defaults_of_json j =
     let* transform = bool_field "transform" d in
     let* kernels = bool_field "kernels" d in
     let* cache = bool_field "cache" d in
+    let* backend = backend_field "backend" d in
     Ok
       { strategy
       ; timeout
@@ -101,6 +118,7 @@ let defaults_of_json j =
       ; transform = Option.value transform ~default:true
       ; kernels = Option.value kernels ~default:true
       ; cache = Option.value cache ~default:true
+      ; backend = Option.value backend ~default:Dd.Registry.default
       }
 
 (* Paths in a manifest are relative to the manifest file, so a manifest can
@@ -133,6 +151,7 @@ let job_of_json ~dir ~defaults ~manifest_seed ~index j =
     let* transform = bool_field "transform" j in
     let* kernels = bool_field "kernels" j in
     let* cache = bool_field "cache" j in
+    let* backend = backend_field "backend" j in
     let label =
       match label with
       | Some l -> l
@@ -151,6 +170,7 @@ let job_of_json ~dir ~defaults ~manifest_seed ~index j =
          ; seed = job_seed ~manifest_seed ~index
          ; kernels = Option.value kernels ~default:defaults.kernels
          ; cache = Option.value cache ~default:defaults.cache
+         ; backend = Option.value backend ~default:defaults.backend
          })
 
 let of_json ?(dir = Filename.current_dir_name) j =
@@ -202,6 +222,7 @@ let of_pairs ?seed ?(defaults = no_defaults) pairs =
         Job.files ?strategy:defaults.strategy ?timeout:defaults.timeout
           ~retries:defaults.retries ~transform:defaults.transform
           ~kernels:defaults.kernels ~cache:defaults.cache
+          ~backend:defaults.backend
           ?seed:(job_seed ~manifest_seed:seed ~index) ~index a b)
       pairs
   in

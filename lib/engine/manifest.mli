@@ -4,7 +4,8 @@
     { "schema": "qcec-manifest/v1",
       "seed": 42,
       "defaults": { "strategy": "proportional", "timeout": 30,
-                    "retries": 1, "transform": true, "kernels": true },
+                    "retries": 1, "transform": true, "kernels": true,
+                    "backend": "classic" },
       "jobs": [
         { "a": "bv6_dynamic.qasm", "b": "bv6_static.qasm",
           "label": "bv6", "strategy": "simulation:16",
@@ -37,6 +38,10 @@ type defaults =
   ; cache : bool
         (** default [true]; ["cache": false] (per job or in defaults)
             opts jobs out of the verdict store even when one is open *)
+  ; backend : string
+        (** default ["classic"]; ["backend"] (per job or in defaults)
+            selects the DD backend by {!Dd.Registry} name — unknown names
+            fail manifest compilation up front *)
   }
 
 val no_defaults : defaults

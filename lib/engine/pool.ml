@@ -44,26 +44,27 @@ type batch =
 
 let now = Obs.Clock.now
 
-(* The cooperative cancellation point: [Dd.Pkg.checkpoint] (called by every
+(* The cooperative cancellation point: [Pkg.checkpoint] (called by every
    strategy / simulator / extraction loop after each gate) fires this hook,
    which compares the monotonic clock against the attempt's deadline and the
    package's live-node count against the pool budget.  Raising here unwinds
-   the verification; the worker's own package is dropped with it. *)
-let install_guard ~deadline ~node_limit =
-  match (deadline, node_limit) with
-  | None, None -> ()
-  | _ ->
-    Dd.Pkg.set_safepoint_hook
-      (Some
-         (fun p ->
-           (match deadline with
-            | Some d when now () > d -> raise (Cancelled `Timeout)
-            | _ -> ());
-           match node_limit with
-           | Some l when Dd.Pkg.live_nodes p > l -> raise (Cancelled (`Node_limit l))
-           | _ -> ()))
-
-let clear_guard () = Dd.Pkg.set_safepoint_hook None
+   the verification; the worker's own package is dropped with it.  The hook
+   is per backend (each keeps its own domain-local slot), so it is
+   installed on whichever backend the job resolved to. *)
+let with_guard (module B : Dd.Backend.S) ~deadline ~node_limit f =
+  (match (deadline, node_limit) with
+   | None, None -> ()
+   | _ ->
+     B.Pkg.set_safepoint_hook
+       (Some
+          (fun p ->
+            (match deadline with
+             | Some d when now () > d -> raise (Cancelled `Timeout)
+             | _ -> ());
+            match node_limit with
+            | Some l when B.Pkg.live_nodes p > l -> raise (Cancelled (`Node_limit l))
+            | _ -> ())));
+  Fun.protect ~finally:(fun () -> B.Pkg.set_safepoint_hook None) f
 
 let render_diagnostics diags =
   Analysis.Diagnostic.sort diags
@@ -77,6 +78,17 @@ let render_diagnostics diags =
    starts, which is where all the time goes). *)
 let attempt cfg ~dd_config (spec : Job.spec) =
   let deadline = Option.map (fun s -> now () +. s) spec.timeout in
+  (* resolved before any parsing so a bad registry name fails fast; the
+     manifest and the CLI both validate up front, this covers direct
+     programmatic [Job.spec]s *)
+  let backend =
+    match Dd.Registry.find spec.backend with
+    | Some b -> b
+    | None ->
+      failwith
+        (Fmt.str "unknown DD backend %S (expected one of: %s)" spec.backend
+           (String.concat ", " (Dd.Registry.names ())))
+  in
   let a, b, lint_inputs =
     match spec.source with
     | Job.Circuits { a; b } -> (a, b, [ (a, None); (b, None) ])
@@ -98,14 +110,17 @@ let attempt cfg ~dd_config (spec : Job.spec) =
     in
     if errors <> [] then raise (Lint_failed (render_diagnostics errors))
   end;
-  install_guard ~deadline ~node_limit:cfg.node_limit;
-  Fun.protect ~finally:clear_guard (fun () ->
+  with_guard backend ~deadline ~node_limit:cfg.node_limit (fun () ->
+    let module B = (val backend : Dd.Backend.S) in
+    let module V = Qcec.Verify.Make (B) in
     let on_dynamic = if spec.transform then `Transform else `Reject in
     (* the store is shared across workers by design: lookups are
-       lock-free and inserts serialize inside [Cache_store.Store] *)
+       lock-free and inserts serialize inside [Cache_store.Store]; the key
+       does not include the backend, so verdicts computed under one
+       backend serve warm under any other *)
     let cache = if spec.cache then cfg.cache else None in
     let r =
-      Qcec.Verify.functional ?strategy:spec.strategy ?perm:spec.perm ~on_dynamic
+      V.functional ?strategy:spec.strategy ?perm:spec.perm ~on_dynamic
         ?dd_config ?seed:spec.seed ~use_kernels:spec.kernels ?cache a b
     in
     { Job.equivalent = r.Qcec.Verify.equivalent
@@ -178,6 +193,7 @@ let run_job cfg ~worker (spec : Job.spec) =
   ; attempts
   ; worker
   ; seed = spec.seed
+  ; backend = spec.backend
   ; metrics = M.diff ~before:m0 ~after:(M.snapshot ())
   }
 

@@ -9,7 +9,11 @@
     outcome.  Resets that are not preceded by a measurement of the same
     qubit branch the same way, except that both branches contribute to the
     same classical assignment.  Branches whose accumulated probability falls
-    below the pruning cutoff are never simulated. *)
+    below the pruning cutoff are never simulated.
+
+    Backend-generic: {!Make} runs the walk on any {!Dd.Backend.S}; the
+    unfunctorized values are the {!Dd.Classic} instance.  Result and tree
+    types (and the [extract.*] metric totals) are shared across backends. *)
 
 type stats =
   { leaves : int  (** simulation paths reaching the end of the circuit *)
@@ -24,27 +28,6 @@ type result =
             probability, sorted by assignment *)
   ; stats : stats
   }
-
-(** [run c] extracts the distribution of the dynamic circuit [c] starting
-    from |0...0>.
-
-    [cutoff] prunes branches with accumulated probability at or below it
-    (default [1e-12]).  [domains] > 1 distributes the first branch points
-    over that many OCaml domains, each re-simulating its forced prefix with
-    a private DD package (the paper notes the branches are embarrassingly
-    parallel; its own evaluation is sequential, and so is the default
-    here).  [use_kernels] (default [true]) routes gate applications through
-    the direct kernels ({!Dd.Mat.apply_gate}).  [dd_config] bounds the DD
-    packages' operation caches and enables automatic compaction; the walk
-    roots the state of every pending branch, so mid-walk sweeps are
-    safe. *)
-val run :
-     ?cutoff:float
-  -> ?domains:int
-  -> ?use_kernels:bool
-  -> ?dd_config:Dd.Pkg.config
-  -> Circuit.Circ.t
-  -> result
 
 (** {1 Branching-tree view (paper Fig. 4)} *)
 
@@ -62,15 +45,53 @@ type tree =
       ; one : tree option  (** pruned successors are [None] *)
       }
 
-(** [tree c] materializes the whole branching structure; only sensible for
-    small numbers of measurements. *)
+(** [pp_tree] renders the tree with check-pointed probabilities, in the
+    spirit of the paper's Fig. 4. *)
+val pp_tree : Format.formatter -> tree -> unit
+
+module Make (B : Dd.Backend.S) : sig
+  (** [run c] extracts the distribution of the dynamic circuit [c] starting
+      from |0...0>.
+
+      [cutoff] prunes branches with accumulated probability at or below it
+      (default [1e-12]).  [domains] > 1 distributes the first branch points
+      over that many OCaml domains, each re-simulating its forced prefix
+      with a private DD package (the paper notes the branches are
+      embarrassingly parallel; its own evaluation is sequential, and so is
+      the default here).  [use_kernels] (default [true]) routes gate
+      applications through the direct kernels.  [dd_config] bounds the DD
+      packages' operation caches and enables automatic compaction; the walk
+      roots the state of every pending branch, so mid-walk sweeps are
+      safe. *)
+  val run :
+       ?cutoff:float
+    -> ?domains:int
+    -> ?use_kernels:bool
+    -> ?dd_config:Dd.Backend.config
+    -> Circuit.Circ.t
+    -> result
+
+  (** [tree c] materializes the whole branching structure; only sensible
+      for small numbers of measurements. *)
+  val tree :
+       ?cutoff:float
+    -> ?use_kernels:bool
+    -> ?dd_config:Dd.Backend.config
+    -> Circuit.Circ.t
+    -> tree
+end
+
+val run :
+     ?cutoff:float
+  -> ?domains:int
+  -> ?use_kernels:bool
+  -> ?dd_config:Dd.Pkg.config
+  -> Circuit.Circ.t
+  -> result
+
 val tree :
      ?cutoff:float
   -> ?use_kernels:bool
   -> ?dd_config:Dd.Pkg.config
   -> Circuit.Circ.t
   -> tree
-
-(** [pp_tree] renders the tree with check-pointed probabilities, in the
-    spirit of the paper's Fig. 4. *)
-val pp_tree : Format.formatter -> tree -> unit

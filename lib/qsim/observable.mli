@@ -34,7 +34,13 @@ val add : t -> t -> t
 
 (** {1 Evaluation} *)
 
-(** [expectation p state ~n obs] is [<state| obs |state>] on the DD
+module Make (B : Dd.Backend.S) : sig
+  (** [expectation p state ~n obs] is [<state| obs |state>] on the DD
+      backend [B]. *)
+  val expectation : B.pkg -> B.vedge -> n:int -> t -> float
+end
+
+(** [expectation p state ~n obs] is [<state| obs |state>] on the classic DD
     backend. *)
 val expectation : Dd.Pkg.t -> Dd.Types.vedge -> n:int -> t -> float
 

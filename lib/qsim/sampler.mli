@@ -6,7 +6,10 @@
     Implemented over the decision-diagram backend; useful as yet another
     oracle (empirical distributions must converge to {!Extraction.run}'s
     exact ones at the usual [O(1/sqrt shots)] rate) and for the ablation
-    benchmark quantifying the paper's argument. *)
+    benchmark quantifying the paper's argument.
+
+    Backend-generic: {!Make} samples over any {!Dd.Backend.S}; the
+    unfunctorized values are the {!Dd.Classic} instance. *)
 
 type result =
   { counts : (string * int) list
@@ -14,11 +17,25 @@ type result =
   ; shots : int
   }
 
-(** [run ~seed ~shots c] performs [shots] independent end-to-end
-    simulations, sampling every measurement and reset outcome.
-    [use_kernels] (default [true]) uses the direct gate-application
-    kernels; [dd_config] bounds the shared DD package's caches and enables
-    automatic compaction between operations. *)
+(** [empirical r] normalizes counts into a distribution comparable with
+    {!Extraction.run}. *)
+val empirical : result -> (string * float) list
+
+module Make (B : Dd.Backend.S) : sig
+  (** [run ~seed ~shots c] performs [shots] independent end-to-end
+      simulations, sampling every measurement and reset outcome.
+      [use_kernels] (default [true]) uses the direct gate-application
+      kernels; [dd_config] bounds the shared DD package's caches and
+      enables automatic compaction between operations. *)
+  val run :
+       seed:int
+    -> shots:int
+    -> ?use_kernels:bool
+    -> ?dd_config:Dd.Backend.config
+    -> Circuit.Circ.t
+    -> result
+end
+
 val run :
      seed:int
   -> shots:int
@@ -26,7 +43,3 @@ val run :
   -> ?dd_config:Dd.Pkg.config
   -> Circuit.Circ.t
   -> result
-
-(** [empirical r] normalizes counts into a distribution comparable with
-    {!Extraction.run}. *)
-val empirical : result -> (string * float) list

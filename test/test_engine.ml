@@ -302,8 +302,9 @@ let gen_result =
       ; outcome
       ; duration
       ; attempts
-      ; worker
+      ; worker = fst worker
       ; seed
+      ; backend = snd worker
       ; metrics
       })
     (pair
@@ -313,7 +314,8 @@ let gen_result =
                      (map (Printf.sprintf "b%d.qasm") small_nat))))
           (oneof [ verdict; failure ]))
        (pair
-          (pair (pair small_float small_nat) (pair small_nat (opt small_int)))
+          (pair (pair small_float small_nat)
+             (pair (pair small_nat (oneofl [ "classic"; "packed" ])) (opt small_int)))
           metrics))
 
 let prop_result_roundtrip =
