@@ -169,6 +169,9 @@ let cache_json : Obs.Json.t option ref = ref None
 (* filled by the backends section, emitted as the "backends" field *)
 let backends_json : Obs.Json.t option ref = ref None
 
+(* filled by the lookahead section, emitted as the "lookahead" field *)
+let lookahead_json : Obs.Json.t option ref = ref None
+
 let collect family row =
   if !json_path <> None then json_rows := (family, row) :: !json_rows
 
@@ -219,6 +222,9 @@ let write_json ~mode path =
   let backends =
     match !backends_json with None -> [] | Some j -> [ ("backends", j) ]
   in
+  let lookahead =
+    match !lookahead_json with None -> [] | Some j -> [ ("lookahead", j) ]
+  in
   let doc =
     Obs.Json.Obj
       ([ ("schema", Obs.Json.String "qcec-bench/v1")
@@ -230,6 +236,7 @@ let write_json ~mode path =
       @ kernels
       @ cache
       @ backends
+      @ lookahead
       @ [ ("failures", Obs.Json.Int !failures)
         ; ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()))
         ; ("spans", Obs.Span.to_json ())
@@ -894,6 +901,112 @@ let backends_section ~full ~quick () =
          ])
 
 (* ------------------------------------------------------------------ *)
+(* Lookahead: analysis-driven scheduling vs proportional alternation   *)
+(* ------------------------------------------------------------------ *)
+
+(* A/B over the Table 1 pairs: every pair is verified once under plain
+   proportional alternation and once under the cost-aware lookahead
+   scheme.  Verdicts must be bit-identical — scheduling only reorders the
+   alternating multiplications, it must never change the answer.  The
+   peak-intermediate-node columns are the quantity the lookahead scheme
+   exists to reduce; on the QPE textbook pair (where the dynamic
+   realization front-loads its non-Clifford cost mass) lookahead must not
+   exceed proportional. *)
+let lookahead_section ~full ~quick () =
+  pr "@.== Lookahead: cost-aware scheduling vs proportional alternation ==@.@.";
+  let pairs =
+    let bv n = ("bv", Algorithms.Bv.make (Algorithms.Bv.hidden_string ~seed:n n)) in
+    let qft n = ("qft", Algorithms.Qft.make n) in
+    let qpe m =
+      ( "qpe"
+      , Algorithms.Qpe.make ~theta:(Algorithms.Qpe.random_theta ~seed:m ~bits:m)
+          ~bits:m )
+    in
+    let qpe_tb m =
+      ( "qpe_textbook"
+      , Algorithms.Qpe.make_textbook
+          ~theta:(Algorithms.Qpe.random_theta ~seed:m ~bits:m) ~bits:m )
+    in
+    if quick then [ bv 12; qft 6; qpe 5; qpe_tb 5 ]
+    else if full then [ bv 64; qft 11; qpe 11; qpe_tb 10 ]
+    else [ bv 32; qft 9; qpe 9; qpe_tb 8 ]
+  in
+  let rows =
+    List.map
+      (fun (family, (pair : Pair.t)) ->
+        let leg strategy =
+          Qcec.Verify.functional ~strategy ~perm:pair.Pair.dyn_to_static
+            ?dd_config:!dd_config pair.Pair.static_circuit pair.Pair.dynamic_circuit
+        in
+        let p = leg Qcec.Strategy.Proportional in
+        let l = leg Qcec.Strategy.Lookahead in
+        let verdicts_equal =
+          p.Qcec.Verify.equivalent = l.Qcec.Verify.equivalent
+          && p.Qcec.Verify.exactly_equal = l.Qcec.Verify.exactly_equal
+        in
+        if not verdicts_equal then
+          report_failure "lookahead: %s verdict differs from proportional!@."
+            pair.Pair.static_circuit.Circ.name;
+        if not p.Qcec.Verify.equivalent then
+          report_failure "lookahead: %s NOT equivalent!@."
+            pair.Pair.static_circuit.Circ.name;
+        (family, pair, p, l, verdicts_equal))
+      pairs
+  in
+  pr "%-14s %6s %10s %12s %12s %12s %12s@." "pair" "n" "verdict" "peak_prop"
+    "peak_look" "t_prop [s]" "t_look [s]";
+  List.iter
+    (fun (_family, (pair : Pair.t), p, l, verdicts_equal) ->
+      pr "%-14s %6d %10s %12d %12d %12.4f %12.4f@."
+        pair.Pair.static_circuit.Circ.name
+        pair.Pair.static_circuit.Circ.num_qubits
+        (if verdicts_equal then "same" else "DIFFER")
+        p.Qcec.Verify.peak_nodes l.Qcec.Verify.peak_nodes p.Qcec.Verify.t_check
+        l.Qcec.Verify.t_check)
+    rows;
+  (* the acceptance gate: on the QPE textbook pair, where the cost curves
+     actually diverge, the scheme must pay for itself in peak nodes *)
+  (match
+     List.find_opt (fun (family, _, _, _, _) -> family = "qpe_textbook") rows
+   with
+   | Some (_, (pair : Pair.t), p, l, _) ->
+     if l.Qcec.Verify.peak_nodes > p.Qcec.Verify.peak_nodes then
+       report_failure
+         "lookahead: peak nodes regressed on %s (%d > %d)!@."
+         pair.Pair.static_circuit.Circ.name l.Qcec.Verify.peak_nodes
+         p.Qcec.Verify.peak_nodes
+   | None -> ());
+  let all_equal = List.for_all (fun (_, _, _, _, eq) -> eq) rows in
+  pr "@.%d pairs; verdicts identical: %b@." (List.length rows) all_equal;
+  lookahead_json :=
+    Some
+      (Obs.Json.Obj
+         [ ("jobs", Obs.Json.Int (List.length rows))
+         ; ("verdicts_equal", Obs.Json.Bool all_equal)
+         ; ( "pairs"
+           , Obs.Json.List
+               (List.map
+                  (fun (family, (pair : Pair.t), p, l, eq) ->
+                    Obs.Json.Obj
+                      [ ("family", Obs.Json.String family)
+                      ; ( "name"
+                        , Obs.Json.String pair.Pair.static_circuit.Circ.name )
+                      ; ( "qubits"
+                        , Obs.Json.Int pair.Pair.static_circuit.Circ.num_qubits )
+                      ; ("verdicts_equal", Obs.Json.Bool eq)
+                      ; ("equivalent", Obs.Json.Bool p.Qcec.Verify.equivalent)
+                      ; ( "peak_nodes_proportional"
+                        , Obs.Json.Int p.Qcec.Verify.peak_nodes )
+                      ; ( "peak_nodes_lookahead"
+                        , Obs.Json.Int l.Qcec.Verify.peak_nodes )
+                      ; ( "t_check_proportional"
+                        , Obs.Json.Float p.Qcec.Verify.t_check )
+                      ; ("t_check_lookahead", Obs.Json.Float l.Qcec.Verify.t_check)
+                      ])
+                  rows) )
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -991,6 +1104,7 @@ let () =
     | "kernels" -> kernels_section ~full ~quick ()
     | "cache" -> cache_section ~full ~quick ()
     | "backends" -> backends_section ~full ~quick ()
+    | "lookahead" -> lookahead_section ~full ~quick ()
     | "micro" -> micro ()
     | "all" ->
       table1 ~full ~quick ();
@@ -1000,11 +1114,12 @@ let () =
       kernels_section ~full ~quick ();
       cache_section ~full ~quick ();
       backends_section ~full ~quick ();
+      lookahead_section ~full ~quick ();
       micro ()
     | other ->
       Fmt.epr
         "unknown section %S (expected \
-         table1|fig4|ablation|scaling|kernels|cache|backends|micro|all)@."
+         table1|fig4|ablation|scaling|kernels|cache|backends|lookahead|micro|all)@."
         other;
       exit 2
   in

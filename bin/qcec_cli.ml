@@ -20,6 +20,53 @@ let strategy_conv =
   in
   Arg.conv (parse, fun ppf s -> Fmt.string ppf (Qcec.Strategy.name s))
 
+(* -- application-scheme selection ------------------------------------- *)
+
+(* [--scheme] overrides [--strategy]: either a fixed strategy by name, or
+   [auto] — run the analysis passes over both circuits and let the cost
+   profiles pick between proportional and lookahead alternation. *)
+type scheme_opt =
+  | Scheme_auto
+  | Scheme_fixed of Qcec.Strategy.t
+
+let scheme_conv =
+  let parse s =
+    if s = "auto" then Ok Scheme_auto
+    else
+      match Qcec.Strategy.of_string s with
+      | Ok st -> Ok (Scheme_fixed st)
+      | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    ( parse
+    , fun ppf -> function
+        | Scheme_auto -> Fmt.string ppf "auto"
+        | Scheme_fixed s -> Fmt.string ppf (Qcec.Strategy.name s) )
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt (some scheme_conv) None
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "Application scheme: any strategy name, or $(b,auto) to run the \
+           static analysis passes over both circuits and let their cost \
+           profiles pick between proportional and lookahead alternation.  \
+           Overrides $(b,--strategy)")
+
+let resolve_scheme ~strategy ~scheme a b =
+  match scheme with
+  | None -> strategy
+  | Some (Scheme_fixed s) -> s
+  | Some Scheme_auto ->
+    (match
+       Obs.Span.with_ "analysis.route" (fun () ->
+         Analysis.Classify.route_application (Analysis.Cost.profile a)
+           (Analysis.Cost.profile b))
+     with
+     | Analysis.Cost.Proportional_order -> Qcec.Strategy.Proportional
+     | Analysis.Cost.Lookahead_order -> Qcec.Strategy.Lookahead)
+
 let perm_conv =
   let parse s =
     try
@@ -171,13 +218,14 @@ let open_store ~cache_dir ~no_result_cache =
 (* -- check ------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file_a file_b strategy perm quiet stats_json cache_cap gc_threshold
-      no_kernels backend =
+  let run file_a file_b strategy scheme perm quiet stats_json cache_cap
+      gc_threshold no_kernels backend =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
     let module B = (val resolve_backend backend : Dd.Backend.S) in
     let module V = Qcec.Verify.Make (B) in
     let a = load file_a and b = load file_b in
+    let strategy = resolve_scheme ~strategy ~scheme a b in
     let r =
       try
         V.functional ~strategy ?perm ?dd_config
@@ -229,8 +277,9 @@ let check_cmd =
          "Check full functional equivalence of two circuits (dynamic inputs are \
           transformed with the Section 4 scheme first)")
     Term.(
-      const run $ file_a $ file_b $ strategy $ perm $ quiet $ stats_json_arg
-      $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg $ backend_arg)
+      const run $ file_a $ file_b $ strategy $ scheme_arg $ perm $ quiet
+      $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg
+      $ backend_arg)
 
 (* -- distribution ------------------------------------------------------ *)
 
@@ -407,19 +456,24 @@ let optimize_cmd =
 (* -- lint ------------------------------------------------------------- *)
 
 (* Parse a file and lint it; a parse failure becomes a QA000 diagnostic
-   rather than an abort, so one bad file doesn't hide the others. *)
+   rather than an abort, so one bad file doesn't hide the others.  Parsed
+   files additionally get a classifier profile for the v2 report. *)
 let lint_file path =
   match Circuit.Qasm3_parser.parse_any_file_located path with
-  | c, lines -> Analysis.lint ~file:path ~lines c
+  | c, lines ->
+    Analysis.Report.entry ~profile:(Analysis.classify c) path
+      (Analysis.lint ~file:path ~lines c)
   | exception Circuit.Qasm_parser.Parse_error (msg, line) ->
-    [ Analysis.Lint.of_parse_error ~file:path ~line msg ]
+    Analysis.Report.entry path [ Analysis.Lint.of_parse_error ~file:path ~line msg ]
   | exception Sys_error msg ->
-    [ Analysis.Lint.of_parse_error ~file:path ~line:0 msg ]
+    Analysis.Report.entry path [ Analysis.Lint.of_parse_error ~file:path ~line:0 msg ]
 
 let lint_cmd =
   let run files json quiet =
-    let report = List.map (fun f -> (f, lint_file f)) files in
-    let all = List.concat_map snd report in
+    let report = List.map lint_file files in
+    let all =
+      List.concat_map (fun e -> e.Analysis.Report.diagnostics) report
+    in
     if not quiet then
       List.iter (fun d -> Fmt.pr "%a@." Analysis.Diagnostic.pp d) all;
     let s = Analysis.Diagnostic.summarize all in
@@ -433,7 +487,7 @@ let lint_cmd =
     (match json with
      | None -> ()
      | Some path ->
-       let doc = Analysis.Diagnostic.report_to_json report in
+       let doc = Analysis.Report.to_json report in
        if path = "-" then print_string (Obs.Json.to_string ~pretty:true doc)
        else begin
          try Obs.Json.to_file path doc
@@ -452,8 +506,9 @@ let lint_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
           ~doc:
-            "Write the report as JSON (schema qcec-lint/v1, see \
-             docs/ANALYSIS.md) to $(docv), or to stdout for \"-\"")
+            "Write the report as JSON (schema qcec-lint/v2: the v1 fields \
+             plus a per-file classifier block, see docs/ANALYSIS.md) to \
+             $(docv), or to stdout for \"-\"")
   in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress text diagnostics")
@@ -467,6 +522,77 @@ let lint_cmd =
           error-severity finding is reported, 0 on warnings only")
     Term.(const run $ files $ json $ quiet)
 
+(* -- analyze ----------------------------------------------------------- *)
+
+(* Run the abstract-interpretation passes (Clifford domain, interaction
+   graph, cancellation structure, cost model) and emit the per-file
+   qcec-analysis/v1 profiles.  With exactly two files, the document also
+   carries the cost curves' divergence and the recommended application
+   scheme for checking them against each other. *)
+let analyze_cmd =
+  let run files output =
+    let entries =
+      List.map
+        (fun path ->
+          let c = load path in
+          (path, Obs.Span.with_ "analysis.profile" (fun () ->
+             Analysis.Cost.profile c)))
+        files
+    in
+    let file_json (path, p) =
+      match Analysis.Cost.to_json p with
+      | Obs.Json.Obj fields ->
+        Obs.Json.Obj (("file", Obs.Json.String path) :: fields)
+      | other -> other
+    in
+    let pair_fields =
+      match entries with
+      | [ (_, a); (_, b) ] ->
+        [ ("divergence", Obs.Json.Float (Analysis.Cost.divergence a b))
+        ; ( "recommended_scheme"
+          , Obs.Json.String
+              (Analysis.Cost.scheme_name
+                 (Analysis.Classify.route_application a b)) )
+        ]
+      | _ -> []
+    in
+    let doc =
+      Obs.Json.Obj
+        ([ ("schema", Obs.Json.String "qcec-analysis/v1")
+         ; ("files", Obs.Json.List (List.map file_json entries))
+         ]
+        @ pair_fields)
+    in
+    match output with
+    | None | Some "-" -> print_string (Obs.Json.to_string ~pretty:true doc)
+    | Some path ->
+      (try Obs.Json.to_file path doc
+       with Sys_error msg ->
+         Fmt.epr "qcec: cannot write analysis report: %s@." msg;
+         exit 2)
+  in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.qasm")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write the qcec-analysis/v1 JSON document to $(docv) instead of \
+             stdout")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static analysis passes (Clifford prefix, qubit-interaction \
+          graph, cancellation structure, per-gate cost profile) over \
+          circuits and emit qcec-analysis/v1 JSON.  Given exactly two \
+          files, also reports which application scheme their cost profiles \
+          recommend for equivalence checking.  Exits 2 on parse failure")
+    Term.(const run $ files $ output)
+
 (* -- verify ------------------------------------------------------------ *)
 
 (* [check] with a static pre-flight: lint both inputs, classify them, and
@@ -474,8 +600,8 @@ let lint_cmd =
    located QA008 — before any DD package is constructed.  [--transform]
    restores the automatic Section 4 routing of [check]. *)
 let verify_cmd =
-  let run file_a file_b strategy perm transform quiet stats_json cache_cap
-      gc_threshold no_kernels cache_dir no_result_cache backend =
+  let run file_a file_b strategy scheme perm transform quiet stats_json
+      cache_cap gc_threshold no_kernels cache_dir no_result_cache backend =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
     let module B = (val resolve_backend backend : Dd.Backend.S) in
@@ -520,6 +646,7 @@ let verify_cmd =
             exit 2
           | None -> ())
         profiles;
+    let strategy = resolve_scheme ~strategy ~scheme a b in
     let r =
       try
         V.functional ~strategy ?perm
@@ -598,9 +725,9 @@ let verify_cmd =
           decision-diagram work.  Exit 2 on rejection; $(b,--transform) \
           restores the automatic transformation of $(b,check)")
     Term.(
-      const run $ file_a $ file_b $ strategy $ perm $ transform $ quiet
-      $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg
-      $ cache_dir_arg $ no_result_cache_arg $ backend_arg)
+      const run $ file_a $ file_b $ strategy $ scheme_arg $ perm $ transform
+      $ quiet $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg
+      $ no_kernels_arg $ cache_dir_arg $ no_result_cache_arg $ backend_arg)
 
 (* -- batch ------------------------------------------------------------ *)
 
@@ -902,6 +1029,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; verify_cmd; batch_cmd; lint_cmd; distribution_cmd
-          ; extract_cmd; transform_cmd; optimize_cmd; stats_cmd; draw_cmd
-          ; gen_cmd ]))
+          [ check_cmd; verify_cmd; batch_cmd; lint_cmd; analyze_cmd
+          ; distribution_cmd; extract_cmd; transform_cmd; optimize_cmd
+          ; stats_cmd; draw_cmd; gen_cmd ]))

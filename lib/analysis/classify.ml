@@ -119,6 +119,11 @@ let scheme_name = function
   | Transformation -> "the Section 4 transformation"
   | Extraction -> "the Section 5 extraction"
 
+let scheme_slug = function
+  | Unitary_scheme -> "unitary"
+  | Transformation -> "transformation"
+  | Extraction -> "extraction"
+
 (* The unitary-only strategies silently strip measurements and abort (at
    run time, with [Strategy.Non_unitary]) on the first reset or classical
    condition — exactly [first_blocker].  A [Dynamic] profile without a
@@ -135,6 +140,11 @@ let route p =
   match p.kind with
   | Unitary | Measure_terminal -> Unitary_scheme
   | Dynamic -> if transformable p then Transformation else Extraction
+
+(* Once a pair is routed to a unitary-style scheme, the cost profiles
+   decide the alternation order; re-exported so routing decisions live in
+   one module. *)
+let route_application = Cost.recommend
 
 let pp_profile ppf p =
   Fmt.pf ppf

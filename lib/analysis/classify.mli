@@ -54,6 +54,10 @@ type scheme =
 
 val scheme_name : scheme -> string
 
+(** Machine-readable scheme tag: ["unitary"], ["transformation"] or
+    ["extraction"]; used by the [qcec-lint/v2] classifier block. *)
+val scheme_slug : scheme -> string
+
 (** [admits scheme p] holds when [scheme] can soundly check a circuit with
     profile [p]. [Extraction] always applies. *)
 val admits : scheme -> profile -> bool
@@ -61,6 +65,10 @@ val admits : scheme -> profile -> bool
 (** [route p] is the cheapest admissible scheme, mirroring the automatic
     routing [Verify.functional] performs. *)
 val route : profile -> scheme
+
+(** [route_application a b] picks the alternation order for a pair already
+    routed to a unitary-style scheme (an alias of {!Cost.recommend}). *)
+val route_application : Cost.t -> Cost.t -> Cost.scheme
 
 val pp_profile : Format.formatter -> profile -> unit
 

@@ -62,6 +62,8 @@ val sort : t list -> t list
 
 val to_json : t -> Obs.Json.t
 
+val summary_json : summary -> Obs.Json.t
+
 (** [report_to_json files] is the full lint report: a [qcec-lint/v1]
     document with one entry per [(file, diagnostics)] pair and per-file and
     overall severity summaries. *)

@@ -1,0 +1,33 @@
+(* Forward abstract interpretation over the flat op list: a pass is an
+   abstract domain (an initial state and a transfer function) and the
+   framework folds it over the circuit, either to the final state or to
+   the full per-prefix trace.  All the analysis passes (Clifford domain,
+   interaction graph, cancellation) are phrased this way so they share
+   one traversal discipline and compose in [Cost]. *)
+
+type 'a pass =
+  { name : string
+  ; init : Circuit.Circ.t -> 'a
+  ; transfer : 'a -> int -> Circuit.Op.t -> 'a
+  }
+
+let make ~name ~init ~transfer = { name; init; transfer }
+
+let run pass (c : Circuit.Circ.t) =
+  let _, final =
+    List.fold_left
+      (fun (i, st) op -> (i + 1, pass.transfer st i op))
+      (0, pass.init c) c.Circuit.Circ.ops
+  in
+  final
+
+(* [trace pass c].(i) is the abstract state before op [i]; the last entry
+   (index [total_ops c]) is the final state.  Length is [total_ops c + 1]. *)
+let trace pass (c : Circuit.Circ.t) =
+  let ops = Array.of_list c.Circuit.Circ.ops in
+  let n = Array.length ops in
+  let states = Array.make (n + 1) (pass.init c) in
+  for i = 0 to n - 1 do
+    states.(i + 1) <- pass.transfer states.(i) i ops.(i)
+  done;
+  states

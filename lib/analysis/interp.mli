@@ -1,0 +1,27 @@
+(** A minimal forward abstract-interpretation framework over circuits.
+
+    A pass is an abstract domain: an initial state derived from the
+    circuit shell and a transfer function folded over the op list in
+    program order.  The concrete passes ({!Clifford}, {!Interact},
+    {!Cancel}) are built on it and folded together by {!Cost}. *)
+
+type 'a pass =
+  { name : string
+  ; init : Circuit.Circ.t -> 'a
+  ; transfer : 'a -> int -> Circuit.Op.t -> 'a
+        (** [transfer state op_index op] is the state after [op] *)
+  }
+
+val make :
+  name:string ->
+  init:(Circuit.Circ.t -> 'a) ->
+  transfer:('a -> int -> Circuit.Op.t -> 'a) ->
+  'a pass
+
+(** [run pass c] folds the pass over the whole circuit and returns the
+    final abstract state. *)
+val run : 'a pass -> Circuit.Circ.t -> 'a
+
+(** [trace pass c] is the per-prefix state array: entry [i] is the state
+    {e before} op [i], entry [total_ops c] the final state. *)
+val trace : 'a pass -> Circuit.Circ.t -> 'a array

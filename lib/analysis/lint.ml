@@ -46,10 +46,39 @@ let of_finding ?file ?lines (f : Dataflow.finding) =
     at ~op_index Rules.out_of_range
       (Fmt.str "%s %d is outside the declared register (%s)" what idx bound)
 
+let of_cancel ?file ?lines (f : Cancel.finding) =
+  let at ?op_index meta msg =
+    let line = Option.bind op_index (fun i -> line_of lines i) in
+    Rules.diagnostic ?file ?line ?op_index meta msg
+  in
+  match f with
+  | Cancel.Self_inverse_pair { first; second; qubits; gate } ->
+    Some
+      (at ~op_index:second Rules.self_inverse_pair
+         (Fmt.str
+            "adjacent %s pair on qubit%s %a cancels to the identity (ops %d \
+             and %d)"
+            gate
+            (if List.length qubits > 1 then "s" else "")
+            Fmt.(list ~sep:comma int)
+            qubits first second))
+  | Cancel.Zero_rotation { op_index; qubit; gate } ->
+    Some
+      (at ~op_index Rules.zero_rotation
+         (Fmt.str
+            "%s on qubit %d rotates by an angle congruent to 0 (mod 2 pi)"
+            gate qubit))
+  | Cancel.Adjoint_pair _ | Cancel.Mergeable_rotation _ | Cancel.Diagonal_run _
+    ->
+    (* cost-model inputs, not lint findings *)
+    None
+
 let run ?file ?lines c =
-  Dataflow.scan c
-  |> List.map (of_finding ?file ?lines)
-  |> Diagnostic.sort
+  let dataflow = Dataflow.scan c |> List.map (of_finding ?file ?lines) in
+  let cancel =
+    (Cancel.scan c).Cancel.findings |> List.filter_map (of_cancel ?file ?lines)
+  in
+  Diagnostic.sort (dataflow @ cancel)
 
 let of_parse_error ?file ~line msg =
   Rules.diagnostic ?file ~line Rules.parse_error msg

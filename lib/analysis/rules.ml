@@ -78,6 +78,24 @@ let scheme_blocked =
        scheme cannot handle"
   }
 
+let self_inverse_pair =
+  { code = "QA009"
+  ; slug = "adjacent-self-inverse-pair"
+  ; severity = Diagnostic.Warning
+  ; summary =
+      "two adjacent applications of a self-inverse gate on the same \
+       qubits cancel to the identity"
+  }
+
+let zero_rotation =
+  { code = "QA010"
+  ; slug = "zero-angle-rotation"
+  ; severity = Diagnostic.Warning
+  ; summary =
+      "a rotation by an angle congruent to 0 (mod 2 pi) is the identity \
+       up to global phase"
+  }
+
 let all =
   [ parse_error
   ; unused_qubit
@@ -88,6 +106,8 @@ let all =
   ; overlapping_controls
   ; out_of_range
   ; scheme_blocked
+  ; self_inverse_pair
+  ; zero_rotation
   ]
 
 let find code = List.find_opt (fun m -> m.code = code) all

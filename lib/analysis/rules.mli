@@ -29,6 +29,10 @@ val out_of_range : meta  (** QA007 *)
 
 val scheme_blocked : meta  (** QA008 — emitted by the verify pre-flight *)
 
+val self_inverse_pair : meta  (** QA009 — from the cancellation pass *)
+
+val zero_rotation : meta  (** QA010 — from the cancellation pass *)
+
 val all : meta list
 
 val find : string -> meta option

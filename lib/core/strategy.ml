@@ -109,7 +109,7 @@ module Make (B : Dd.Backend.S) = struct
      of unitaries M satisfies |Tr M| <= 2^n with equality exactly when
      M = e^{i phi} I, so the canonical-pointer fast path can fall back to
      the (cheap) trace. *)
-  let identity_outcome p m ~n =
+  let identity_outcome p m ~n ~peak =
     let dim = float_of_int (1 lsl n) in
     let tr = Mat.trace p m ~n in
     let exact =
@@ -123,7 +123,7 @@ module Make (B : Dd.Backend.S) = struct
     in
     { equivalent = exact
     ; equivalent_up_to_phase = up_to_phase
-    ; peak_nodes = Mat.node_count p m
+    ; peak_nodes = max peak (Mat.node_count p m)
     }
 
   let check_alternating ~take_left ~use_kernels p (g : Circ.t) (g' : Circ.t) =
@@ -131,14 +131,17 @@ module Make (B : Dd.Backend.S) = struct
     let left = unitary_ops g and right = unitary_ops g' in
     let nl = List.length left and nr = List.length right in
     Pkg.with_root_m p (Pkg.ident p n) (fun rm ->
+        let peak = ref 0 in
         let apply_left op =
           Pkg.set_mroot rm
             (Sim.mul_op_left p ~use_kernels ~n op (Pkg.mroot_edge rm));
+          peak := max !peak (Mat.node_count p (Pkg.mroot_edge rm));
           Pkg.checkpoint p
         in
         let apply_right op =
           Pkg.set_mroot rm
             (Sim.mul_op_right p ~use_kernels ~n op (Pkg.mroot_edge rm));
+          peak := max !peak (Mat.node_count p (Pkg.mroot_edge rm));
           Pkg.checkpoint p
         in
         (* advance the side that is proportionally behind *)
@@ -162,46 +165,102 @@ module Make (B : Dd.Backend.S) = struct
             end
         in
         go 0 0 left right;
-        identity_outcome p (Pkg.mroot_edge rm) ~n)
+        identity_outcome p (Pkg.mroot_edge rm) ~n ~peak:!peak)
 
-  (* Greedy node-count minimization: evaluate both candidate applications
-     and keep the smaller product.  Costs two multiplications per step but
-     copes with gate sequences that a fixed schedule cannot keep
-     cancelling. *)
+  (* How far the cost-aware schedule may drift from the proportional
+     position before it is forced back: at state (i, j) the scheduler must
+     keep |i - j * nl / nr| within this many ops.  Bounds the damage of a
+     misleading cost profile. *)
+  let lookahead_window = 8
+
+  (* The analysis-driven lookahead scheme.  A static per-op cost profile
+     (Clifford membership, entangling structure, cancellation pairs — see
+     [Analysis.Cost]) is computed for both op streams, and the scheduler
+     advances whichever side keeps the *applied cost mass* balanced: the
+     expensive region of one circuit is consumed against the gates of the
+     other that are meant to cancel it, instead of against a count of
+     cheap gates.  When the static profile has no clear preference (the
+     two balances differ by less than half an average step), the scheduler
+     falls back to evaluating both candidate products and keeping the
+     smaller one — the classic greedy lookahead, at the price of two
+     multiplications for that step — with the proportional order as the
+     final tie-break.  A window bound keeps the schedule within
+     [lookahead_window] ops of the proportional position either way. *)
   let check_lookahead ~use_kernels p (g : Circ.t) (g' : Circ.t) =
     let n = g.Circ.num_qubits in
+    let left = unitary_ops g and right = unitary_ops g' in
+    let nl = List.length left and nr = List.length right in
+    let cumulative w =
+      let k = Array.length w in
+      let c = Array.make (k + 1) 0.0 in
+      for i = 0 to k - 1 do
+        c.(i + 1) <- c.(i) +. w.(i)
+      done;
+      c
+    in
+    let cuml = cumulative (Analysis.Cost.op_weights ~num_qubits:n left) in
+    let cumr = cumulative (Analysis.Cost.op_weights ~num_qubits:n right) in
+    let tl = Float.max cuml.(nl) epsilon_float in
+    let tr = Float.max cumr.(nr) epsilon_float in
+    (* half the average normalized step: below this the profile's
+       preference is noise *)
+    let tie_eps =
+      0.25 *. ((1.0 /. float_of_int (max nl 1)) +. (1.0 /. float_of_int (max nr 1)))
+    in
     let left_of op m = Sim.mul_op_left p ~use_kernels ~n op m in
     let right_of op m = Sim.mul_op_right p ~use_kernels ~n op m in
     Pkg.with_root_m p (Pkg.ident p n) (fun rm ->
+        let peak = ref 0 in
         let advance next =
           Pkg.set_mroot rm next;
+          peak := max !peak (Mat.node_count p next);
           Pkg.checkpoint p
         in
-        let rec go left right =
+        let rec go i j left right =
           let m = Pkg.mroot_edge rm in
           match (left, right) with
           | [], [] -> ()
           | op :: rest, [] ->
             advance (left_of op m);
-            go rest []
+            go (i + 1) j rest []
           | [], op :: rest ->
             advance (right_of op m);
-            go [] rest
+            go i (j + 1) [] rest
           | opl :: restl, opr :: restr ->
-            (* both candidates are computed before either is rooted; no
-               safepoint separates them, so both stay canonical *)
-            let ml = left_of opl m and mr = right_of opr m in
-            if Mat.node_count p ml <= Mat.node_count p mr then begin
-              advance ml;
-              go restl right
+            let take_left =
+              (* window guard: don't let either side run away from the
+                 proportional position *)
+              if i * nr - (j * nl) > lookahead_window * nr then false
+              else if (j * nl) - (i * nr) > lookahead_window * nl then true
+              else begin
+                (* cost-mass imbalance after advancing each side *)
+                let bal_l =
+                  Float.abs ((cuml.(i + 1) /. tl) -. (cumr.(j) /. tr))
+                and bal_r =
+                  Float.abs ((cuml.(i) /. tl) -. (cumr.(j + 1) /. tr))
+                in
+                if Float.abs (bal_l -. bal_r) > tie_eps then bal_l < bal_r
+                else begin
+                  (* static tie: evaluate both candidate products (computed
+                     before either is rooted; no safepoint separates them,
+                     so both stay canonical) *)
+                  let ml = left_of opl m and mr = right_of opr m in
+                  let cl = Mat.node_count p ml and cr = Mat.node_count p mr in
+                  if cl <> cr then cl < cr else i * nr <= j * nl
+                end
+              end
+            in
+            if take_left then begin
+              advance (left_of opl m);
+              go (i + 1) j restl right
             end
             else begin
-              advance mr;
-              go left restr
+              advance (right_of opr m);
+              go i (j + 1) left restr
             end
         in
-        go (unitary_ops g) (unitary_ops g');
-        identity_outcome p (Pkg.mroot_edge rm) ~n)
+        go 0 0 left right;
+        identity_outcome p (Pkg.mroot_edge rm) ~n ~peak:!peak)
 
   let random_stimulus p ~use_kernels ~kind ~n st =
     match (kind : stimuli) with

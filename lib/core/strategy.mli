@@ -24,10 +24,14 @@ type t =
           product stays close to the identity; check that the final product
           is the identity *)
   | Lookahead
-      (** greedy variant: at every step apply {e both} candidates (next gate
-          of [g] and next inverted gate of [g']) and keep whichever yields
-          the smaller decision diagram — twice the multiplications, but
-          robust to misaligned gate orders *)
+      (** analysis-driven variant: a static cost profile of both op streams
+          ([Analysis.Cost] — Clifford membership, entangling structure,
+          cancellation pairs) schedules the alternation so the applied cost
+          mass stays balanced; when the profile has no preference, the step
+          falls back to evaluating {e both} candidate products and keeping
+          the smaller one, with the proportional order as final tie-break.
+          A window bound keeps the schedule near the proportional position,
+          so a misleading profile cannot starve one side *)
   | Simulation of int
       (** simulate both circuits on that many random computational basis
           states (seeded, reproducible) and compare state fidelities *)
@@ -46,7 +50,9 @@ type outcome =
             freedom; [Simulation]: same as [equivalent] (fidelity is
             phase-blind) *)
   ; peak_nodes : int
-        (** final matrix/vector DD size, a proxy for memory behaviour *)
+        (** largest intermediate matrix/vector DD observed during the
+            check (for [Construction], the sum of the two final system
+            matrices), a proxy for memory behaviour *)
   }
 
 val default : t

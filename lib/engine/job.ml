@@ -16,6 +16,9 @@ type spec =
   ; label : string
   ; source : source
   ; strategy : Qcec.Strategy.t option
+  ; auto_scheme : bool
+      (* when [strategy] is [None]: run the analysis passes on the parsed
+         circuits and let the cost profiles pick the application scheme *)
   ; perm : int array option
   ; transform : bool
   ; timeout : float option
@@ -26,24 +29,25 @@ type spec =
   ; backend : string
   }
 
-let files ?label ?strategy ?perm ?(transform = true) ?timeout ?(retries = 0) ?seed
-    ?(kernels = true) ?(cache = true) ?(backend = Dd.Registry.default) ~index
-    file_a file_b =
+let files ?label ?strategy ?(auto_scheme = false) ?perm ?(transform = true)
+    ?timeout ?(retries = 0) ?seed ?(kernels = true) ?(cache = true)
+    ?(backend = Dd.Registry.default) ~index file_a file_b =
   let label =
     match label with
     | Some l -> l
     | None -> Filename.basename file_a ^ " vs " ^ Filename.basename file_b
   in
-  { index; label; source = Files { file_a; file_b }; strategy; perm; transform
-  ; timeout; retries; seed; kernels; cache; backend }
+  { index; label; source = Files { file_a; file_b }; strategy; auto_scheme
+  ; perm; transform; timeout; retries; seed; kernels; cache; backend }
 
-let circuits ?label ?strategy ?perm ?(transform = true) ?timeout ?(retries = 0) ?seed
-    ?(kernels = true) ?(cache = true) ?(backend = Dd.Registry.default) ~index a b =
+let circuits ?label ?strategy ?(auto_scheme = false) ?perm ?(transform = true)
+    ?timeout ?(retries = 0) ?seed ?(kernels = true) ?(cache = true)
+    ?(backend = Dd.Registry.default) ~index a b =
   let label =
     match label with Some l -> l | None -> a.Circ.name ^ " vs " ^ b.Circ.name
   in
-  { index; label; source = Circuits { a; b }; strategy; perm; transform; timeout
-  ; retries; seed; kernels; cache; backend }
+  { index; label; source = Circuits { a; b }; strategy; auto_scheme; perm
+  ; transform; timeout; retries; seed; kernels; cache; backend }
 
 type verdict =
   { equivalent : bool

@@ -21,6 +21,11 @@ type spec =
   ; label : string
   ; source : source
   ; strategy : Qcec.Strategy.t option  (** [None]: [Qcec.Strategy.default] *)
+  ; auto_scheme : bool
+        (** when [strategy] is [None]: run the [Analysis.Cost] passes on
+            the parsed circuits and pick proportional or lookahead
+            alternation from their cost profiles (manifest [scheme =
+            "auto"]); default [false] *)
   ; perm : int array option  (** wire alignment, as in [Verify.functional] *)
   ; transform : bool
         (** [false] verifies with [~on_dynamic:`Reject]: dynamic inputs
@@ -44,6 +49,7 @@ type spec =
 val files :
      ?label:string
   -> ?strategy:Qcec.Strategy.t
+  -> ?auto_scheme:bool
   -> ?perm:int array
   -> ?transform:bool
   -> ?timeout:float
@@ -60,6 +66,7 @@ val files :
 val circuits :
      ?label:string
   -> ?strategy:Qcec.Strategy.t
+  -> ?auto_scheme:bool
   -> ?perm:int array
   -> ?transform:bool
   -> ?timeout:float

@@ -2,6 +2,7 @@ module Json = Obs.Json
 
 type defaults =
   { strategy : Qcec.Strategy.t option
+  ; auto_scheme : bool
   ; timeout : float option
   ; retries : int
   ; transform : bool
@@ -11,8 +12,9 @@ type defaults =
   }
 
 let no_defaults =
-  { strategy = None; timeout = None; retries = 0; transform = true; kernels = true
-  ; cache = true; backend = Dd.Registry.default }
+  { strategy = None; auto_scheme = false; timeout = None; retries = 0
+  ; transform = true; kernels = true; cache = true
+  ; backend = Dd.Registry.default }
 
 type t =
   { seed : int option
@@ -86,6 +88,20 @@ let strategy_field name j =
      | Ok st -> Ok (Some st)
      | Error e -> Error (Fmt.str "manifest: %s" e))
 
+(* ["scheme"] selects the application scheme: ["auto"] routes each job
+   through the analysis passes at run time; any other value is a strategy
+   synonym (so ["scheme": "lookahead"] and ["strategy": "lookahead"] are
+   the same pin). *)
+let scheme_field name j =
+  let* s = str_field name j in
+  match s with
+  | None -> Ok None
+  | Some "auto" -> Ok (Some `Auto)
+  | Some s ->
+    (match Qcec.Strategy.of_string s with
+     | Ok st -> Ok (Some (`Fixed st))
+     | Error e -> Error (Fmt.str "manifest: %s" e))
+
 let perm_field j =
   match Json.member "perm" j with
   | None -> Ok None
@@ -105,14 +121,22 @@ let defaults_of_json j =
   | None -> Ok no_defaults
   | Some d ->
     let* strategy = strategy_field "strategy" d in
+    let* scheme = scheme_field "scheme" d in
     let* timeout = num_field "timeout" d in
     let* retries = int_field "retries" d in
     let* transform = bool_field "transform" d in
     let* kernels = bool_field "kernels" d in
     let* cache = bool_field "cache" d in
     let* backend = backend_field "backend" d in
+    let strategy, auto_scheme =
+      match scheme with
+      | Some `Auto -> (None, true)
+      | Some (`Fixed st) -> (Some st, false)
+      | None -> (strategy, false)
+    in
     Ok
       { strategy
+      ; auto_scheme
       ; timeout
       ; retries = Option.value retries ~default:0
       ; transform = Option.value transform ~default:true
@@ -145,6 +169,7 @@ let job_of_json ~dir ~defaults ~manifest_seed ~index j =
     in
     let* label = str_field "label" j in
     let* strategy = strategy_field "strategy" j in
+    let* scheme = scheme_field "scheme" j in
     let* perm = perm_field j in
     let* timeout = num_field "timeout" j in
     let* retries = int_field "retries" j in
@@ -157,12 +182,22 @@ let job_of_json ~dir ~defaults ~manifest_seed ~index j =
       | Some l -> l
       | None -> Filename.basename a ^ " vs " ^ Filename.basename b
     in
+    let strategy, auto_scheme =
+      match scheme with
+      | Some `Auto -> (None, true)
+      | Some (`Fixed st) -> (Some st, false)
+      | None ->
+        (match strategy with
+         | Some _ as s -> (s, false)
+         | None -> (defaults.strategy, defaults.auto_scheme))
+    in
     Ok
       (Some
          { Job.index
          ; label
          ; source = Job.Files { file_a = resolve ~dir a; file_b = resolve ~dir b }
-         ; strategy = (match strategy with Some _ as s -> s | None -> defaults.strategy)
+         ; strategy
+         ; auto_scheme
          ; perm
          ; transform = Option.value transform ~default:defaults.transform
          ; timeout = (match timeout with Some _ as t -> t | None -> defaults.timeout)
@@ -219,7 +254,8 @@ let of_pairs ?seed ?(defaults = no_defaults) pairs =
   let jobs =
     List.mapi
       (fun index (a, b) ->
-        Job.files ?strategy:defaults.strategy ?timeout:defaults.timeout
+        Job.files ?strategy:defaults.strategy ~auto_scheme:defaults.auto_scheme
+          ?timeout:defaults.timeout
           ~retries:defaults.retries ~transform:defaults.transform
           ~kernels:defaults.kernels ~cache:defaults.cache
           ~backend:defaults.backend

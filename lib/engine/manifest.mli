@@ -21,6 +21,11 @@
     reproducible — and identical — regardless of worker count or
     scheduling order.
 
+    A ["scheme"] field (per job or in defaults) selects the application
+    scheme: ["auto"] routes each job through the static analysis passes at
+    run time (cost profiles pick proportional or lookahead alternation),
+    while any other value is a synonym for ["strategy"].
+
     A job may carry ["skip": true]: it is dropped at compile time while
     the remaining jobs keep their manifest indices (and derived seeds), so
     skipping never reshuffles a batch.  ["cache_dir"] (manifest-relative)
@@ -29,6 +34,10 @@
 
 type defaults =
   { strategy : Qcec.Strategy.t option
+  ; auto_scheme : bool
+        (** from ["scheme": "auto"]: route each job through the analysis
+            passes at run time; any other ["scheme"] value is a strategy
+            synonym and lands in [strategy] instead *)
   ; timeout : float option
   ; retries : int
   ; transform : bool

@@ -119,8 +119,25 @@ let attempt cfg ~dd_config (spec : Job.spec) =
        does not include the backend, so verdicts computed under one
        backend serve warm under any other *)
     let cache = if spec.cache then cfg.cache else None in
+    (* manifest [scheme = "auto"]: the analysis passes route the job now
+       that both circuits are parsed; an explicitly pinned strategy always
+       wins (the manifest compiler never sets both) *)
+    let strategy =
+      match spec.strategy with
+      | Some _ as s -> s
+      | None when spec.auto_scheme ->
+        Some
+          (match
+             Obs.Span.with_ "analysis.route" (fun () ->
+               Analysis.Classify.route_application (Analysis.Cost.profile a)
+                 (Analysis.Cost.profile b))
+           with
+           | Analysis.Cost.Proportional_order -> Qcec.Strategy.Proportional
+           | Analysis.Cost.Lookahead_order -> Qcec.Strategy.Lookahead)
+      | None -> None
+    in
     let r =
-      V.functional ?strategy:spec.strategy ?perm:spec.perm ~on_dynamic
+      V.functional ?strategy ?perm:spec.perm ~on_dynamic
         ?dd_config ?seed:spec.seed ~use_kernels:spec.kernels ?cache a b
     in
     { Job.equivalent = r.Qcec.Verify.equivalent
