@@ -1021,14 +1021,46 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a benchmark circuit as OpenQASM")
     Term.(const run $ family $ n $ theta $ dynamic $ output)
 
+(* [qcec batch ... | head] must exit quietly once the reader is gone: with
+   SIGPIPE ignored, writes fail as EPIPE ([Sys_error "Broken pipe"] on
+   channels), which we treat as a clean early exit.  The [Format] std
+   formatters register an at_exit flush that would re-raise on the same
+   broken pipe, so their output functions are muted first. *)
+let mute_std_formatters () =
+  List.iter
+    (fun fmt ->
+      Format.pp_set_formatter_out_functions fmt
+        { (Format.pp_get_formatter_out_functions fmt ()) with
+          Format.out_string = (fun _ _ _ -> ())
+        ; out_flush = ignore
+        })
+    [ Format.std_formatter; Format.err_formatter ]
+
+let is_broken_pipe = function
+  | Sys_error msg -> msg = "Broken pipe" || String.length msg > 11 && String.sub msg 0 11 = "Broken pipe"
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | _ -> false
+
 let () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let info =
-    Cmd.info "qcec" ~version:"1.0.0"
+    Cmd.info "qcec" ~version:Qcec.Version.string
       ~doc:"Equivalence checking of quantum circuits with non-unitary operations"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ check_cmd; verify_cmd; batch_cmd; lint_cmd; analyze_cmd
-          ; distribution_cmd; extract_cmd; transform_cmd; optimize_cmd
-          ; stats_cmd; draw_cmd; gen_cmd ]))
+  let cmd =
+    Cmd.group info
+      [ check_cmd; verify_cmd; batch_cmd; lint_cmd; analyze_cmd
+      ; distribution_cmd; extract_cmd; transform_cmd; optimize_cmd
+      ; stats_cmd; draw_cmd; gen_cmd ]
+  in
+  let code =
+    try Cmd.eval ~catch:false cmd with
+    | e when is_broken_pipe e ->
+      mute_std_formatters ();
+      0
+    | e ->
+      Fmt.epr "qcec: internal error, uncaught exception:@.%s@." (Printexc.to_string e);
+      Cmd.Exit.internal_error
+  in
+  (try flush stdout with Sys_error _ -> mute_std_formatters ());
+  exit code

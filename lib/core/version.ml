@@ -1,0 +1,1 @@
+let string = "1.1.0"

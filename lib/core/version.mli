@@ -1,0 +1,5 @@
+(** The one source of truth for the release version: [qcec_cli --version],
+    [qcec_serve --version] and the daemon's [/v1/health] payload all read
+    this value, so the three can never disagree. *)
+
+val string : string

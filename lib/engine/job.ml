@@ -67,6 +67,7 @@ type failure_class =
   | Non_unitary
   | Rejected
   | Node_limit
+  | Cancelled
   | Crash
 
 type outcome =
@@ -96,6 +97,7 @@ let failure_class_string = function
   | Non_unitary -> "non_unitary"
   | Rejected -> "rejected"
   | Node_limit -> "node_limit"
+  | Cancelled -> "cancelled"
   | Crash -> "crash"
 
 let failure_class_of_string = function
@@ -105,6 +107,7 @@ let failure_class_of_string = function
   | "non_unitary" -> Some Non_unitary
   | "rejected" -> Some Rejected
   | "node_limit" -> Some Node_limit
+  | "cancelled" -> Some Cancelled
   | "crash" -> Some Crash
   | _ -> None
 

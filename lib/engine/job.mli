@@ -100,6 +100,11 @@ type failure_class =
   | Non_unitary  (** [Strategy.Non_unitary] escaped (non-transformable op) *)
   | Rejected  (** dynamic input under [transform = false] *)
   | Node_limit  (** live DD nodes exceeded the pool's [node_limit] *)
+  | Cancelled
+      (** killed on request (the daemon's [DELETE /v1/jobs/<id>]): the
+          cancel flag of the job's {!Pool.control} was raised, and the
+          safepoint hook unwound the attempt — or the job was still
+          queued and never started *)
   | Crash  (** any other exception, [Printexc]-rendered *)
 
 type outcome =

@@ -6,9 +6,10 @@ let m_completed = M.counter "engine.jobs.completed"
 let m_failed = M.counter "engine.jobs.failed"
 let m_timeout = M.counter "engine.jobs.timeout"
 let m_retried = M.counter "engine.jobs.retried"
+let m_cancelled = M.counter "engine.jobs.cancelled"
 let m_workers = M.gauge "engine.workers.peak"
 
-exception Cancelled of [ `Timeout | `Node_limit of int ]
+exception Cancelled of [ `Timeout | `Node_limit of int | `Kill ]
 
 (* Internal: carries rendered error-severity diagnostics out of the lint
    pre-flight to the per-job classifier. *)
@@ -44,25 +45,66 @@ type batch =
 
 let now = Obs.Clock.now
 
+(* -- per-job control (cancellation + live progress) ------------------- *)
+
+type progress =
+  { phase : string
+  ; live_nodes : int
+  ; elapsed : float
+  }
+
+type control =
+  { cancel : bool Atomic.t
+  ; on_start : (unit -> unit) option
+  ; on_progress : (progress -> unit) option
+  ; progress_interval : float
+  }
+
+let control ?(progress_interval = 0.25) ?on_start ?on_progress () =
+  { cancel = Atomic.make false; on_start; on_progress; progress_interval }
+
+let cancel c = Atomic.set c.cancel true
+let cancel_requested c = Atomic.get c.cancel
+
 (* The cooperative cancellation point: [Pkg.checkpoint] (called by every
    strategy / simulator / extraction loop after each gate) fires this hook,
-   which compares the monotonic clock against the attempt's deadline and the
-   package's live-node count against the pool budget.  Raising here unwinds
-   the verification; the worker's own package is dropped with it.  The hook
-   is per backend (each keeps its own domain-local slot), so it is
-   installed on whichever backend the job resolved to. *)
-let with_guard (module B : Dd.Backend.S) ~deadline ~node_limit f =
-  (match (deadline, node_limit) with
-   | None, None -> ()
+   which compares the monotonic clock against the attempt's deadline, the
+   package's live-node count against the pool budget, and the control's
+   cancel flag.  Raising here unwinds the verification; the worker's own
+   package is dropped with it.  The hook is per backend (each keeps its own
+   domain-local slot), so it is installed on whichever backend the job
+   resolved to.  The same hook drives the daemon's heartbeat: at most one
+   [on_progress] call per [progress_interval] seconds, carrying the live
+   node count and elapsed wall clock. *)
+let with_guard (module B : Dd.Backend.S) ~deadline ~node_limit ~control f =
+  (match (deadline, node_limit, control) with
+   | None, None, None -> ()
    | _ ->
+     let t0 = now () in
+     let last_beat = ref t0 in
      B.Pkg.set_safepoint_hook
        (Some
           (fun p ->
+            (match control with
+             | Some c when Atomic.get c.cancel -> raise (Cancelled `Kill)
+             | _ -> ());
             (match deadline with
              | Some d when now () > d -> raise (Cancelled `Timeout)
              | _ -> ());
-            match node_limit with
-            | Some l when B.Pkg.live_nodes p > l -> raise (Cancelled (`Node_limit l))
+            (match node_limit with
+             | Some l when B.Pkg.live_nodes p > l -> raise (Cancelled (`Node_limit l))
+             | _ -> ());
+            match control with
+            | Some { on_progress = Some beat; progress_interval; _ } ->
+              let t = now () in
+              if t -. !last_beat >= progress_interval then begin
+                last_beat := t;
+                beat
+                  { phase = "check"
+                  ; live_nodes = B.Pkg.live_nodes p
+                  ; elapsed = t -. t0
+                  }
+              end
             | _ -> ())));
   Fun.protect ~finally:(fun () -> B.Pkg.set_safepoint_hook None) f
 
@@ -76,7 +118,7 @@ let render_diagnostics diags =
    so their failures are classified per job, and so the wall-clock deadline
    covers them too (cancellation between gates only triggers once DD work
    starts, which is where all the time goes). *)
-let attempt cfg ~dd_config (spec : Job.spec) =
+let attempt cfg ~dd_config ~control (spec : Job.spec) =
   let deadline = Option.map (fun s -> now () +. s) spec.timeout in
   (* resolved before any parsing so a bad registry name fails fast; the
      manifest and the CLI both validate up front, this covers direct
@@ -110,7 +152,7 @@ let attempt cfg ~dd_config (spec : Job.spec) =
     in
     if errors <> [] then raise (Lint_failed (render_diagnostics errors))
   end;
-  with_guard backend ~deadline ~node_limit:cfg.node_limit (fun () ->
+  with_guard backend ~deadline ~node_limit:cfg.node_limit ~control (fun () ->
     let module B = (val backend : Dd.Backend.S) in
     let module V = Qcec.Verify.Make (B) in
     let on_dynamic = if spec.transform then `Transform else `Reject in
@@ -154,6 +196,7 @@ let classify = function
   | Cancelled `Timeout -> (Job.Timeout, "wall-clock budget exhausted")
   | Cancelled (`Node_limit l) ->
     (Job.Node_limit, Fmt.str "live DD nodes exceeded the %d-node budget" l)
+  | Cancelled `Kill -> (Job.Cancelled, "cancelled by request")
   | Lint_failed msg -> (Job.Lint_error, msg)
   | Circuit.Qasm_parser.Parse_error (msg, line) ->
     (Job.Parse_error, Fmt.str "line %d: %s" line msg)
@@ -176,12 +219,15 @@ let relax cfg dd_config =
       }
   | None -> None
 
-let run_job cfg ~worker (spec : Job.spec) =
+let run_job ?control cfg ~worker (spec : Job.spec) =
   let m0 = M.snapshot () in
   let t0 = now () in
+  (match control with
+   | Some { on_start = Some f; _ } -> f ()
+   | _ -> ());
   let rec go ~attempts dd_config =
     let outcome =
-      match attempt cfg ~dd_config spec with
+      match attempt cfg ~dd_config ~control spec with
       | v -> Job.Verdict v
       | exception e ->
         let reason, message = classify e in
@@ -198,7 +244,8 @@ let run_job cfg ~worker (spec : Job.spec) =
    | Job.Verdict _ -> M.incr m_completed
    | Job.Failed { reason; _ } ->
      M.incr m_failed;
-     if reason = Job.Timeout then M.incr m_timeout);
+     if reason = Job.Timeout then M.incr m_timeout;
+     if reason = Job.Cancelled then M.incr m_cancelled);
   { Job.index = spec.index
   ; label = spec.label
   ; files_checked =
@@ -296,3 +343,144 @@ let run (cfg : config) specs =
          | None -> assert false (* every index was taken and published *))
   in
   { results; wall_seconds; workers; metrics; spans }
+
+(* -- persistent pool (the daemon's execution substrate) ---------------- *)
+
+(* Unlike [run], which spawns domains for one batch and joins them, a
+   persistent pool keeps its worker domains alive across submissions: jobs
+   arrive one at a time (the daemon's admission queue feeds them in) and
+   each completion is delivered through its own callback, on the worker
+   domain that ran it.  Queueing here is deliberately unbounded — admission
+   control (bounded queue, 429s) is the caller's policy, not the pool's. *)
+
+type task =
+  { spec : Job.spec
+  ; control : control option
+  ; on_done : Job.result -> unit
+  }
+
+type pool =
+  { pcfg : config
+  ; lock : Mutex.t
+  ; nonempty : Condition.t  (** signalled on submit and on shutdown *)
+  ; queue : task Queue.t
+  ; mutable stopping : bool
+  ; mutable active : int  (** tasks currently executing on a worker *)
+  ; mutable domains : (M.snapshot * Obs.Span.entry list) Domain.t list
+  }
+
+(* A structured result for a job that never ran (cancelled while queued,
+   or abandoned by a non-draining shutdown). *)
+let unstarted_result ~reason ~message (spec : Job.spec) =
+  { Job.index = spec.index
+  ; label = spec.label
+  ; files_checked =
+      (match spec.source with
+       | Job.Files { file_a; file_b } -> Some (file_a, file_b)
+       | Job.Circuits _ -> None)
+  ; outcome = Job.Failed { reason; message }
+  ; duration = 0.0
+  ; attempts = 0
+  ; worker = -1
+  ; seed = spec.seed
+  ; backend = spec.backend
+  ; metrics = []
+  }
+
+let persistent_worker pool wid () =
+  let rec loop () =
+    Mutex.lock pool.lock;
+    while Queue.is_empty pool.queue && not pool.stopping do
+      Condition.wait pool.nonempty pool.lock
+    done;
+    if Queue.is_empty pool.queue then begin
+      (* stopping, and the queue is drained *)
+      Mutex.unlock pool.lock;
+      (M.snapshot (), Obs.Span.report ())
+    end
+    else begin
+      let task = Queue.pop pool.queue in
+      pool.active <- pool.active + 1;
+      Mutex.unlock pool.lock;
+      let r =
+        match task.control with
+        | Some c when Atomic.get c.cancel ->
+          M.incr m_cancelled;
+          { (unstarted_result ~reason:Job.Cancelled
+               ~message:"cancelled while queued" task.spec)
+            with Job.worker = wid }
+        | control -> run_job ?control pool.pcfg ~worker:wid task.spec
+      in
+      (* a misbehaving completion callback must not kill the worker *)
+      (try task.on_done r with _ -> ());
+      Mutex.lock pool.lock;
+      pool.active <- pool.active - 1;
+      Mutex.unlock pool.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create (cfg : config) =
+  let workers = max 1 cfg.workers in
+  M.observe m_workers workers;
+  let pool =
+    { pcfg = { cfg with workers }
+    ; lock = Mutex.create ()
+    ; nonempty = Condition.create ()
+    ; queue = Queue.create ()
+    ; stopping = false
+    ; active = 0
+    ; domains = []
+    }
+  in
+  pool.domains <-
+    List.init workers (fun wid -> Domain.spawn (persistent_worker pool wid));
+  pool
+
+let submit pool ?control ~on_done spec =
+  Mutex.protect pool.lock (fun () ->
+    if pool.stopping then Error `Stopped
+    else begin
+      M.incr m_scheduled;
+      Queue.push { spec; control; on_done } pool.queue;
+      Condition.signal pool.nonempty;
+      Ok ()
+    end)
+
+let pending pool = Mutex.protect pool.lock (fun () -> Queue.length pool.queue)
+let active pool = Mutex.protect pool.lock (fun () -> pool.active)
+
+let shutdown ?(drain = true) pool =
+  let abandoned =
+    Mutex.protect pool.lock (fun () ->
+      pool.stopping <- true;
+      let abandoned =
+        if drain then []
+        else begin
+          let l = List.of_seq (Queue.to_seq pool.queue) in
+          Queue.clear pool.queue;
+          l
+        end
+      in
+      Condition.broadcast pool.nonempty;
+      abandoned)
+  in
+  List.iter
+    (fun t ->
+      M.incr m_cancelled;
+      try
+        t.on_done
+          (unstarted_result ~reason:Job.Cancelled ~message:"pool shut down"
+             t.spec)
+      with _ -> ())
+    abandoned;
+  let harvests = List.map Domain.join pool.domains in
+  pool.domains <- [];
+  (* fold worker registries into the calling domain, as [run] does, so the
+     daemon's process-level metrics include everything the pool executed *)
+  List.iter
+    (fun (m, s) ->
+      M.absorb m;
+      Obs.Span.absorb s)
+    harvests

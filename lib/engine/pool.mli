@@ -26,8 +26,46 @@
     trading memory for time. *)
 
 (** Raised inside a worker at a DD safepoint to unwind a cancelled
-    attempt; classified into [Job.Timeout] / [Job.Node_limit]. *)
-exception Cancelled of [ `Timeout | `Node_limit of int ]
+    attempt; classified into [Job.Timeout] / [Job.Node_limit] /
+    [Job.Cancelled] (for [`Kill], a raised {!control} cancel flag). *)
+exception Cancelled of [ `Timeout | `Node_limit of int | `Kill ]
+
+(** {1 Per-job control: cancellation and live progress}
+
+    A {!control} rides along with a job submission and plugs into the same
+    safepoint hook that implements timeouts: raising the cancel flag
+    unwinds the attempt at its next DD safepoint, and [on_progress] (if
+    given) is invoked from that hook — on the worker domain — at most once
+    per [progress_interval] seconds with the package's live node count and
+    the attempt's elapsed wall clock.  This is what the daemon's
+    [DELETE /v1/jobs/<id>] and SSE heartbeat stream are built on. *)
+
+type progress =
+  { phase : string  (** currently always ["check"] (DD work underway) *)
+  ; live_nodes : int
+  ; elapsed : float  (** seconds since the attempt started *)
+  }
+
+type control
+
+(** [control ()] makes a fresh, un-cancelled control.  [progress_interval]
+    defaults to 0.25s; [on_start] fires on the worker just before the
+    first attempt; [on_progress] must be thread-safe (it runs on the
+    worker domain, between gate applications — keep it cheap). *)
+val control :
+     ?progress_interval:float
+  -> ?on_start:(unit -> unit)
+  -> ?on_progress:(progress -> unit)
+  -> unit
+  -> control
+
+(** [cancel c] requests cooperative cancellation: a running job unwinds at
+    its next safepoint into a [Job.Cancelled] failure; a queued job is
+    skipped when a worker picks it up.  Idempotent, safe from any
+    thread. *)
+val cancel : control -> unit
+
+val cancel_requested : control -> bool
 
 type config =
   { workers : int  (** domain count; clamped to [1 .. max 1 (#jobs)] *)
@@ -61,3 +99,43 @@ type batch =
     result.  Worker domains are always spawned (also for [workers = 1]),
     so single- and multi-worker runs execute identically. *)
 val run : config -> Job.spec list -> batch
+
+(** {1 Persistent pool}
+
+    The daemon's execution substrate: [config.workers] domains stay alive
+    across submissions instead of being spawned per batch.  Jobs are
+    queued (unboundedly — admission control is the {e caller's} policy)
+    and every completion is delivered through its own callback, invoked on
+    the worker domain that ran the job.  [config.on_result] is ignored in
+    this mode. *)
+
+type pool
+
+val create : config -> pool
+
+(** [submit pool ?control ~on_done spec] enqueues one job.  [on_done] runs
+    on a worker domain and must be thread-safe.  [Error `Stopped] once
+    {!shutdown} has begun.  A job whose [control] is cancelled while still
+    queued is skipped: [on_done] receives a [Job.Cancelled] failure
+    without any parsing or DD work. *)
+val submit :
+     pool
+  -> ?control:control
+  -> on_done:(Job.result -> unit)
+  -> Job.spec
+  -> (unit, [ `Stopped ]) result
+
+(** Jobs queued but not yet picked up by a worker. *)
+val pending : pool -> int
+
+(** Jobs currently executing. *)
+val active : pool -> int
+
+(** [shutdown ?drain pool] stops the pool and blocks until every worker
+    domain has exited, then folds their metric/span registries into the
+    calling domain (as {!run} does).  With [drain = true] (default) queued
+    jobs run to completion first; with [drain = false] they are abandoned
+    — each still gets its [on_done] with a [Job.Cancelled] failure — and
+    workers exit after their current job.  Further {!submit}s return
+    [Error `Stopped] from the moment shutdown begins. *)
+val shutdown : ?drain:bool -> pool -> unit

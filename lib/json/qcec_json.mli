@@ -1,0 +1,51 @@
+(** Minimal, dependency-free JSON shared by every layer that speaks it:
+    metric snapshots, span reports, benchmark rows, manifests, result
+    streams — and the HTTP server's request/response bodies.  One value
+    type, one serializer, and a strict parser, so what one layer emits any
+    other can consume.
+
+    Strings serialize as valid JSON for {e any} OCaml string: ["\""],
+    ["\\"] and every control character below [0x20] are escaped (the
+    common ones as [\n]/[\r]/[\t]/[\b]/[\f], the rest as [\u00XX]), so
+    embedded QASM sources and failure messages round-trip byte-exactly.
+
+    Serialization notes: [Float] values that are not finite have no JSON
+    representation and are emitted as [null]; finite floats are printed with
+    17 significant digits, which round-trips every IEEE double. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** [to_string ?pretty v] serializes [v]; [pretty] (default [false]) adds
+    newlines and two-space indentation. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** [to_file path v] writes [to_string ~pretty:true v] plus a trailing
+    newline to [path]. *)
+val to_file : string -> t -> unit
+
+(** [of_string s] parses a single JSON value, rejecting trailing garbage.
+    Raises {!Parse_error}.  Numbers without [.], [e] or [E] that fit in an
+    OCaml [int] parse as [Int]; all others as [Float]. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+
+(** [member key v] is the value bound to [key] if [v] is an object
+    containing it. *)
+val member : string -> t -> t option
+
+(** [equal a b] is structural equality, with [Int]/[Float] compared
+    numerically (so values survive a serialize/parse round trip even when
+    a float prints without a decimal point). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,325 +1,7 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
+(* The JSON value type, printer and parser live in the dependency-free
+   [Qcec_json] library so that layers with no observability needs (the
+   HTTP server's request parsing, the manifest compiler) share one
+   implementation.  [Obs.Json] re-exports it unchanged: every historical
+   [Obs.Json.*] reference keeps compiling against the same type. *)
 
-exception Parse_error of string
-
-(* ---------------------------------------------------------------- *)
-(* Serialization                                                    *)
-(* ---------------------------------------------------------------- *)
-
-let escape_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\b' -> Buffer.add_string buf "\\b"
-      | '\012' -> Buffer.add_string buf "\\f"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let add_float buf f =
-  if not (Float.is_finite f) then Buffer.add_string buf "null"
-  else begin
-    let s = Printf.sprintf "%.17g" f in
-    (* shorten when a lower precision already round-trips *)
-    let short = Printf.sprintf "%.12g" f in
-    Buffer.add_string buf (if float_of_string short = f then short else s)
-  end
-
-let to_string ?(pretty = false) v =
-  let buf = Buffer.create 256 in
-  let indent level =
-    if pretty then begin
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf (String.make (2 * level) ' ')
-    end
-  in
-  let rec go level = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f -> add_float buf f
-    | String s -> escape_string buf s
-    | List [] -> Buffer.add_string buf "[]"
-    | List items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_char buf ',';
-          indent (level + 1);
-          go (level + 1) item)
-        items;
-      indent level;
-      Buffer.add_char buf ']'
-    | Obj [] -> Buffer.add_string buf "{}"
-    | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, item) ->
-          if i > 0 then Buffer.add_char buf ',';
-          indent (level + 1);
-          escape_string buf k;
-          Buffer.add_string buf (if pretty then ": " else ":");
-          go (level + 1) item)
-        fields;
-      indent level;
-      Buffer.add_char buf '}'
-  in
-  go 0 v;
-  Buffer.contents buf
-
-let to_file path v =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string ~pretty:true v);
-      output_char oc '\n')
-
-(* ---------------------------------------------------------------- *)
-(* Parsing: a strict recursive-descent parser over the input string  *)
-(* ---------------------------------------------------------------- *)
-
-type parser_state =
-  { src : string
-  ; mutable pos : int
-  }
-
-let fail st msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
-
-let advance st = st.pos <- st.pos + 1
-
-let rec skip_ws st =
-  match peek st with
-  | Some (' ' | '\t' | '\n' | '\r') ->
-    advance st;
-    skip_ws st
-  | _ -> ()
-
-let expect st c =
-  match peek st with
-  | Some c' when c' = c -> advance st
-  | _ -> fail st (Printf.sprintf "expected %C" c)
-
-let literal st word value =
-  let len = String.length word in
-  if st.pos + len <= String.length st.src && String.sub st.src st.pos len = word then begin
-    st.pos <- st.pos + len;
-    value
-  end
-  else fail st (Printf.sprintf "expected %s" word)
-
-let parse_hex4 st =
-  if st.pos + 4 > String.length st.src then fail st "truncated \\u escape";
-  let v = ref 0 in
-  for _ = 1 to 4 do
-    let d =
-      match st.src.[st.pos] with
-      | '0' .. '9' as c -> Char.code c - Char.code '0'
-      | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
-      | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
-      | _ -> fail st "invalid \\u escape"
-    in
-    v := (!v * 16) + d;
-    advance st
-  done;
-  !v
-
-(* encode a unicode scalar as UTF-8 (surrogate pairs are combined first) *)
-let add_utf8 buf cp =
-  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
-  else if cp < 0x800 then begin
-    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
-    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-  end
-  else if cp < 0x10000 then begin
-    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
-    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
-    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-  end
-  else begin
-    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
-    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
-    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
-    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-  end
-
-let parse_string_body st =
-  expect st '"';
-  let buf = Buffer.create 16 in
-  let rec go () =
-    match peek st with
-    | None -> fail st "unterminated string"
-    | Some '"' -> advance st
-    | Some '\\' ->
-      advance st;
-      (match peek st with
-       | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
-       | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
-       | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
-       | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
-       | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
-       | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
-       | Some 'b' -> advance st; Buffer.add_char buf '\b'; go ()
-       | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
-       | Some 'u' ->
-         advance st;
-         let cp = parse_hex4 st in
-         let cp =
-           (* high surrogate: a low surrogate must follow *)
-           if cp >= 0xD800 && cp <= 0xDBFF
-              && st.pos + 1 < String.length st.src
-              && st.src.[st.pos] = '\\'
-              && st.src.[st.pos + 1] = 'u'
-           then begin
-             st.pos <- st.pos + 2;
-             let lo = parse_hex4 st in
-             if lo >= 0xDC00 && lo <= 0xDFFF then
-               0x10000 + ((cp - 0xD800) * 0x400) + (lo - 0xDC00)
-             else fail st "invalid surrogate pair"
-           end
-           else cp
-         in
-         add_utf8 buf cp;
-         go ()
-       | _ -> fail st "invalid escape")
-    | Some c when Char.code c < 0x20 -> fail st "raw control character in string"
-    | Some c ->
-      advance st;
-      Buffer.add_char buf c;
-      go ()
-  in
-  go ();
-  Buffer.contents buf
-
-let parse_number st =
-  let start = st.pos in
-  let is_num_char = function
-    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-    | _ -> false
-  in
-  while (match peek st with Some c -> is_num_char c | None -> false) do
-    advance st
-  done;
-  let s = String.sub st.src start (st.pos - start) in
-  let has_frac = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) s in
-  if has_frac then begin
-    match float_of_string_opt s with
-    | Some f -> Float f
-    | None -> fail st (Printf.sprintf "invalid number %S" s)
-  end
-  else begin
-    match int_of_string_opt s with
-    | Some i -> Int i
-    | None ->
-      (match float_of_string_opt s with
-       | Some f -> Float f
-       | None -> fail st (Printf.sprintf "invalid number %S" s))
-  end
-
-let rec parse_value st =
-  skip_ws st;
-  match peek st with
-  | None -> fail st "unexpected end of input"
-  | Some 'n' -> literal st "null" Null
-  | Some 't' -> literal st "true" (Bool true)
-  | Some 'f' -> literal st "false" (Bool false)
-  | Some '"' -> String (parse_string_body st)
-  | Some '[' ->
-    advance st;
-    skip_ws st;
-    if peek st = Some ']' then begin
-      advance st;
-      List []
-    end
-    else begin
-      let rec items acc =
-        let v = parse_value st in
-        skip_ws st;
-        match peek st with
-        | Some ',' ->
-          advance st;
-          items (v :: acc)
-        | Some ']' ->
-          advance st;
-          List.rev (v :: acc)
-        | _ -> fail st "expected ',' or ']'"
-      in
-      List (items [])
-    end
-  | Some '{' ->
-    advance st;
-    skip_ws st;
-    if peek st = Some '}' then begin
-      advance st;
-      Obj []
-    end
-    else begin
-      let field () =
-        skip_ws st;
-        let k = parse_string_body st in
-        skip_ws st;
-        expect st ':';
-        let v = parse_value st in
-        (k, v)
-      in
-      let rec fields acc =
-        let kv = field () in
-        skip_ws st;
-        match peek st with
-        | Some ',' ->
-          advance st;
-          fields (kv :: acc)
-        | Some '}' ->
-          advance st;
-          List.rev (kv :: acc)
-        | _ -> fail st "expected ',' or '}'"
-      in
-      Obj (fields [])
-    end
-  | Some ('-' | '0' .. '9') -> parse_number st
-  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
-
-let of_string s =
-  let st = { src = s; pos = 0 } in
-  let v = parse_value st in
-  skip_ws st;
-  if st.pos <> String.length s then fail st "trailing garbage after JSON value";
-  v
-
-let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
-
-let member key = function
-  | Obj fields -> List.assoc_opt key fields
-  | _ -> None
-
-let rec equal a b =
-  match (a, b) with
-  | Null, Null -> true
-  | Bool x, Bool y -> x = y
-  | Int x, Int y -> x = y
-  | Float x, Float y -> x = y || (Float.is_nan x && Float.is_nan y)
-  | Int x, Float y | Float y, Int x -> float_of_int x = y
-  | String x, String y -> String.equal x y
-  | List x, List y -> List.compare_lengths x y = 0 && List.for_all2 equal x y
-  | Obj x, Obj y ->
-    List.compare_lengths x y = 0
-    && List.for_all2 (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb) x y
-  | _ -> false
-
-let pp ppf v = Format.pp_print_string ppf (to_string ~pretty:true v)
+include Qcec_json

@@ -1,44 +1,9 @@
-(** Minimal, dependency-free JSON: just enough to serialize metric
-    snapshots, span reports and benchmark rows into a stable schema, plus a
-    strict parser so tests (and CI) can round-trip what we emit.
+(** Re-export of {!Qcec_json}, the shared dependency-free JSON value type,
+    serializer and strict parser (see [lib/json]).  Kept under [Obs] so the
+    metric/span/report schemas and their historical [Obs.Json] consumers
+    need no change; new code that only needs JSON should depend on
+    [qcec_json] directly. *)
 
-    Serialization notes: [Float] values that are not finite have no JSON
-    representation and are emitted as [null]; finite floats are printed with
-    17 significant digits, which round-trips every IEEE double. *)
-
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-exception Parse_error of string
-
-(** [to_string ?pretty v] serializes [v]; [pretty] (default [false]) adds
-    newlines and two-space indentation. *)
-val to_string : ?pretty:bool -> t -> string
-
-(** [to_file path v] writes [to_string ~pretty:true v] plus a trailing
-    newline to [path]. *)
-val to_file : string -> t -> unit
-
-(** [of_string s] parses a single JSON value, rejecting trailing garbage.
-    Raises {!Parse_error}.  Numbers without [.], [e] or [E] that fit in an
-    OCaml [int] parse as [Int]; all others as [Float]. *)
-val of_string : string -> t
-
-val of_string_opt : string -> t option
-
-(** [member key v] is the value bound to [key] if [v] is an object
-    containing it. *)
-val member : string -> t -> t option
-
-(** [equal a b] is structural equality, with [Int]/[Float] compared
-    numerically (so values survive a serialize/parse round trip even when
-    a float prints without a decimal point). *)
-val equal : t -> t -> bool
-
-val pp : Format.formatter -> t -> unit
+include module type of struct
+  include Qcec_json
+end

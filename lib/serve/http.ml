@@ -1,0 +1,240 @@
+exception Bad_request of string
+exception Payload_too_large of int
+
+type request =
+  { meth : string
+  ; target : string
+  ; path : string
+  ; query : (string * string) list
+  ; version : string
+  ; headers : (string * string) list
+  ; body : string
+  }
+
+let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+(* ---------------------------------------------------------------- *)
+(* Buffered reading from a file descriptor                          *)
+(* ---------------------------------------------------------------- *)
+
+type reader =
+  { fd : Unix.file_descr
+  ; buf : Bytes.t
+  ; mutable pos : int
+  ; mutable len : int
+  }
+
+let reader fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+let refill r =
+  let n = Unix.read r.fd r.buf 0 (Bytes.length r.buf) in
+  r.pos <- 0;
+  r.len <- n;
+  n > 0
+
+let read_byte r =
+  if r.pos >= r.len && not (refill r) then raise End_of_file;
+  let c = Bytes.get r.buf r.pos in
+  r.pos <- r.pos + 1;
+  c
+
+(* One CRLF- (or bare-LF-) terminated line, without the terminator.  The
+   bound keeps a hostile peer from growing an unbounded header line. *)
+let max_line = 16 * 1024
+
+let read_line r =
+  let b = Buffer.create 64 in
+  let rec go () =
+    match read_byte r with
+    | '\n' -> ()
+    | c ->
+      if Buffer.length b >= max_line then raise (Bad_request "header line too long");
+      Buffer.add_char b c;
+      go ()
+  in
+  go ();
+  let s = Buffer.contents b in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let read_exact r n =
+  let b = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if r.pos >= r.len && not (refill r) then
+      raise (Bad_request "body shorter than its declared length");
+    let take = min (n - !filled) (r.len - r.pos) in
+    Bytes.blit r.buf r.pos b !filled take;
+    r.pos <- r.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.unsafe_to_string b
+
+(* ---------------------------------------------------------------- *)
+(* Request parsing                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let pct_decode s =
+  let b = Buffer.create (String.length s) in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> raise (Bad_request "invalid percent-encoding")
+  in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (match s.[!i] with
+     | '%' ->
+       if !i + 2 >= n then raise (Bad_request "truncated percent-encoding");
+       Buffer.add_char b (Char.chr ((hex s.[!i + 1] * 16) + hex s.[!i + 2]));
+       i := !i + 2
+     | '+' -> Buffer.add_char b ' '
+     | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some q ->
+    let path = String.sub target 0 q in
+    let qs = String.sub target (q + 1) (String.length target - q - 1) in
+    let pairs =
+      String.split_on_char '&' qs
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun kv ->
+           match String.index_opt kv '=' with
+           | None -> (pct_decode kv, "")
+           | Some e ->
+             ( pct_decode (String.sub kv 0 e)
+             , pct_decode (String.sub kv (e + 1) (String.length kv - e - 1)) ))
+    in
+    (path, pairs)
+
+let max_headers = 128
+
+let read_headers r =
+  let rec go acc n =
+    match read_line r with
+    | "" -> List.rev acc
+    | line ->
+      if n >= max_headers then raise (Bad_request "too many headers");
+      (match String.index_opt line ':' with
+       | None -> raise (Bad_request "malformed header line")
+       | Some c ->
+         let name = String.lowercase_ascii (String.trim (String.sub line 0 c)) in
+         let value = String.trim (String.sub line (c + 1) (String.length line - c - 1)) in
+         go ((name, value) :: acc) (n + 1))
+  in
+  go [] 0
+
+(* chunked transfer decoding; chunk extensions (after ';') are ignored,
+   trailer headers are read and dropped *)
+let read_chunked r ~max_body =
+  let b = Buffer.create 1024 in
+  let rec go () =
+    let line = read_line r in
+    let size_str =
+      match String.index_opt line ';' with
+      | None -> String.trim line
+      | Some i -> String.trim (String.sub line 0 i)
+    in
+    let size =
+      match int_of_string_opt ("0x" ^ size_str) with
+      | Some n when n >= 0 -> n
+      | _ -> raise (Bad_request "malformed chunk size")
+    in
+    if Buffer.length b + size > max_body then raise (Payload_too_large max_body);
+    if size = 0 then begin
+      (* trailers, then the final blank line *)
+      let rec trailers () = if read_line r <> "" then trailers () in
+      trailers ()
+    end
+    else begin
+      Buffer.add_string b (read_exact r size);
+      (match read_line r with
+       | "" -> ()
+       | _ -> raise (Bad_request "missing CRLF after chunk"));
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents b
+
+let read_request ?(max_body = 4 * 1024 * 1024) r =
+  match read_line r with
+  | exception End_of_file -> None
+  | request_line ->
+    let meth, target, version =
+      match String.split_on_char ' ' request_line with
+      | [ m; t; v ] when m <> "" && t <> "" -> (m, t, v)
+      | _ -> raise (Bad_request "malformed request line")
+    in
+    if not (String.length version >= 8 && String.sub version 0 7 = "HTTP/1.") then
+      raise (Bad_request "unsupported HTTP version");
+    let headers = read_headers r in
+    let body =
+      match List.assoc_opt "transfer-encoding" headers with
+      | Some te when String.lowercase_ascii te = "chunked" -> read_chunked r ~max_body
+      | Some _ -> raise (Bad_request "unsupported transfer encoding")
+      | None ->
+        (match List.assoc_opt "content-length" headers with
+         | None -> ""
+         | Some l ->
+           (match int_of_string_opt (String.trim l) with
+            | Some n when n >= 0 ->
+              if n > max_body then raise (Payload_too_large max_body);
+              read_exact r n
+            | _ -> raise (Bad_request "malformed content-length")))
+    in
+    let path, query = split_target target in
+    Some { meth; target; path; query; version; headers; body }
+
+(* ---------------------------------------------------------------- *)
+(* Responses                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 202 -> "Accepted"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | s -> Printf.sprintf "Status %d" s
+
+let response ?(headers = []) ?(content_type = "application/json") ~status body =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.add_string b body;
+  Buffer.contents b
+
+(* headers-only prologue for a streaming (SSE) response *)
+let stream_head ?(headers = []) ~content_type ~status () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v)) headers;
+  Buffer.add_string b "Cache-Control: no-cache\r\nConnection: close\r\n\r\n";
+  Buffer.contents b
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done

@@ -1,0 +1,53 @@
+(** A deliberately small HTTP/1.1 layer over [Unix] file descriptors — no
+    cohttp, no lwt.  One request per connection ([Connection: close] on
+    every response): the daemon's API is poll/submit/stream-shaped, where
+    keep-alive buys little and a single-shot model keeps the server loop
+    trivially robust.
+
+    Bodies are read eagerly, bounded by [max_body]: a declared or chunked
+    length beyond it raises {!Payload_too_large} (HTTP 413), anything
+    structurally wrong raises {!Bad_request} (HTTP 400). *)
+
+exception Bad_request of string
+exception Payload_too_large of int
+
+type request =
+  { meth : string  (** verbatim, e.g. ["GET"] *)
+  ; target : string  (** the raw request target, query string included *)
+  ; path : string  (** target up to [?] *)
+  ; query : (string * string) list  (** percent-decoded query pairs *)
+  ; version : string
+  ; headers : (string * string) list  (** names lowercased, values trimmed *)
+  ; body : string  (** decoded (identity or chunked) body *)
+  }
+
+(** [header req name] is case-insensitive on [name]. *)
+val header : request -> string -> string option
+
+type reader
+
+val reader : Unix.file_descr -> reader
+
+(** [read_request ?max_body r] reads one full request.  [None] on a clean
+    EOF before the request line (the peer connected and left).
+    @raise Bad_request on malformed framing
+    @raise Payload_too_large when the body exceeds [max_body]
+    (default 4 MiB) *)
+val read_request : ?max_body:int -> reader -> request option
+
+val status_text : int -> string
+
+(** [response ~status body] serializes a complete response with
+    [Content-Length], [Content-Type] (default [application/json]) and
+    [Connection: close]. *)
+val response :
+  ?headers:(string * string) list -> ?content_type:string -> status:int -> string -> string
+
+(** Status line + headers only, for responses streamed incrementally
+    (SSE); includes [Cache-Control: no-cache] and [Connection: close]. *)
+val stream_head :
+  ?headers:(string * string) list -> content_type:string -> status:int -> unit -> string
+
+(** [write_all fd s] loops over partial writes.  Raises [Unix.Unix_error]
+    ([EPIPE] once the peer is gone — callers treat that as a hangup). *)
+val write_all : Unix.file_descr -> string -> unit

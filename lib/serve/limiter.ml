@@ -1,0 +1,46 @@
+type bucket =
+  { mutable tokens : float
+  ; mutable at : float
+  }
+
+type t =
+  { rate : float
+  ; burst : float
+  ; lock : Mutex.t
+  ; buckets : (string, bucket) Hashtbl.t
+  }
+
+let create ~rate ~burst =
+  { rate; burst = float_of_int (max 1 burst); lock = Mutex.create (); buckets = Hashtbl.create 64 }
+
+(* drop buckets that have refilled completely: they hold no state a fresh
+   one would not *)
+let prune t now =
+  let dead =
+    Hashtbl.fold
+      (fun k b acc ->
+        if b.tokens +. ((now -. b.at) *. t.rate) >= t.burst then k :: acc else acc)
+      t.buckets []
+  in
+  List.iter (Hashtbl.remove t.buckets) dead
+
+let check t ~key ~now =
+  if t.rate <= 0.0 then Ok ()
+  else
+    Mutex.protect t.lock (fun () ->
+      if Hashtbl.length t.buckets > 4096 then prune t now;
+      let b =
+        match Hashtbl.find_opt t.buckets key with
+        | Some b -> b
+        | None ->
+          let b = { tokens = t.burst; at = now } in
+          Hashtbl.replace t.buckets key b;
+          b
+      in
+      b.tokens <- Float.min t.burst (b.tokens +. ((now -. b.at) *. t.rate));
+      b.at <- now;
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        Ok ()
+      end
+      else Error ((1.0 -. b.tokens) /. t.rate))

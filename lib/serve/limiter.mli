@@ -1,0 +1,16 @@
+(** Per-client token-bucket rate limiting for job submissions.
+
+    Each client key (the daemon uses the peer IP) owns a bucket of
+    [burst] tokens refilled at [rate] tokens/second; a submission spends
+    one.  An empty bucket yields the seconds until the next token — the
+    [Retry-After] the daemon sends with its 429. *)
+
+type t
+
+(** [rate <= 0.0] disables limiting entirely ({!check} always [Ok]). *)
+val create : rate:float -> burst:int -> t
+
+(** [check t ~key ~now] spends one token, or returns
+    [Error seconds_until_a_token].  [now] is injected (monotonic seconds)
+    so tests can drive refill deterministically.  Thread-safe. *)
+val check : t -> key:string -> now:float -> (unit, float) result

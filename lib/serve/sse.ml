@@ -1,0 +1,66 @@
+type event =
+  { id : int option
+  ; event : string option
+  ; data : string
+  }
+
+let encode e =
+  let b = Buffer.create (64 + String.length e.data) in
+  (match e.id with
+   | Some id -> Buffer.add_string b (Printf.sprintf "id: %d\n" id)
+   | None -> ());
+  (match e.event with
+   | Some name -> Buffer.add_string b (Printf.sprintf "event: %s\n" name)
+   | None -> ());
+  (* multi-line payloads become one data: line each; the decoder joins
+     them back with \n, per the SSE specification *)
+  List.iter
+    (fun line -> Buffer.add_string b (Printf.sprintf "data: %s\n" line))
+    (String.split_on_char '\n' e.data);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let comment msg = Printf.sprintf ": %s\n\n" msg
+
+(* strictly-framed decoder for tests and clients: frames are separated by
+   a blank line; unknown fields and comment lines are skipped *)
+let decode s =
+  let lines = String.split_on_char '\n' s in
+  let strip l =
+    let n = String.length l in
+    if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+  in
+  let field l name =
+    let p = name ^ ":" in
+    let pn = String.length p in
+    if String.length l >= pn && String.sub l 0 pn = p then begin
+      let v = String.sub l pn (String.length l - pn) in
+      Some (if String.length v > 0 && v.[0] = ' ' then String.sub v 1 (String.length v - 1) else v)
+    end
+    else None
+  in
+  let flush (id, name, data) acc =
+    match (id, name, data) with
+    | None, None, [] -> acc
+    | _ -> { id; event = name; data = String.concat "\n" (List.rev data) } :: acc
+  in
+  let rec go acc cur = function
+    | [] -> List.rev (flush cur acc)
+    | line :: rest ->
+      let line = strip line in
+      if line = "" then go (flush cur acc) (None, None, []) rest
+      else if line.[0] = ':' then go acc cur rest
+      else begin
+        let id, name, data = cur in
+        match field line "id" with
+        | Some v -> go acc (int_of_string_opt v, name, data) rest
+        | None ->
+          (match field line "event" with
+           | Some v -> go acc (id, Some v, data) rest
+           | None ->
+             (match field line "data" with
+              | Some v -> go acc (id, name, v :: data) rest
+              | None -> go acc cur rest))
+      end
+  in
+  go [] (None, None, []) lines

@@ -1,0 +1,23 @@
+(** Server-sent-events framing ([text/event-stream]).
+
+    The daemon's per-job progress stream speaks this format: every frame
+    carries a monotonically increasing [id] (the job-local sequence
+    number, usable as [Last-Event-ID] on reconnect), an [event] name
+    ([queued] / [started] / [progress] / [done]) and one JSON document as
+    [data].  {!decode} inverts {!encode} exactly — the round-trip is
+    pinned by tests. *)
+
+type event =
+  { id : int option
+  ; event : string option
+  ; data : string  (** may span lines; encoded as one [data:] line each *)
+  }
+
+val encode : event -> string
+
+(** A keep-alive comment frame ([: msg]), ignored by decoders. *)
+val comment : string -> string
+
+(** [decode s] parses a complete stream (comments and unknown fields are
+    skipped; frames end at a blank line). *)
+val decode : string -> event list
