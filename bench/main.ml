@@ -172,6 +172,9 @@ let backends_json : Obs.Json.t option ref = ref None
 (* filled by the lookahead section, emitted as the "lookahead" field *)
 let lookahead_json : Obs.Json.t option ref = ref None
 
+(* filled by the portfolio section, emitted as the "portfolio" field *)
+let portfolio_json : Obs.Json.t option ref = ref None
+
 let collect family row =
   if !json_path <> None then json_rows := (family, row) :: !json_rows
 
@@ -225,6 +228,9 @@ let write_json ~mode path =
   let lookahead =
     match !lookahead_json with None -> [] | Some j -> [ ("lookahead", j) ]
   in
+  let portfolio =
+    match !portfolio_json with None -> [] | Some j -> [ ("portfolio", j) ]
+  in
   let doc =
     Obs.Json.Obj
       ([ ("schema", Obs.Json.String "qcec-bench/v1")
@@ -237,6 +243,7 @@ let write_json ~mode path =
       @ cache
       @ backends
       @ lookahead
+      @ portfolio
       @ [ ("failures", Obs.Json.Int !failures)
         ; ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()))
         ; ("spans", Obs.Span.to_json ())
@@ -1007,6 +1014,176 @@ let lookahead_section ~full ~quick () =
          ])
 
 (* ------------------------------------------------------------------ *)
+(* Portfolio: first-verdict-wins racing over the composed field        *)
+(* ------------------------------------------------------------------ *)
+
+(* Race over the Table 1 pairs: every pair is verified solo under each
+   candidate of the analysis-composed field, then once as a
+   first-verdict-wins race over the same candidates.  Two gates: the race
+   verdict must agree with every solo verdict (racing only changes who
+   answers, never the answer), and the race wall-clock must stay at or
+   below the slowest solo candidate (the whole point of racing: portfolio
+   latency is bounded by the winner, not the field).  The JSON also
+   records on which pairs the cost model's solo recommendation — always
+   candidate 0 of the composed field — lost its race. *)
+let portfolio_section ~full ~quick () =
+  pr "@.== Portfolio: first-verdict-wins racing over candidate deciders ==@.@.";
+  let pairs =
+    let bv n = ("bv", Algorithms.Bv.make (Algorithms.Bv.hidden_string ~seed:n n)) in
+    let qft n = ("qft", Algorithms.Qft.make n) in
+    let qpe m =
+      ( "qpe"
+      , Algorithms.Qpe.make ~theta:(Algorithms.Qpe.random_theta ~seed:m ~bits:m)
+          ~bits:m )
+    in
+    let qpe_tb m =
+      ( "qpe_textbook"
+      , Algorithms.Qpe.make_textbook
+          ~theta:(Algorithms.Qpe.random_theta ~seed:m ~bits:m) ~bits:m )
+    in
+    (* Sizes stay modest even in the default row: each pair is verified
+       once per candidate (solo baselines) plus once as a race, and the
+       simulative solos dominate the bill. *)
+    if quick then [ bv 12; qft 6; qpe 5; qpe_tb 5 ]
+    else if full then [ bv 32; qft 9; qpe 9; qpe_tb 8 ]
+    else [ bv 16; qft 7; qpe 7; qpe_tb 6 ]
+  in
+  let width = 5 in
+  let seed = 11 in
+  let shots = 64 in
+  let rows =
+    List.map
+      (fun (family, (pair : Pair.t)) ->
+        let a = pair.Pair.static_circuit and b = pair.Pair.dynamic_circuit in
+        let kind =
+          let k c = (Analysis.classify c).Analysis.Classify.kind in
+          let rank = function
+            | Analysis.Classify.Unitary -> 0
+            | Analysis.Classify.Measure_terminal -> 1
+            | Analysis.Classify.Dynamic -> 2
+          in
+          if rank (k a) >= rank (k b) then k a else k b
+        in
+        let candidates =
+          Analysis.Classify.compose_portfolio ~width ~shots kind
+            (Analysis.Cost.profile a) (Analysis.Cost.profile b)
+          |> List.map Qcec.Strategy.of_candidate
+        in
+        let solo =
+          List.map
+            (fun strategy ->
+              let t0 = Qcec.Verify.now () in
+              let r =
+                Qcec.Verify.functional ~strategy ~seed ~perm:pair.Pair.dyn_to_static
+                  ?dd_config:!dd_config ~use_kernels:!use_kernels a b
+              in
+              (strategy, r, Qcec.Verify.now () -. t0))
+            candidates
+        in
+        let race =
+          Qcec.Verify.portfolio
+            ~candidates:(List.map (fun s -> (s, !backend_name)) candidates)
+            ~seed ~perm:pair.Pair.dyn_to_static ?dd_config:!dd_config
+            ~use_kernels:!use_kernels a b
+        in
+        let verdicts_equal =
+          List.for_all
+            (fun (_, (r : Qcec.Verify.functional_result), _) ->
+              r.Qcec.Verify.equivalent
+              = race.Qcec.Verify.winner.Qcec.Verify.equivalent)
+            solo
+        in
+        if not verdicts_equal then
+          report_failure "portfolio: %s race verdict differs from a solo run!@."
+            a.Circ.name;
+        if not race.Qcec.Verify.winner.Qcec.Verify.equivalent then
+          report_failure "portfolio: %s NOT equivalent!@." a.Circ.name;
+        let worst_solo =
+          List.fold_left (fun acc (_, _, t) -> Float.max acc t) 0.0 solo
+        in
+        if race.Qcec.Verify.t_wall > worst_solo then
+          report_failure
+            "portfolio: %s race (%.4fs) slower than the worst solo candidate \
+             (%.4fs)!@."
+            a.Circ.name race.Qcec.Verify.t_wall worst_solo;
+        (family, pair, candidates, solo, race, verdicts_equal, worst_solo))
+      pairs
+  in
+  pr "%-14s %6s %10s %-26s %12s %12s@." "pair" "n" "verdict" "winner" "t_race [s]"
+    "t_worst [s]";
+  List.iter
+    (fun (_, (pair : Pair.t), _, _, (race : Qcec.Verify.portfolio_result),
+          verdicts_equal, worst_solo) ->
+      pr "%-14s %6d %10s %-26s %12.4f %12.4f@." pair.Pair.static_circuit.Circ.name
+        pair.Pair.static_circuit.Circ.num_qubits
+        (if verdicts_equal then "same" else "DIFFER")
+        (Qcec.Strategy.name race.Qcec.Verify.winner_strategy)
+        race.Qcec.Verify.t_wall worst_solo)
+    rows;
+  let all_equal = List.for_all (fun (_, _, _, _, _, eq, _) -> eq) rows in
+  let recommended_lost =
+    List.length
+      (List.filter
+         (fun (_, _, _, _, (r : Qcec.Verify.portfolio_result), _, _) ->
+           r.Qcec.Verify.winner_index <> 0)
+         rows)
+  in
+  pr "@.%d pairs; verdicts identical: %b; cost-model pick lost %d race(s)@."
+    (List.length rows) all_equal recommended_lost;
+  portfolio_json :=
+    Some
+      (Obs.Json.Obj
+         [ ("jobs", Obs.Json.Int (List.length rows))
+         ; ("width", Obs.Json.Int width)
+         ; ("seed", Obs.Json.Int seed)
+         ; ("verdicts_equal", Obs.Json.Bool all_equal)
+         ; ("recommended_lost", Obs.Json.Int recommended_lost)
+         ; ( "pairs"
+           , Obs.Json.List
+               (List.map
+                  (fun (family, (pair : Pair.t), candidates, solo,
+                        (race : Qcec.Verify.portfolio_result), eq, worst_solo) ->
+                    Obs.Json.Obj
+                      [ ("family", Obs.Json.String family)
+                      ; ( "name"
+                        , Obs.Json.String pair.Pair.static_circuit.Circ.name )
+                      ; ( "qubits"
+                        , Obs.Json.Int pair.Pair.static_circuit.Circ.num_qubits )
+                      ; ( "candidates"
+                        , Obs.Json.List
+                            (List.map
+                               (fun s -> Obs.Json.String (Qcec.Strategy.name s))
+                               candidates) )
+                      ; ("verdicts_equal", Obs.Json.Bool eq)
+                      ; ( "equivalent"
+                        , Obs.Json.Bool
+                            race.Qcec.Verify.winner.Qcec.Verify.equivalent )
+                      ; ( "winner"
+                        , Obs.Json.String
+                            (Qcec.Strategy.name race.Qcec.Verify.winner_strategy) )
+                      ; ("winner_index", Obs.Json.Int race.Qcec.Verify.winner_index)
+                      ; ( "recommended_lost"
+                        , Obs.Json.Bool (race.Qcec.Verify.winner_index <> 0) )
+                      ; ("cancelled", Obs.Json.Int race.Qcec.Verify.races_cancelled)
+                      ; ("t_race", Obs.Json.Float race.Qcec.Verify.t_wall)
+                      ; ("t_worst_solo", Obs.Json.Float worst_solo)
+                      ; ( "solo"
+                        , Obs.Json.List
+                            (List.map
+                               (fun (s, (r : Qcec.Verify.functional_result), t) ->
+                                 Obs.Json.Obj
+                                   [ ( "strategy"
+                                     , Obs.Json.String (Qcec.Strategy.name s) )
+                                   ; ( "equivalent"
+                                     , Obs.Json.Bool r.Qcec.Verify.equivalent )
+                                   ; ("t_wall", Obs.Json.Float t)
+                                   ])
+                               solo) )
+                      ])
+                  rows) )
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1105,6 +1282,7 @@ let () =
     | "cache" -> cache_section ~full ~quick ()
     | "backends" -> backends_section ~full ~quick ()
     | "lookahead" -> lookahead_section ~full ~quick ()
+    | "portfolio" -> portfolio_section ~full ~quick ()
     | "micro" -> micro ()
     | "all" ->
       table1 ~full ~quick ();
@@ -1115,11 +1293,13 @@ let () =
       cache_section ~full ~quick ();
       backends_section ~full ~quick ();
       lookahead_section ~full ~quick ();
+      portfolio_section ~full ~quick ();
       micro ()
     | other ->
       Fmt.epr
         "unknown section %S (expected \
-         table1|fig4|ablation|scaling|kernels|cache|backends|lookahead|micro|all)@."
+         table1|fig4|ablation|scaling|kernels|cache|backends|lookahead|portfolio|\
+         micro|all)@."
         other;
       exit 2
   in

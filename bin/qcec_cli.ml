@@ -67,6 +67,96 @@ let resolve_scheme ~strategy ~scheme a b =
      | Analysis.Cost.Proportional_order -> Qcec.Strategy.Proportional
      | Analysis.Cost.Lookahead_order -> Qcec.Strategy.Lookahead)
 
+(* -- portfolio racing -------------------------------------------------- *)
+
+(* [--strategy portfolio] races a composed candidate field (first
+   definitive verdict wins) instead of running a single decider. *)
+type strat_opt =
+  | Strat of Qcec.Strategy.t
+  | Strat_portfolio
+
+let strat_opt_conv =
+  let parse s =
+    if s = "portfolio" then Ok Strat_portfolio
+    else
+      match Qcec.Strategy.of_string s with
+      | Ok st -> Ok (Strat st)
+      | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    ( parse
+    , fun ppf -> function
+        | Strat s -> Fmt.string ppf (Qcec.Strategy.name s)
+        | Strat_portfolio -> Fmt.string ppf "portfolio" )
+
+let portfolio_width_arg =
+  Arg.(
+    value
+    & opt int 4
+    & info [ "portfolio-width" ] ~docv:"K"
+        ~doc:
+          "Candidate deciders raced by $(b,--strategy portfolio): the \
+           cost-model's solo pick leads a field of alternation orders and \
+           simulative stimuli classes; the first definitive verdict wins \
+           and the losers are cancelled at their next DD safepoint")
+
+(* Compose the race field: the most dynamic classification of the pair
+   gates the candidate set (simulative candidates cannot decide dynamic
+   circuits), the cost profiles order it. *)
+let portfolio_candidates ~width ~backend a b =
+  let kind =
+    let k c = (Analysis.classify c).Analysis.Classify.kind in
+    let rank = function
+      | Analysis.Classify.Unitary -> 0
+      | Analysis.Classify.Measure_terminal -> 1
+      | Analysis.Classify.Dynamic -> 2
+    in
+    if rank (k a) >= rank (k b) then k a else k b
+  in
+  Obs.Span.with_ "analysis.compose_portfolio" (fun () ->
+    Analysis.Classify.compose_portfolio ~width kind (Analysis.Cost.profile a)
+      (Analysis.Cost.profile b))
+  |> List.map (fun c -> (Qcec.Strategy.of_candidate c, backend))
+
+let pp_portfolio_report ppf (r : Qcec.Verify.portfolio_result) =
+  Fmt.pf ppf "@[<v>portfolio race: %d candidates, winner %s (#%d) in %.4fs"
+    (List.length r.Qcec.Verify.candidates)
+    (Qcec.Strategy.name r.Qcec.Verify.winner_strategy)
+    r.Qcec.Verify.winner_index r.Qcec.Verify.t_wall;
+  List.iteri
+    (fun i (c : Qcec.Verify.candidate_report) ->
+      Fmt.pf ppf "@,  [%d] %-26s %-16s %.4fs" i
+        (Qcec.Strategy.name c.Qcec.Verify.c_strategy)
+        (Fmt.str "%a" Qcec.Verify.pp_candidate_outcome c.Qcec.Verify.c_outcome)
+        c.Qcec.Verify.c_wall)
+    r.Qcec.Verify.candidates;
+  Fmt.pf ppf "@]"
+
+let portfolio_json (r : Qcec.Verify.portfolio_result) =
+  Obs.Json.Obj
+    [ ("width", Obs.Json.Int (List.length r.Qcec.Verify.candidates))
+    ; ("winner_index", Obs.Json.Int r.Qcec.Verify.winner_index)
+    ; ( "winner_strategy"
+      , Obs.Json.String (Qcec.Strategy.name r.Qcec.Verify.winner_strategy) )
+    ; ("cancelled", Obs.Json.Int r.Qcec.Verify.races_cancelled)
+    ; ("t_wall", Obs.Json.Float r.Qcec.Verify.t_wall)
+    ; ( "candidates"
+      , Obs.Json.List
+          (List.map
+             (fun (c : Qcec.Verify.candidate_report) ->
+               Obs.Json.Obj
+                 [ ( "strategy"
+                   , Obs.Json.String (Qcec.Strategy.name c.Qcec.Verify.c_strategy) )
+                 ; ("backend", Obs.Json.String c.Qcec.Verify.c_backend)
+                 ; ( "outcome"
+                   , Obs.Json.String
+                       (Fmt.str "%a" Qcec.Verify.pp_candidate_outcome
+                          c.Qcec.Verify.c_outcome) )
+                 ; ("wall_seconds", Obs.Json.Float c.Qcec.Verify.c_wall)
+                 ])
+             r.Qcec.Verify.candidates) )
+    ]
+
 let perm_conv =
   let parse s =
     try
@@ -219,32 +309,63 @@ let open_store ~cache_dir ~no_result_cache =
 
 let check_cmd =
   let run file_a file_b strategy scheme perm quiet stats_json cache_cap
-      gc_threshold no_kernels backend =
+      gc_threshold no_kernels backend width =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
     let module B = (val resolve_backend backend : Dd.Backend.S) in
     let module V = Qcec.Verify.Make (B) in
     let a = load file_a and b = load file_b in
-    let strategy = resolve_scheme ~strategy ~scheme a b in
-    let r =
-      try
-        V.functional ~strategy ?perm ?dd_config
-          ~use_kernels:(not no_kernels) a b
-      with Qcec.Strategy.Non_unitary op -> report_non_unitary op
+    let r, portfolio =
+      match strategy, scheme with
+      | Strat_portfolio, None ->
+        let candidates = portfolio_candidates ~width ~backend a b in
+        let pr =
+          try
+            Qcec.Verify.portfolio ~candidates ?perm ?dd_config
+              ~use_kernels:(not no_kernels) a b
+          with Qcec.Strategy.Non_unitary op -> report_non_unitary op
+        in
+        if not quiet then Fmt.pr "%a@." pp_portfolio_report pr;
+        (pr.Qcec.Verify.winner, Some pr)
+      | _ ->
+        let strategy =
+          match strategy with
+          | Strat s -> s
+          | Strat_portfolio -> Qcec.Strategy.Proportional
+        in
+        let strategy = resolve_scheme ~strategy ~scheme a b in
+        let r =
+          try
+            V.functional ~strategy ?perm ?dd_config
+              ~use_kernels:(not no_kernels) a b
+          with Qcec.Strategy.Non_unitary op -> report_non_unitary op
+        in
+        (r, None)
     in
     if not quiet then Fmt.pr "%a@." Qcec.Verify.pp_functional r;
+    let strategy_name =
+      match portfolio with
+      | Some pr ->
+        Fmt.str "portfolio(%s)"
+          (Qcec.Strategy.name pr.Qcec.Verify.winner_strategy)
+      | None -> Qcec.Strategy.name r.Qcec.Verify.strategy
+    in
     maybe_write_stats stats_json ~command:"check" ~files:[ file_a; file_b ]
       ~result:
-        [ ("equivalent", Obs.Json.Bool r.Qcec.Verify.equivalent)
-        ; ("exactly_equal", Obs.Json.Bool r.Qcec.Verify.exactly_equal)
-        ; ("strategy", Obs.Json.String (Qcec.Strategy.name r.Qcec.Verify.strategy))
-        ; ("t_transform", Obs.Json.Float r.Qcec.Verify.t_transform)
-        ; ("t_check", Obs.Json.Float r.Qcec.Verify.t_check)
-        ; ("transformed_qubits", Obs.Json.Int r.Qcec.Verify.transformed_qubits)
-        ; ("peak_nodes", Obs.Json.Int r.Qcec.Verify.peak_nodes)
-        ; ("backend", Obs.Json.String backend)
-        ; ("metrics", Obs.Metrics.to_json r.Qcec.Verify.metrics)
-        ];
+        ([ ("equivalent", Obs.Json.Bool r.Qcec.Verify.equivalent)
+         ; ("exactly_equal", Obs.Json.Bool r.Qcec.Verify.exactly_equal)
+         ; ("strategy", Obs.Json.String strategy_name)
+         ; ("t_transform", Obs.Json.Float r.Qcec.Verify.t_transform)
+         ; ("t_check", Obs.Json.Float r.Qcec.Verify.t_check)
+         ; ("transformed_qubits", Obs.Json.Int r.Qcec.Verify.transformed_qubits)
+         ; ("peak_nodes", Obs.Json.Int r.Qcec.Verify.peak_nodes)
+         ; ("backend", Obs.Json.String backend)
+         ; ("metrics", Obs.Metrics.to_json r.Qcec.Verify.metrics)
+         ]
+        @
+        match portfolio with
+        | Some pr -> [ ("portfolio", portfolio_json pr) ]
+        | None -> []);
     if r.Qcec.Verify.equivalent then begin
       Fmt.pr "equivalent@.";
       exit 0
@@ -259,9 +380,11 @@ let check_cmd =
   let strategy =
     Arg.(
       value
-      & opt strategy_conv Qcec.Strategy.Proportional
+      & opt strat_opt_conv (Strat Qcec.Strategy.Proportional)
       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
-          ~doc:"construction, proportional, or simulation:<shots>")
+          ~doc:
+            "construction, proportional, simulation:<shots>, or portfolio \
+             (race candidate deciders, first verdict wins)")
   in
   let perm =
     Arg.(
@@ -279,7 +402,7 @@ let check_cmd =
     Term.(
       const run $ file_a $ file_b $ strategy $ scheme_arg $ perm $ quiet
       $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg $ no_kernels_arg
-      $ backend_arg)
+      $ backend_arg $ portfolio_width_arg)
 
 (* -- distribution ------------------------------------------------------ *)
 
@@ -601,7 +724,8 @@ let analyze_cmd =
    restores the automatic Section 4 routing of [check]. *)
 let verify_cmd =
   let run file_a file_b strategy scheme perm transform quiet stats_json
-      cache_cap gc_threshold no_kernels cache_dir no_result_cache backend =
+      cache_cap gc_threshold no_kernels cache_dir no_result_cache backend
+      width =
     enable_stats stats_json;
     let dd_config = dd_config_of cache_cap gc_threshold in
     let module B = (val resolve_backend backend : Dd.Backend.S) in
@@ -646,41 +770,77 @@ let verify_cmd =
             exit 2
           | None -> ())
         profiles;
-    let strategy = resolve_scheme ~strategy ~scheme a b in
-    let r =
-      try
-        V.functional ~strategy ?perm
-          ~on_dynamic:(if transform then `Transform else `Reject)
-          ?dd_config ~use_kernels:(not no_kernels) ?cache:store a b
-      with
-      | Qcec.Strategy.Non_unitary op -> report_non_unitary op
-      | Qcec.Verify.Rejected d ->
-        Fmt.epr "%a@." Analysis.Diagnostic.pp d;
-        exit 2
+    let r, portfolio =
+      match strategy, scheme with
+      | Strat_portfolio, None ->
+        let candidates = portfolio_candidates ~width ~backend a b in
+        let pr =
+          try
+            Qcec.Verify.portfolio ~candidates ?perm
+              ~on_dynamic:(if transform then `Transform else `Reject)
+              ?dd_config ~use_kernels:(not no_kernels) ?cache:store a b
+          with
+          | Qcec.Strategy.Non_unitary op -> report_non_unitary op
+          | Qcec.Verify.Rejected d ->
+            Fmt.epr "%a@." Analysis.Diagnostic.pp d;
+            exit 2
+        in
+        if not quiet then Fmt.pr "%a@." pp_portfolio_report pr;
+        (pr.Qcec.Verify.winner, Some pr)
+      | _ ->
+        let strategy =
+          match strategy with
+          | Strat s -> s
+          | Strat_portfolio -> Qcec.Strategy.Proportional
+        in
+        let strategy = resolve_scheme ~strategy ~scheme a b in
+        let r =
+          try
+            V.functional ~strategy ?perm
+              ~on_dynamic:(if transform then `Transform else `Reject)
+              ?dd_config ~use_kernels:(not no_kernels) ?cache:store a b
+          with
+          | Qcec.Strategy.Non_unitary op -> report_non_unitary op
+          | Qcec.Verify.Rejected d ->
+            Fmt.epr "%a@." Analysis.Diagnostic.pp d;
+            exit 2
+        in
+        (r, None)
     in
     Option.iter Cache_store.Store.close store;
     if not quiet then begin
       Fmt.pr "%a@." Qcec.Verify.pp_functional r;
       if r.Qcec.Verify.cached then Fmt.pr "verdict served from cache@."
     end;
+    let strategy_name =
+      match portfolio with
+      | Some pr ->
+        Fmt.str "portfolio(%s)"
+          (Qcec.Strategy.name pr.Qcec.Verify.winner_strategy)
+      | None -> Qcec.Strategy.name r.Qcec.Verify.strategy
+    in
     maybe_write_stats stats_json ~command:"verify" ~files:[ file_a; file_b ]
       ~result:
-        [ ("equivalent", Obs.Json.Bool r.Qcec.Verify.equivalent)
-        ; ("exactly_equal", Obs.Json.Bool r.Qcec.Verify.exactly_equal)
-        ; ("strategy", Obs.Json.String (Qcec.Strategy.name r.Qcec.Verify.strategy))
-        ; ("t_transform", Obs.Json.Float r.Qcec.Verify.t_transform)
-        ; ("t_check", Obs.Json.Float r.Qcec.Verify.t_check)
-        ; ("transformed_qubits", Obs.Json.Int r.Qcec.Verify.transformed_qubits)
-        ; ("peak_nodes", Obs.Json.Int r.Qcec.Verify.peak_nodes)
-        ; ("cached", Obs.Json.Bool r.Qcec.Verify.cached)
-        ; ("backend", Obs.Json.String backend)
-        ; ( "profiles"
-          , Obs.Json.List
-              (List.map
-                 (fun (_, _, p) -> Analysis.Classify.to_json p)
-                 profiles) )
-        ; ("metrics", Obs.Metrics.to_json r.Qcec.Verify.metrics)
-        ];
+        ([ ("equivalent", Obs.Json.Bool r.Qcec.Verify.equivalent)
+         ; ("exactly_equal", Obs.Json.Bool r.Qcec.Verify.exactly_equal)
+         ; ("strategy", Obs.Json.String strategy_name)
+         ; ("t_transform", Obs.Json.Float r.Qcec.Verify.t_transform)
+         ; ("t_check", Obs.Json.Float r.Qcec.Verify.t_check)
+         ; ("transformed_qubits", Obs.Json.Int r.Qcec.Verify.transformed_qubits)
+         ; ("peak_nodes", Obs.Json.Int r.Qcec.Verify.peak_nodes)
+         ; ("cached", Obs.Json.Bool r.Qcec.Verify.cached)
+         ; ("backend", Obs.Json.String backend)
+         ; ( "profiles"
+           , Obs.Json.List
+               (List.map
+                  (fun (_, _, p) -> Analysis.Classify.to_json p)
+                  profiles) )
+         ; ("metrics", Obs.Metrics.to_json r.Qcec.Verify.metrics)
+         ]
+        @
+        match portfolio with
+        | Some pr -> [ ("portfolio", portfolio_json pr) ]
+        | None -> []);
     if r.Qcec.Verify.equivalent then begin
       Fmt.pr "equivalent@.";
       exit 0
@@ -695,9 +855,11 @@ let verify_cmd =
   let strategy =
     Arg.(
       value
-      & opt strategy_conv Qcec.Strategy.Proportional
+      & opt strat_opt_conv (Strat Qcec.Strategy.Proportional)
       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
-          ~doc:"construction, proportional, or simulation:<shots>")
+          ~doc:
+            "construction, proportional, simulation:<shots>, or portfolio \
+             (race candidate deciders, first verdict wins)")
   in
   let perm =
     Arg.(
@@ -727,7 +889,8 @@ let verify_cmd =
     Term.(
       const run $ file_a $ file_b $ strategy $ scheme_arg $ perm $ transform
       $ quiet $ stats_json_arg $ cache_cap_arg $ gc_threshold_arg
-      $ no_kernels_arg $ cache_dir_arg $ no_result_cache_arg $ backend_arg)
+      $ no_kernels_arg $ cache_dir_arg $ no_result_cache_arg $ backend_arg
+      $ portfolio_width_arg)
 
 (* -- batch ------------------------------------------------------------ *)
 
@@ -738,7 +901,7 @@ let verify_cmd =
 let batch_cmd =
   let run inputs workers out summary strategy timeout retries seed node_limit
       no_lint quiet cache_cap gc_threshold no_kernels cache_dir no_result_cache
-      backend =
+      backend portfolio =
     (* per-job metric deltas are part of the result schema, so collection
        is on for batch runs (flipped before any worker spawns) *)
     Obs.Metrics.set_enabled true;
@@ -748,6 +911,10 @@ let batch_cmd =
       Fmt.epr "qcec batch: %s@." msg;
       exit 2
     in
+    (match portfolio with
+     | Some w when w <> 0 && w < 2 ->
+       usage (Fmt.str "--portfolio must be a width >= 2 (or 0 to disable), got %d" w)
+     | _ -> ());
     let dd_config = dd_config_of cache_cap gc_threshold in
     let manifest =
       match inputs with
@@ -777,6 +944,11 @@ let batch_cmd =
           ; kernels = s.Engine.Job.kernels && not no_kernels
           ; backend =
               (match backend with Some b -> b | None -> s.Engine.Job.backend)
+          ; portfolio =
+              (match portfolio with
+               | Some 0 -> None
+               | Some _ as p -> p
+               | None -> s.Engine.Job.portfolio)
           })
         manifest.Engine.Manifest.jobs
     in
@@ -939,6 +1111,18 @@ let batch_cmd =
             "Run every job on this DD backend (classic or packed), \
              overriding manifest defaults and per-job settings")
   in
+  let portfolio =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "portfolio" ] ~docv:"K"
+          ~doc:
+            "Race up to $(docv) candidate deciders per job (first definitive \
+             verdict wins; losers are cancelled at their next safepoint), \
+             overriding manifest portfolio settings.  Race domains are \
+             borrowed from the $(b,--jobs) budget, so total parallelism \
+             never exceeds it.  0 disables a manifest-defaulted portfolio")
+  in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress progress on stderr")
   in
@@ -954,7 +1138,7 @@ let batch_cmd =
       const run $ inputs $ workers $ out $ summary $ strategy $ timeout
       $ retries $ seed $ node_limit $ no_lint $ quiet $ cache_cap_arg
       $ gc_threshold_arg $ no_kernels_arg $ cache_dir_arg $ no_result_cache_arg
-      $ backend)
+      $ backend $ portfolio)
 
 (* -- stats ------------------------------------------------------------ *)
 

@@ -146,6 +146,13 @@ let route p =
    one module. *)
 let route_application = Cost.recommend
 
+(* Portfolio composition is kind-aware: dynamic circuits cannot run the
+   simulative candidates (mid-circuit measurement collapses the state), so
+   the most-dynamic classification of the pair gates which candidates
+   [Cost.compose_portfolio] may enter. *)
+let compose_portfolio ?width ?shots kind a b =
+  Cost.compose_portfolio ?width ?shots ~dynamic:(kind = Dynamic) a b
+
 let pp_profile ppf p =
   Fmt.pf ppf
     "%s (%d qubits, %d cbits; %d gates, %d measurements, %d resets, %d \

@@ -70,6 +70,13 @@ val route : profile -> scheme
     routed to a unitary-style scheme (an alias of {!Cost.recommend}). *)
 val route_application : Cost.t -> Cost.t -> Cost.scheme
 
+(** [compose_portfolio ?width ?shots kind a b] — the candidates to enter
+    into a first-verdict-wins race for a pair whose most-dynamic
+    classification is [kind]: {!Cost.compose_portfolio} with the
+    simulative candidates dropped for {!Dynamic} pairs. *)
+val compose_portfolio :
+  ?width:int -> ?shots:int -> kind -> Cost.t -> Cost.t -> Cost.candidate list
+
 val pp_profile : Format.formatter -> profile -> unit
 
 val to_json : profile -> Obs.Json.t

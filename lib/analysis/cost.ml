@@ -123,6 +123,58 @@ let recommend a b =
     Lookahead_order
   else Proportional_order
 
+(* ---------------------------------------------------------------- *)
+(* Portfolio composition                                            *)
+
+type candidate =
+  | Proportional_candidate
+  | Lookahead_candidate
+  | Classical_stimuli of int
+  | Local_stimuli of int
+  | Global_stimuli of int
+
+let candidate_name = function
+  | Proportional_candidate -> "proportional"
+  | Lookahead_candidate -> "lookahead"
+  | Classical_stimuli k -> Fmt.str "stimuli:basis:%d" k
+  | Local_stimuli k -> Fmt.str "stimuli:product:%d" k
+  | Global_stimuli k -> Fmt.str "stimuli:entangled:%d" k
+
+let default_shots = 16
+
+(* Which candidates to enter into a first-verdict-wins race, best first.
+   Candidate 0 is always the cost model's solo recommendation, so a race
+   report can say whether the a-priori pick actually won.  The classifier
+   kind orders the tail: on unitary pairs the global-quantum stimuli lead
+   it (random stabilizer states distinguish non-equivalent pairs with
+   probability exponentially close to one, and refute fastest in
+   practice); on dynamic pairs both exact alternation orders come first —
+   the Section 4 transform is their native path — and the cheap classical
+   stimuli open the simulative tail.  The simulative candidates stay in
+   the dynamic field because every candidate races the {e transformed}
+   (hence unitary) pair; they are merely a worse a-priori bet there, as
+   the transform's ancillas enlarge the simulated register. *)
+let compose_portfolio ?(width = 4) ?(shots = default_shots) ~dynamic a b =
+  let lead, other =
+    match recommend a b with
+    | Proportional_order -> (Proportional_candidate, Lookahead_candidate)
+    | Lookahead_order -> (Lookahead_candidate, Proportional_candidate)
+  in
+  let tail =
+    if dynamic then
+      [ other; Classical_stimuli shots; Global_stimuli shots
+      ; Local_stimuli shots ]
+    else
+      [ Global_stimuli shots; other; Classical_stimuli shots
+      ; Local_stimuli shots ]
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | c :: rest -> c :: take (k - 1) rest
+  in
+  lead :: take (max 0 (width - 1)) tail
+
 let to_json p =
   Obs.Json.Obj
     [ ("num_qubits", Obs.Json.Int p.num_qubits)

@@ -43,6 +43,35 @@ val divergence : t -> t -> float
     alternation would misbalance the product. *)
 val recommend : t -> t -> scheme
 
+(** One entrant in a first-verdict-wins portfolio race: either an
+    alternation order or a simulative check with one of the three stimuli
+    classes (shot count attached). Mirrors the core strategies without
+    depending on the core library; [Qcec.Strategy.of_candidate] maps each
+    onto a runnable strategy. *)
+type candidate =
+  | Proportional_candidate
+  | Lookahead_candidate
+  | Classical_stimuli of int  (** random basis states, [n] shots *)
+  | Local_stimuli of int  (** random single-qubit product states *)
+  | Global_stimuli of int  (** random stabilizer states *)
+
+val candidate_name : candidate -> string
+
+(** Shot count used for simulative candidates when none is given. *)
+val default_shots : int
+
+(** [compose_portfolio ?width ?shots ~dynamic a b] — which candidates to
+    race for the pair profiled by [a]/[b], best guess first.  Candidate 0
+    is always {!recommend}'s solo pick.  On [~dynamic] pairs (mid-circuit
+    measurement or classical control) the two exact alternation orders
+    lead the field and the simulative candidates trail it: every
+    candidate races the transformed — unitary — pair, so the stimuli
+    classes stay applicable, but the transform's ancillas make them a
+    worse a-priori bet.  Returns between 1 and [width] candidates
+    ([width] defaults to 4). *)
+val compose_portfolio :
+  ?width:int -> ?shots:int -> dynamic:bool -> t -> t -> candidate list
+
 (** The per-file [qcec-analysis/v1] document body: [num_qubits],
     [total_ops], and one block per pass ([clifford], [interaction],
     [cancellation], [cost]). *)

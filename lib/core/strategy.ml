@@ -6,6 +6,13 @@ type stimuli =
   | Product
   | Entangled
 
+(* The CLI-facing stimuli names predate [Qsim.Stimuli]; they map onto the
+   paper's three classes one-for-one. *)
+let stimuli_class = function
+  | Basis -> Qsim.Stimuli.Classical
+  | Product -> Qsim.Stimuli.Local_quantum
+  | Entangled -> Qsim.Stimuli.Global_quantum
+
 type t =
   | Construction
   | Sequential
@@ -70,6 +77,15 @@ let of_string s =
          "unknown strategy %S (expected construction, sequential, proportional, \
           lookahead, simulation:<shots>, or stimuli:<kind>:<shots>)"
          s)
+
+(* Map a portfolio candidate (composed by [Analysis.Cost], which cannot
+   depend on this library) onto a runnable strategy. *)
+let of_candidate = function
+  | Analysis.Cost.Proportional_candidate -> Proportional
+  | Analysis.Cost.Lookahead_candidate -> Lookahead
+  | Analysis.Cost.Classical_stimuli shots -> Random_stimuli { kind = Basis; shots }
+  | Analysis.Cost.Local_stimuli shots -> Random_stimuli { kind = Product; shots }
+  | Analysis.Cost.Global_stimuli shots -> Random_stimuli { kind = Entangled; shots }
 
 exception Non_unitary of Op.t
 
@@ -262,57 +278,33 @@ module Make (B : Dd.Backend.S) = struct
         go 0 0 left right;
         identity_outcome p (Pkg.mroot_edge rm) ~n ~peak:!peak)
 
-  let random_stimulus p ~use_kernels ~kind ~n st =
-    match (kind : stimuli) with
-    | Basis ->
-      let bits = Array.init n (fun _ -> Random.State.bool st) in
-      Pkg.basis_state p n (fun q -> bits.(q))
-    | Product ->
-      let amp () =
-        let theta = Random.State.float st Float.pi in
-        let phi = Random.State.float st (2.0 *. Float.pi) in
-        ( Cxnum.Cx.of_float (Float.cos (theta /. 2.0))
-        , Cxnum.Cx.polar (Float.sin (theta /. 2.0)) phi )
-      in
-      Pkg.product_state p (Array.init n (fun _ -> amp ()))
-    | Entangled ->
-      (* a short random Clifford circuit on a random basis state *)
-      let bits = Array.init n (fun _ -> Random.State.bool st) in
+  (* Materialize a stimulus description ([Qsim.Stimuli] draws it as pure
+     data) as a DD state vector on this backend. *)
+  let materialize p ~use_kernels ~n (s : Qsim.Stimuli.t) =
+    match s with
+    | Qsim.Stimuli.Basis_state bits -> Pkg.basis_state p n (fun q -> bits.(q))
+    | Qsim.Stimuli.Product_state amps -> Pkg.product_state p amps
+    | Qsim.Stimuli.Stabilizer_state { bits; prep } ->
       Pkg.with_root_v p (Pkg.basis_state p n (fun q -> bits.(q))) (fun r ->
-          let gates = [| Circuit.Gates.H; Circuit.Gates.S; Circuit.Gates.X |] in
-          for _ = 1 to 2 * n do
-            let op =
-              if n >= 2 && Random.State.bool st then begin
-                let a = Random.State.int st n in
-                let rec other () =
-                  let b = Random.State.int st n in
-                  if b = a then other () else b
-                in
-                Circuit.Op.controlled Circuit.Gates.X ~control:a ~target:(other ())
-              end
-              else
-                Circuit.Op.apply
-                  gates.(Random.State.int st (Array.length gates))
-                  (Random.State.int st n)
-            in
-            Pkg.set_vroot r
-              (Sim.apply_op p ~use_kernels ~n (Pkg.vroot_edge r) op);
-            Pkg.checkpoint p
-          done;
+          List.iter
+            (fun op ->
+              Pkg.set_vroot r
+                (Sim.apply_op p ~use_kernels ~n (Pkg.vroot_edge r) op);
+              Pkg.checkpoint p)
+            prep;
           Pkg.vroot_edge r)
+
+  let random_stimulus p ~use_kernels ~kind ~n st =
+    materialize p ~use_kernels ~n (Qsim.Stimuli.draw st (stimuli_class kind) ~num_qubits:n)
 
   let check_simulation p ?seed ~use_kernels ~kind shots (g : Circ.t) (g' : Circ.t) =
     let n = g.Circ.num_qubits in
     let ops = unitary_ops g and ops' = unitary_ops g' in
-    (* deterministic by construction: the default state depends only on the
-       instance shape, and an explicit [seed] (batch runs derive one per
-       job from the manifest seed) extends rather than replaces it, so
-       seeded runs are just as reproducible *)
-    let st =
-      match seed with
-      | None -> Random.State.make [| 0x51ab; n; shots |]
-      | Some seed -> Random.State.make [| 0x51ab; n; shots; seed |]
-    in
+    (* deterministic by construction: the default stream depends only on
+       the instance shape, and an explicit [seed] (batch runs derive one
+       per job from the manifest seed, portfolio races one per candidate)
+       extends rather than replaces it — see [Qsim.Stimuli.rng] *)
+    let st = Qsim.Stimuli.rng ?seed ~num_qubits:n ~shots () in
     let run ops state =
       Pkg.with_root_v p state (fun r ->
           List.iter

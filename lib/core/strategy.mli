@@ -10,6 +10,11 @@ type stimuli =
   | Product  (** random single-qubit (product) states *)
   | Entangled  (** random stabilizer states from a short Clifford circuit *)
 
+(** The [Qsim.Stimuli] class each CLI-facing stimuli kind draws from:
+    [Basis] ↦ classical, [Product] ↦ local quantum, [Entangled] ↦ global
+    quantum. *)
+val stimuli_class : stimuli -> Qsim.Stimuli.kind
+
 type t =
   | Construction
       (** build both system matrices as DDs and compare canonically *)
@@ -64,6 +69,10 @@ val name : t -> string
 val of_string : string -> (t, string) result
 
 val pp : Format.formatter -> t -> unit
+
+(** The strategy a portfolio candidate composed by
+    [Analysis.Cost.compose_portfolio] runs as. *)
+val of_candidate : Analysis.Cost.candidate -> t
 
 (** Raised by {!check} when a circuit still contains a non-unitary
     operation ([Reset] or a classically-controlled gate); carries the

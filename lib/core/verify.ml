@@ -322,3 +322,165 @@ module Make (B : Dd.Backend.S) = struct
 end
 
 include Make (Dd.Classic)
+
+(* ---------------------------------------------------------------- *)
+(* Portfolio racing: first definitive verdict wins                  *)
+
+type candidate_outcome =
+  [ `Won
+  | `Finished
+  | `Cancelled
+  | `Error of string
+  ]
+
+type candidate_report =
+  { c_strategy : Strategy.t
+  ; c_backend : string
+  ; c_seed : int option
+  ; c_outcome : candidate_outcome
+  ; c_wall : float
+  ; c_metrics : Obs.Metrics.snapshot
+  }
+
+type portfolio_result =
+  { winner : functional_result
+  ; winner_index : int
+  ; winner_strategy : Strategy.t
+  ; candidates : candidate_report list
+  ; races_cancelled : int
+  ; t_wall : float
+  }
+
+let m_races = Obs.Metrics.counter "portfolio.races"
+let m_port_cancelled = Obs.Metrics.counter "portfolio.cancelled"
+
+(* Raised inside a losing candidate's safepoint hook the moment another
+   candidate has published a verdict: the loser unwinds mid-check and its
+   domain (package included) is discarded. *)
+exception Lost
+
+let pp_candidate_outcome ppf = function
+  | `Won -> Fmt.string ppf "won"
+  | `Finished -> Fmt.string ppf "finished (lost)"
+  | `Cancelled -> Fmt.string ppf "cancelled"
+  | `Error msg -> Fmt.pf ppf "error: %s" msg
+
+let portfolio ~candidates ?perm ?auto_align ?on_dynamic ?dd_config ?seed
+    ?use_kernels ?cache ?safepoint g g' =
+  if candidates = [] then invalid_arg "Verify.portfolio: no candidates";
+  let t0 = now () in
+  (* -1 = undecided; the first candidate whose compare-and-set lands owns
+     the race.  Every other candidate observes it at its next safepoint. *)
+  let winner = Atomic.make (-1) in
+  let run_candidate i (strategy, backend) =
+    (* the manifest derives job seeds as [seed + index]; candidate seeds
+       follow the same rule one level down, so every candidate draws a
+       distinct, reproducible stimuli stream *)
+    let seed = Option.map (fun s -> s + i) seed in
+    let r, wall =
+      match Dd.Registry.find backend with
+      | None ->
+        ( Error
+            (Invalid_argument
+               (Fmt.str "Verify.portfolio: unknown DD backend %S" backend))
+        , 0.0 )
+      | Some b ->
+        let module B = (val b) in
+        let module V = Make (B) in
+        let cname = Strategy.name strategy in
+        (* the hook store is domain-local in every backend, so installing
+           it here cannot disturb a sibling candidate on the same backend *)
+        B.Pkg.set_safepoint_hook
+          (Some
+             (fun p ->
+               if Atomic.get winner >= 0 then raise Lost;
+               match safepoint with
+               | None -> ()
+               | Some f -> f ~candidate:cname ~live_nodes:(B.Pkg.live_nodes p)));
+        Fun.protect
+          ~finally:(fun () -> B.Pkg.set_safepoint_hook None)
+          (fun () ->
+            let t = now () in
+            let r =
+              match
+                V.functional ~strategy ?perm ?auto_align ?on_dynamic ?dd_config
+                  ?seed ?use_kernels ?cache g g'
+              with
+              | r -> Ok r
+              | exception e -> Error e
+            in
+            (r, now () -. t))
+    in
+    (* publish before returning: losers must be able to observe the
+       verdict while this domain is still being joined *)
+    let won =
+      match r with
+      | Ok _ -> Atomic.compare_and_set winner (-1) i
+      | Error _ -> false
+    in
+    (r, won, seed, wall, Obs.Metrics.snapshot (), Obs.Span.report ())
+  in
+  let joined =
+    (* one domain per candidate, the first included: the race is uniform
+       and the caller's domain just coordinates *)
+    List.map Domain.join
+      (List.mapi (fun i c -> Domain.spawn (fun () -> run_candidate i c)) candidates)
+  in
+  let t_wall = now () -. t0 in
+  (* fold every candidate's DD work into this domain so per-job metric
+     diffs taken by callers (the batch pool) account for the whole race *)
+  List.iter
+    (fun (_, _, _, _, m, spans) ->
+      Obs.Metrics.absorb m;
+      Obs.Span.absorb spans)
+    joined;
+  let reports =
+    List.map2
+      (fun (strategy, backend) (r, won, seed, wall, m, _) ->
+        let outcome =
+          match r with
+          | Ok _ when won -> `Won
+          | Ok _ -> `Finished
+          | Error Lost -> `Cancelled
+          | Error e -> `Error (Printexc.to_string e)
+        in
+        { c_strategy = strategy
+        ; c_backend = backend
+        ; c_seed = seed
+        ; c_outcome = outcome
+        ; c_wall = wall
+        ; c_metrics = m
+        })
+      candidates joined
+  in
+  let races_cancelled =
+    List.length (List.filter (fun c -> c.c_outcome = `Cancelled) reports)
+  in
+  Obs.Metrics.incr m_races;
+  Obs.Metrics.add m_port_cancelled races_cancelled;
+  match Atomic.get winner with
+  | -1 ->
+    (* nobody finished: every candidate failed on its own terms (timeout,
+       node limit, rejection...).  Re-raise the first failure so callers
+       classify the race exactly like a solo run of their lead pick. *)
+    (match
+       List.find_map
+         (fun (r, _, _, _, _, _) ->
+           match r with Error e when e <> Lost -> Some e | _ -> None)
+         joined
+     with
+     | Some e -> raise e
+     | None -> invalid_arg "Verify.portfolio: race decided with no verdict")
+  | w ->
+    let winner_result =
+      match List.nth joined w with
+      | Ok r, _, _, _, _, _ -> r
+      | _ -> assert false
+    in
+    { winner = winner_result
+    ; winner_index = w
+    ; winner_strategy = fst (List.nth candidates w)
+    ; candidates = reports
+    ; races_cancelled
+    ; t_wall
+    }

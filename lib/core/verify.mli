@@ -180,6 +180,80 @@ val distribution :
   -> Circuit.Circ.t
   -> distribution_result
 
+(** {1 Portfolio racing}
+
+    "Advanced Equivalence Checking for Quantum Circuits" (PAPERS.md)
+    observes that which decider is fastest varies wildly by circuit
+    family; racing a small portfolio and taking the first definitive
+    verdict beats any single strategy on worst-case latency. *)
+
+type candidate_outcome =
+  [ `Won  (** produced the verdict the race returned *)
+  | `Finished
+      (** produced a definitive verdict of its own, but after the winner;
+          its verdict is discarded (CI asserts it always agrees) *)
+  | `Cancelled  (** observed the winner at a safepoint and unwound *)
+  | `Error of string  (** failed on its own terms before the race ended *)
+  ]
+
+type candidate_report =
+  { c_strategy : Strategy.t
+  ; c_backend : string  (** registry name of the DD backend it ran on *)
+  ; c_seed : int option  (** derived seed: race seed + candidate index *)
+  ; c_outcome : candidate_outcome
+  ; c_wall : float  (** seconds from spawn to verdict/cancellation *)
+  ; c_metrics : Obs.Metrics.snapshot
+        (** the candidate domain's full metric registry (the domain does
+            nothing else, so this is exactly its attributable work) *)
+  }
+
+type portfolio_result =
+  { winner : functional_result
+  ; winner_index : int  (** position in the [candidates] argument *)
+  ; winner_strategy : Strategy.t
+  ; candidates : candidate_report list  (** one per entrant, in order *)
+  ; races_cancelled : int  (** candidates stopped at a safepoint *)
+  ; t_wall : float  (** wall-clock of the whole race *)
+  }
+
+(** [portfolio ~candidates g g'] races one spawned domain per candidate
+    [(strategy, backend)] — each with its own DD package on its own
+    registry backend — and returns the first definitive verdict.  The
+    instant a candidate publishes, every other candidate observes it at
+    its next safepoint ([Pkg.checkpoint]) and unwinds; per-candidate
+    metrics and spans are folded into the calling domain at join, so a
+    batch worker's per-job metric diff covers the whole race.
+
+    [seed] is the {e race} seed; candidate [i] runs under [seed + i]
+    (mirroring the manifest's per-job [seed + index] rule), so simulative
+    candidates draw distinct, reproducible stimuli streams.  [safepoint]
+    is invoked at every candidate safepoint (after the race-abandonment
+    check) with the candidate's strategy name and live node count — the
+    batch pool uses it for cancellation/deadline checks and progress.
+
+    Candidate verdicts are definitive by construction (a completed
+    strategy returns equivalent or not-equivalent, never maybe), so the
+    first finisher — cache hits included — decides the race.  If {e no}
+    candidate finishes, the first candidate's failure is re-raised so
+    callers classify the race like a solo run.  Increments
+    [portfolio.races] once and [portfolio.cancelled] per cancelled
+    candidate.  Raises [Invalid_argument] on an empty candidate list. *)
+val portfolio :
+     candidates:(Strategy.t * string) list
+  -> ?perm:int array
+  -> ?auto_align:bool
+  -> ?on_dynamic:[ `Transform | `Reject ]
+  -> ?dd_config:Dd.Pkg.config
+  -> ?seed:int
+  -> ?use_kernels:bool
+  -> ?cache:Cache_store.Store.t
+  -> ?safepoint:(candidate:string -> live_nodes:int -> unit)
+  -> Circuit.Circ.t
+  -> Circuit.Circ.t
+  -> portfolio_result
+
+val pp_candidate_outcome : Format.formatter -> candidate_outcome -> unit
+
 (** [now ()] — monotonic wall clock used for all timings (an alias of
     {!Obs.Clock.now}; readings cannot go backwards, so reported durations
     are always non-negative). *)

@@ -27,27 +27,28 @@ type spec =
   ; kernels : bool
   ; cache : bool
   ; backend : string
+  ; portfolio : int option
   }
 
 let files ?label ?strategy ?(auto_scheme = false) ?perm ?(transform = true)
     ?timeout ?(retries = 0) ?seed ?(kernels = true) ?(cache = true)
-    ?(backend = Dd.Registry.default) ~index file_a file_b =
+    ?(backend = Dd.Registry.default) ?portfolio ~index file_a file_b =
   let label =
     match label with
     | Some l -> l
     | None -> Filename.basename file_a ^ " vs " ^ Filename.basename file_b
   in
   { index; label; source = Files { file_a; file_b }; strategy; auto_scheme
-  ; perm; transform; timeout; retries; seed; kernels; cache; backend }
+  ; perm; transform; timeout; retries; seed; kernels; cache; backend; portfolio }
 
 let circuits ?label ?strategy ?(auto_scheme = false) ?perm ?(transform = true)
     ?timeout ?(retries = 0) ?seed ?(kernels = true) ?(cache = true)
-    ?(backend = Dd.Registry.default) ~index a b =
+    ?(backend = Dd.Registry.default) ?portfolio ~index a b =
   let label =
     match label with Some l -> l | None -> a.Circ.name ^ " vs " ^ b.Circ.name
   in
   { index; label; source = Circuits { a; b }; strategy; auto_scheme; perm
-  ; transform; timeout; retries; seed; kernels; cache; backend }
+  ; transform; timeout; retries; seed; kernels; cache; backend; portfolio }
 
 type verdict =
   { equivalent : bool

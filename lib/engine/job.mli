@@ -44,6 +44,14 @@ type spec =
         (** DD backend registry name the job runs under (default
             [Dd.Registry.default], i.e. ["classic"]); the pool resolves it
             per job via {!Dd.Registry.find} *)
+  ; portfolio : int option
+        (** [Some w], [w >= 2]: race up to [w] candidate deciders for this
+            job via [Qcec.Verify.portfolio] (extra domains are borrowed
+            from the pool's worker budget, so the pool never
+            oversubscribes; a busy pool may grant fewer than [w]).
+            [None] or [Some 1]: the ordinary solo path.  When [strategy]
+            is set it becomes the lead candidate; otherwise the
+            [Analysis] portfolio composition picks the field *)
   }
 
 val files :
@@ -58,6 +66,7 @@ val files :
   -> ?kernels:bool
   -> ?cache:bool
   -> ?backend:string
+  -> ?portfolio:int
   -> index:int
   -> string
   -> string
@@ -75,6 +84,7 @@ val circuits :
   -> ?kernels:bool
   -> ?cache:bool
   -> ?backend:string
+  -> ?portfolio:int
   -> index:int
   -> Circuit.Circ.t
   -> Circuit.Circ.t

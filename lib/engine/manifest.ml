@@ -9,12 +9,13 @@ type defaults =
   ; kernels : bool
   ; cache : bool
   ; backend : string
+  ; portfolio : int option
   }
 
 let no_defaults =
   { strategy = None; auto_scheme = false; timeout = None; retries = 0
   ; transform = true; kernels = true; cache = true
-  ; backend = Dd.Registry.default }
+  ; backend = Dd.Registry.default; portfolio = None }
 
 type t =
   { seed : int option
@@ -79,6 +80,21 @@ let backend_field name j =
          (Fmt.str "manifest: unknown backend %S (expected one of: %s)" b
             (String.concat ", " (Dd.Registry.names ()))))
 
+(* A portfolio width of 1 is legal (a degenerate race) but almost always a
+   typo for "no portfolio"; the manifest insists on >= 2 to keep intent
+   explicit, while 0 turns a defaulted portfolio off per job. *)
+let portfolio_field name j =
+  let* w = int_field name j in
+  match w with
+  | None -> Ok None
+  | Some 0 -> Ok (Some 0)
+  | Some w when w >= 2 -> Ok (Some w)
+  | Some w ->
+    Error
+      (Fmt.str
+         "manifest: field %S must be a width >= 2 (or 0 to disable), got %d"
+         name w)
+
 let strategy_field name j =
   let* s = str_field name j in
   match s with
@@ -128,6 +144,7 @@ let defaults_of_json j =
     let* kernels = bool_field "kernels" d in
     let* cache = bool_field "cache" d in
     let* backend = backend_field "backend" d in
+    let* portfolio = portfolio_field "portfolio" d in
     let strategy, auto_scheme =
       match scheme with
       | Some `Auto -> (None, true)
@@ -143,6 +160,7 @@ let defaults_of_json j =
       ; kernels = Option.value kernels ~default:true
       ; cache = Option.value cache ~default:true
       ; backend = Option.value backend ~default:Dd.Registry.default
+      ; portfolio = (match portfolio with Some 0 -> None | p -> p)
       }
 
 (* Paths in a manifest are relative to the manifest file, so a manifest can
@@ -177,6 +195,7 @@ let job_of_json ~dir ~defaults ~manifest_seed ~index j =
     let* kernels = bool_field "kernels" j in
     let* cache = bool_field "cache" j in
     let* backend = backend_field "backend" j in
+    let* portfolio = portfolio_field "portfolio" j in
     let label =
       match label with
       | Some l -> l
@@ -206,6 +225,11 @@ let job_of_json ~dir ~defaults ~manifest_seed ~index j =
          ; kernels = Option.value kernels ~default:defaults.kernels
          ; cache = Option.value cache ~default:defaults.cache
          ; backend = Option.value backend ~default:defaults.backend
+         ; portfolio =
+             (match portfolio with
+              | Some 0 -> None
+              | Some _ as p -> p
+              | None -> defaults.portfolio)
          })
 
 let of_json ?(dir = Filename.current_dir_name) j =
@@ -258,7 +282,7 @@ let of_pairs ?seed ?(defaults = no_defaults) pairs =
           ?timeout:defaults.timeout
           ~retries:defaults.retries ~transform:defaults.transform
           ~kernels:defaults.kernels ~cache:defaults.cache
-          ~backend:defaults.backend
+          ~backend:defaults.backend ?portfolio:defaults.portfolio
           ?seed:(job_seed ~manifest_seed:seed ~index) ~index a b)
       pairs
   in

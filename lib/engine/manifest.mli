@@ -51,6 +51,12 @@ type defaults =
         (** default ["classic"]; ["backend"] (per job or in defaults)
             selects the DD backend by {!Dd.Registry} name — unknown names
             fail manifest compilation up front *)
+  ; portfolio : int option
+        (** ["portfolio": w] (per job or in defaults) races up to [w]
+            candidate deciders per job, first verdict wins; [w] must be
+            [>= 2] (a per-job [0] disables a defaulted portfolio).  Race
+            domains are borrowed from the pool's worker budget, so
+            [--jobs] still bounds total parallelism *)
   }
 
 val no_defaults : defaults

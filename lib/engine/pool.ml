@@ -108,17 +108,143 @@ let with_guard (module B : Dd.Backend.S) ~deadline ~node_limit ~control f =
             | _ -> ())));
   Fun.protect ~finally:(fun () -> B.Pkg.set_safepoint_hook None) f
 
+(* -- the worker-slot bank (portfolio admission) ------------------------ *)
+
+(* Portfolio jobs want extra domains for their candidate races, but the
+   pool's domain budget is [config.workers] — full stop.  The bank tracks
+   the free slots: every running job holds one (its worker), and a
+   portfolio job may additionally borrow whatever is free at its start,
+   non-blockingly, so a busy pool degrades the race width instead of
+   oversubscribing the machine. *)
+type bank =
+  { bl : Mutex.t
+  ; bc : Condition.t
+  ; mutable bfree : int
+  }
+
+let bank workers = { bl = Mutex.create (); bc = Condition.create (); bfree = workers }
+
+(* blocking: a worker takes its own slot before running a job *)
+let bank_acquire b =
+  Mutex.lock b.bl;
+  while b.bfree <= 0 do
+    Condition.wait b.bc b.bl
+  done;
+  b.bfree <- b.bfree - 1;
+  Mutex.unlock b.bl
+
+(* non-blocking: a race borrows up to [k] extra slots, possibly zero *)
+let bank_try_borrow b k =
+  Mutex.protect b.bl (fun () ->
+    let granted = min k b.bfree in
+    b.bfree <- b.bfree - granted;
+    granted)
+
+let bank_release b k =
+  if k > 0 then begin
+    Mutex.protect b.bl (fun () -> b.bfree <- b.bfree + k);
+    Condition.broadcast b.bc
+  end
+
 let render_diagnostics diags =
   Analysis.Diagnostic.sort diags
   |> List.filter (fun d -> d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
   |> List.map Analysis.Diagnostic.to_string
   |> String.concat "; "
 
+let rec take_at_most k = function
+  | [] -> []
+  | _ when k <= 0 -> []
+  | x :: rest -> x :: take_at_most (k - 1) rest
+
+(* The racing attempt: compose a candidate field for the pair (the pinned
+   strategy, if any, leads it) and hand the race to [Qcec.Verify.portfolio].
+   The safepoint closure replicates [with_guard]'s checks — it runs on the
+   candidate domains, where the DD safepoints actually fire — and reports
+   progress under a ["race:<candidate>"] phase so SSE consumers see who is
+   currently leading the pack. *)
+let race_attempt cfg ~bank ~dd_config ~deadline ~control ~width (spec : Job.spec) a b =
+  let granted = match bank with None -> width - 1 | Some bk -> bank_try_borrow bk (width - 1) in
+  Fun.protect
+    ~finally:(fun () -> Option.iter (fun bk -> bank_release bk granted) bank)
+    (fun () ->
+      let width = 1 + granted in
+      let kind =
+        (* the most dynamic classification of the pair gates the candidate
+           set: simulative candidates cannot decide dynamic circuits *)
+        let k c = (Analysis.classify c).Analysis.Classify.kind in
+        let rank = function
+          | Analysis.Classify.Unitary -> 0
+          | Analysis.Classify.Measure_terminal -> 1
+          | Analysis.Classify.Dynamic -> 2
+        in
+        if rank (k a) >= rank (k b) then k a else k b
+      in
+      let composed =
+        Obs.Span.with_ "analysis.compose_portfolio" (fun () ->
+          Analysis.Classify.compose_portfolio ~width kind
+            (Analysis.Cost.profile a) (Analysis.Cost.profile b))
+        |> List.map Qcec.Strategy.of_candidate
+      in
+      let strategies =
+        match spec.strategy with
+        | None -> composed
+        | Some s -> take_at_most width (s :: List.filter (fun c -> c <> s) composed)
+      in
+      let candidates = List.map (fun s -> (s, spec.backend)) strategies in
+      let t0 = now () in
+      (* the throttle is shared by every candidate domain, hence the lock *)
+      let beat_lock = Mutex.create () in
+      let last_beat = ref t0 in
+      let safepoint ~candidate ~live_nodes =
+        (match control with
+         | Some c when Atomic.get c.cancel -> raise (Cancelled `Kill)
+         | _ -> ());
+        (match deadline with
+         | Some d when now () > d -> raise (Cancelled `Timeout)
+         | _ -> ());
+        (match cfg.node_limit with
+         | Some l when live_nodes > l -> raise (Cancelled (`Node_limit l))
+         | _ -> ());
+        match control with
+        | Some { on_progress = Some beat; progress_interval; _ } ->
+          let t = now () in
+          let fire =
+            Mutex.protect beat_lock (fun () ->
+              if t -. !last_beat >= progress_interval then begin
+                last_beat := t;
+                true
+              end
+              else false)
+          in
+          if fire then
+            beat
+              { phase = "race:" ^ candidate; live_nodes; elapsed = t -. t0 }
+        | _ -> ()
+      in
+      let on_dynamic = if spec.transform then `Transform else `Reject in
+      let cache = if spec.cache then cfg.cache else None in
+      let r =
+        Qcec.Verify.portfolio ~candidates ?perm:spec.perm ~on_dynamic ?dd_config
+          ?seed:spec.seed ~use_kernels:spec.kernels ?cache ~safepoint a b
+      in
+      let w = r.Qcec.Verify.winner in
+      { Job.equivalent = w.Qcec.Verify.equivalent
+      ; exactly_equal = w.Qcec.Verify.exactly_equal
+      ; strategy =
+          Fmt.str "portfolio(%s)" (Qcec.Strategy.name r.Qcec.Verify.winner_strategy)
+      ; t_transform = w.Qcec.Verify.t_transform
+      ; t_check = w.Qcec.Verify.t_check
+      ; transformed_qubits = w.Qcec.Verify.transformed_qubits
+      ; peak_nodes = w.Qcec.Verify.peak_nodes
+      ; cached = w.Qcec.Verify.cached
+      })
+
 (* One verification attempt.  Parsing and linting happen inside the attempt
    so their failures are classified per job, and so the wall-clock deadline
    covers them too (cancellation between gates only triggers once DD work
    starts, which is where all the time goes). *)
-let attempt cfg ~dd_config ~control (spec : Job.spec) =
+let attempt cfg ?bank ~dd_config ~control (spec : Job.spec) =
   let deadline = Option.map (fun s -> now () +. s) spec.timeout in
   (* resolved before any parsing so a bad registry name fails fast; the
      manifest and the CLI both validate up front, this covers direct
@@ -152,6 +278,10 @@ let attempt cfg ~dd_config ~control (spec : Job.spec) =
     in
     if errors <> [] then raise (Lint_failed (render_diagnostics errors))
   end;
+  match spec.portfolio with
+  | Some w when w >= 2 ->
+    race_attempt cfg ~bank ~dd_config ~deadline ~control ~width:w spec a b
+  | _ ->
   with_guard backend ~deadline ~node_limit:cfg.node_limit ~control (fun () ->
     let module B = (val backend : Dd.Backend.S) in
     let module V = Qcec.Verify.Make (B) in
@@ -219,7 +349,7 @@ let relax cfg dd_config =
       }
   | None -> None
 
-let run_job ?control cfg ~worker (spec : Job.spec) =
+let run_job ?control ?bank cfg ~worker (spec : Job.spec) =
   let m0 = M.snapshot () in
   let t0 = now () in
   (match control with
@@ -227,7 +357,7 @@ let run_job ?control cfg ~worker (spec : Job.spec) =
    | _ -> ());
   let rec go ~attempts dd_config =
     let outcome =
-      match attempt cfg ~dd_config ~control spec with
+      match attempt cfg ?bank ~dd_config ~control spec with
       | v -> Job.Verdict v
       | exception e ->
         let reason, message = classify e in
@@ -275,14 +405,22 @@ let run (cfg : config) specs =
   let lock = Mutex.create () in
   let next = ref 0 in
   let results = Array.make n None in
+  (* every running job holds one bank slot; idle workers leave theirs free
+     so portfolio races can borrow them (never exceeding [workers] domains) *)
+  let bk = bank workers in
   let take () =
-    Mutex.protect lock (fun () ->
-      if !next >= n then None
-      else begin
-        let i = !next in
-        incr next;
-        Some i
-      end)
+    bank_acquire bk;
+    let i =
+      Mutex.protect lock (fun () ->
+        if !next >= n then None
+        else begin
+          let i = !next in
+          incr next;
+          Some i
+        end)
+    in
+    if i = None then bank_release bk 1;
+    i
   in
   let publish i r =
     Mutex.protect lock (fun () ->
@@ -297,7 +435,9 @@ let run (cfg : config) specs =
       match take () with
       | None -> ()
       | Some i ->
-        publish i (run_job cfg ~worker:wid specs.(i));
+        Fun.protect
+          ~finally:(fun () -> bank_release bk 1)
+          (fun () -> publish i (run_job ~bank:bk cfg ~worker:wid specs.(i)));
         loop ()
     in
     loop ();
@@ -364,6 +504,7 @@ type pool =
   ; lock : Mutex.t
   ; nonempty : Condition.t  (** signalled on submit and on shutdown *)
   ; queue : task Queue.t
+  ; pbank : bank  (** worker-slot bank portfolio races borrow from *)
   ; mutable stopping : bool
   ; mutable active : int  (** tasks currently executing on a worker *)
   ; mutable domains : (M.snapshot * Obs.Span.entry list) Domain.t list
@@ -402,14 +543,19 @@ let persistent_worker pool wid () =
       let task = Queue.pop pool.queue in
       pool.active <- pool.active + 1;
       Mutex.unlock pool.lock;
+      bank_acquire pool.pbank;
       let r =
-        match task.control with
-        | Some c when Atomic.get c.cancel ->
-          M.incr m_cancelled;
-          { (unstarted_result ~reason:Job.Cancelled
-               ~message:"cancelled while queued" task.spec)
-            with Job.worker = wid }
-        | control -> run_job ?control pool.pcfg ~worker:wid task.spec
+        Fun.protect
+          ~finally:(fun () -> bank_release pool.pbank 1)
+          (fun () ->
+            match task.control with
+            | Some c when Atomic.get c.cancel ->
+              M.incr m_cancelled;
+              { (unstarted_result ~reason:Job.Cancelled
+                   ~message:"cancelled while queued" task.spec)
+                with Job.worker = wid }
+            | control ->
+              run_job ?control ~bank:pool.pbank pool.pcfg ~worker:wid task.spec)
       in
       (* a misbehaving completion callback must not kill the worker *)
       (try task.on_done r with _ -> ());
@@ -429,6 +575,7 @@ let create (cfg : config) =
     ; lock = Mutex.create ()
     ; nonempty = Condition.create ()
     ; queue = Queue.create ()
+    ; pbank = bank workers
     ; stopping = false
     ; active = 0
     ; domains = []

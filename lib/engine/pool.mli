@@ -41,7 +41,11 @@ exception Cancelled of [ `Timeout | `Node_limit of int | `Kill ]
     [DELETE /v1/jobs/<id>] and SSE heartbeat stream are built on. *)
 
 type progress =
-  { phase : string  (** currently always ["check"] (DD work underway) *)
+  { phase : string
+        (** ["check"] for a solo job (DD work underway);
+            ["race:<strategy>"] for a portfolio job — the candidate that
+            fired this heartbeat, i.e. the one currently leading the
+            progress stream *)
   ; live_nodes : int
   ; elapsed : float  (** seconds since the attempt started *)
   }
@@ -97,7 +101,13 @@ type batch =
 
 (** [run config specs] executes the batch and blocks until every job has a
     result.  Worker domains are always spawned (also for [workers = 1]),
-    so single- and multi-worker runs execute identically. *)
+    so single- and multi-worker runs execute identically.
+
+    Jobs with [spec.portfolio = Some w] ([w >= 2]) race candidate deciders
+    via [Qcec.Verify.portfolio].  Candidate domains are borrowed from the
+    worker budget: the pool never runs more than [config.workers] domains
+    at once, so on a busy pool a race is granted fewer lanes (down to a
+    single candidate) rather than oversubscribing the machine. *)
 val run : config -> Job.spec list -> batch
 
 (** {1 Persistent pool}

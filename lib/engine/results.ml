@@ -66,6 +66,7 @@ let aggregate (b : Pool.batch) =
       , Json.Obj
           [ ("p50", Json.Float (percentile durations 50.0))
           ; ("p95", Json.Float (percentile durations 95.0))
+          ; ("p99", Json.Float (percentile durations 99.0))
           ; ("max", Json.Float (percentile durations 100.0))
           ] )
     ; ("exit_classes", Json.Obj (exit_counts b.Pool.results))

@@ -14,7 +14,7 @@ val write_jsonl : out_channel -> Job.result -> unit
 val read_jsonl : string -> (Job.result list, string) result
 
 (** [aggregate batch] is the [qcec-batch/v1] document: job and worker
-    counts, wall/cpu seconds, cpu/wall speedup, nearest-rank p50/p95/max
+    counts, wall/cpu seconds, cpu/wall speedup, nearest-rank p50/p95/p99/max
     latencies, per-exit-class counts, and the batch-attributable merged
     metrics and spans. *)
 val aggregate : Pool.batch -> Obs.Json.t

@@ -1,0 +1,120 @@
+module Op = Circuit.Op
+module Gates = Circuit.Gates
+module Cx = Cxnum.Cx
+
+type kind =
+  | Classical
+  | Local_quantum
+  | Global_quantum
+
+let kind_name = function
+  | Classical -> "classical"
+  | Local_quantum -> "local"
+  | Global_quantum -> "global"
+
+let kind_of_string = function
+  | "classical" -> Some Classical
+  | "local" -> Some Local_quantum
+  | "global" -> Some Global_quantum
+  | _ -> None
+
+type t =
+  | Basis_state of bool array
+  | Product_state of (Cx.t * Cx.t) array
+  | Stabilizer_state of
+      { bits : bool array
+      ; prep : Op.t list
+      }
+
+(* The seeding convention every simulative consumer shares: the stream is
+   a pure function of the instance shape (qubit and shot counts) plus an
+   optional explicit seed that extends rather than replaces it, so batch
+   runs can derive a distinct, reproducible stream per job (and, in a
+   portfolio race, per candidate) from one base seed. *)
+let rng ?seed ~num_qubits ~shots () =
+  match seed with
+  | None -> Random.State.make [| 0x51ab; num_qubits; shots |]
+  | Some seed -> Random.State.make [| 0x51ab; num_qubits; shots; seed |]
+
+let random_bits st n = Array.init n (fun _ -> Random.State.bool st)
+
+(* Local quantum stimuli: an independent random point on each qubit's
+   Bloch sphere, as the (alpha, beta) amplitude pair of
+   cos(theta/2)|0> + e^{i phi} sin(theta/2)|1>. *)
+let random_amplitudes st n =
+  Array.init n (fun _ ->
+    let theta = Random.State.float st Float.pi in
+    let phi = Random.State.float st (2.0 *. Float.pi) in
+    ( Cx.of_float (Float.cos (theta /. 2.0))
+    , Cx.polar (Float.sin (theta /. 2.0)) phi ))
+
+(* How many random Clifford operations a global stimulus applies on top of
+   its random basis state: enough layers for every qubit to entangle with
+   the rest of the register (each iteration touches one or two qubits, so
+   2n iterations give each wire ~4 chances to interact). *)
+let prep_depth n = 2 * n
+
+(* Global quantum stimuli: a random stabilizer state, prepared as a short
+   random Clifford circuit (H/S/X plus CX) applied to a random basis
+   state.  Every generated operation is checked against the tableau
+   backend's Clifford predicate, so the promise that {!tableau} can always
+   replay the preparation holds by construction. *)
+let random_clifford_prep st n =
+  let gates = [| Gates.H; Gates.S; Gates.X |] in
+  List.init (prep_depth n) (fun _ ->
+    let op =
+      if n >= 2 && Random.State.bool st then begin
+        let a = Random.State.int st n in
+        let rec other () =
+          let b = Random.State.int st n in
+          if b = a then other () else b
+        in
+        Op.controlled Gates.X ~control:a ~target:(other ())
+      end
+      else begin
+        let g = gates.(Random.State.int st (Array.length gates)) in
+        Op.apply g (Random.State.int st n)
+      end
+    in
+    (match (op : Op.t) with
+     | Op.Apply { gate; _ } when not (Stabilizer.is_clifford_gate gate) ->
+       invalid_arg "Stimuli: generated a non-Clifford preparation gate"
+     | _ -> ());
+    op)
+
+let draw st kind ~num_qubits:n =
+  match kind with
+  | Classical -> Basis_state (random_bits st n)
+  | Local_quantum -> Product_state (random_amplitudes st n)
+  | Global_quantum ->
+    (* the bits are drawn before the preparation ops, fixing the stream
+       layout other consumers (and the verdict cache) rely on *)
+    let bits = random_bits st n in
+    Stabilizer_state { bits; prep = random_clifford_prep st n }
+
+(* Classical and global stimuli are stabilizer states; replaying the
+   preparation on the tableau backend is both the ground truth the DD
+   materialization must agree with and a structural check that the
+   preparation really is Clifford.  Local stimuli are generic product
+   states the tableau formalism cannot carry. *)
+let tableau ~num_qubits:n = function
+  | Product_state _ -> None
+  | Basis_state bits ->
+    let st = Stabilizer.init n in
+    Array.iteri (fun q b -> if b then Stabilizer.apply_unitary_op st (Op.apply Gates.X q)) bits;
+    Some st
+  | Stabilizer_state { bits; prep } ->
+    let st = Stabilizer.init n in
+    Array.iteri (fun q b -> if b then Stabilizer.apply_unitary_op st (Op.apply Gates.X q)) bits;
+    List.iter (Stabilizer.apply_unitary_op st) prep;
+    Some st
+
+let pp ppf = function
+  | Basis_state bits ->
+    Fmt.pf ppf "|%s>"
+      (String.concat ""
+         (Array.to_list (Array.map (fun b -> if b then "1" else "0") bits)))
+  | Product_state amps -> Fmt.pf ppf "product state on %d qubits" (Array.length amps)
+  | Stabilizer_state { bits; prep } ->
+    Fmt.pf ppf "stabilizer state (%d qubits, %d Clifford preparation ops)"
+      (Array.length bits) (List.length prep)

@@ -1,0 +1,59 @@
+(** The three stimuli classes of Burgholzer & Wille's "Advanced
+    Equivalence Checking for Quantum Circuits" (PAPERS.md), as pure,
+    seeded, backend-independent data.
+
+    A simulative equivalence check feeds random input states through both
+    circuits and compares the outputs; what it can catch depends on how
+    the inputs are drawn:
+
+    - {e classical} stimuli — random computational basis states — are the
+      cheapest and catch permutation/logic errors;
+    - {e local quantum} stimuli — random single-qubit product states —
+      additionally expose phase errors a basis state is blind to;
+    - {e global quantum} stimuli — random stabilizer states from a short
+      random Clifford preparation — add entanglement across the register
+      and catch discrepancies only visible on correlated inputs.
+
+    A stimulus is described here as data (bits, amplitude pairs, or a
+    Clifford preparation); {!Qcec.Strategy} materializes it as a DD vector
+    on whatever backend runs the check, and {!tableau} replays stabilizer
+    stimuli on the {!Stabilizer} backend as ground truth. *)
+
+type kind =
+  | Classical  (** random computational basis states *)
+  | Local_quantum  (** random single-qubit product states *)
+  | Global_quantum  (** random stabilizer states via a Clifford preparation *)
+
+val kind_name : kind -> string
+
+(** Inverse of {!kind_name}. *)
+val kind_of_string : string -> kind option
+
+type t =
+  | Basis_state of bool array  (** one bit per qubit *)
+  | Product_state of (Cxnum.Cx.t * Cxnum.Cx.t) array
+      (** per-qubit [(alpha, beta)] of [alpha|0> + beta|1>], normalized *)
+  | Stabilizer_state of
+      { bits : bool array  (** the basis state the preparation starts from *)
+      ; prep : Circuit.Op.t list  (** Clifford ops ([H]/[S]/[X]/[CX]) *)
+      }
+
+(** [rng ?seed ~num_qubits ~shots ()] — the shared seeding convention:
+    deterministic in the instance shape alone, and an explicit [seed]
+    {e extends} (never replaces) that basis, so derived seeds like
+    [seed + candidate_index] yield distinct, reproducible streams. *)
+val rng : ?seed:int -> num_qubits:int -> shots:int -> unit -> Random.State.t
+
+(** [draw st kind ~num_qubits] draws one stimulus, advancing [st]. *)
+val draw : Random.State.t -> kind -> num_qubits:int -> t
+
+(** Number of Clifford operations a global stimulus applies ([2 * n]). *)
+val prep_depth : int -> int
+
+(** [tableau ~num_qubits s] replays [s] on the stabilizer tableau backend:
+    [Some] for classical and global stimuli (which are stabilizer states
+    by construction — the preparation only uses Clifford operations),
+    [None] for local quantum stimuli (generic product states). *)
+val tableau : num_qubits:int -> t -> Stabilizer.t option
+
+val pp : Format.formatter -> t -> unit

@@ -170,6 +170,17 @@ let parse_backend body =
         (Printf.sprintf "backend %S not registered (have: %s)" name
            (String.concat ", " (Dd.Registry.names ()))))
 
+(* ["portfolio": w] races w candidate deciders for the job, first verdict
+   wins; the same validation as the manifest (>= 2, or 0 for "no race"). *)
+let parse_portfolio body =
+  match opt_int body "portfolio" with
+  | None -> None
+  | Some 0 -> None
+  | Some w when w >= 2 -> Some w
+  | Some w ->
+    reject 400 "bad_portfolio"
+      (Printf.sprintf "portfolio must be a width >= 2 (or 0 to disable), got %d" w)
+
 (* one job spec from an inline {"a": <qasm>, "b": <qasm>, ...} document *)
 let inline_spec ~index body =
   let a = parse_circuit body "a" in
@@ -183,7 +194,8 @@ let inline_spec ~index body =
     ?seed:(opt_int body "seed")
     ?kernels:(opt_bool body "kernels")
     ?cache:(opt_bool body "cache")
-    ?backend:(parse_backend body) ~index a b
+    ?backend:(parse_backend body)
+    ?portfolio:(parse_portfolio body) ~index a b
 
 (* ------------------------------------------------------------------ *)
 (* Job JSON                                                            *)
