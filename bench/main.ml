@@ -1098,6 +1098,12 @@ let portfolio_section ~full ~quick () =
             a.Circ.name;
         if not race.Qcec.Verify.winner.Qcec.Verify.equivalent then
           report_failure "portfolio: %s NOT equivalent!@." a.Circ.name;
+        (* every composed field contains an exact candidate, so a Table 1
+           race must settle on a definitive verdict, never the simulative
+           all-shots-pass fallback *)
+        if not race.Qcec.Verify.winner_definitive then
+          report_failure "portfolio: %s race verdict is not definitive!@."
+            a.Circ.name;
         let worst_solo =
           List.fold_left (fun acc (_, _, t) -> Float.max acc t) 0.0 solo
         in
@@ -1162,6 +1168,8 @@ let portfolio_section ~full ~quick () =
                         , Obs.Json.String
                             (Qcec.Strategy.name race.Qcec.Verify.winner_strategy) )
                       ; ("winner_index", Obs.Json.Int race.Qcec.Verify.winner_index)
+                      ; ( "winner_definitive"
+                        , Obs.Json.Bool race.Qcec.Verify.winner_definitive )
                       ; ( "recommended_lost"
                         , Obs.Json.Bool (race.Qcec.Verify.winner_index <> 0) )
                       ; ("cancelled", Obs.Json.Int race.Qcec.Verify.races_cancelled)

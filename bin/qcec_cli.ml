@@ -119,10 +119,13 @@ let portfolio_candidates ~width ~backend a b =
   |> List.map (fun c -> (Qcec.Strategy.of_candidate c, backend))
 
 let pp_portfolio_report ppf (r : Qcec.Verify.portfolio_result) =
-  Fmt.pf ppf "@[<v>portfolio race: %d candidates, winner %s (#%d) in %.4fs"
+  Fmt.pf ppf "@[<v>portfolio race: %d candidates, winner %s (#%d%s) in %.4fs"
     (List.length r.Qcec.Verify.candidates)
     (Qcec.Strategy.name r.Qcec.Verify.winner_strategy)
-    r.Qcec.Verify.winner_index r.Qcec.Verify.t_wall;
+    r.Qcec.Verify.winner_index
+    (if r.Qcec.Verify.winner_definitive then ""
+     else ", probabilistic: all shots agreed but no exact decider finished")
+    r.Qcec.Verify.t_wall;
   List.iteri
     (fun i (c : Qcec.Verify.candidate_report) ->
       Fmt.pf ppf "@,  [%d] %-26s %-16s %.4fs" i
@@ -138,6 +141,7 @@ let portfolio_json (r : Qcec.Verify.portfolio_result) =
     ; ("winner_index", Obs.Json.Int r.Qcec.Verify.winner_index)
     ; ( "winner_strategy"
       , Obs.Json.String (Qcec.Strategy.name r.Qcec.Verify.winner_strategy) )
+    ; ("definitive", Obs.Json.Bool r.Qcec.Verify.winner_definitive)
     ; ("cancelled", Obs.Json.Int r.Qcec.Verify.races_cancelled)
     ; ("t_wall", Obs.Json.Float r.Qcec.Verify.t_wall)
     ; ( "candidates"
@@ -327,12 +331,14 @@ let check_cmd =
         in
         if not quiet then Fmt.pr "%a@." pp_portfolio_report pr;
         (pr.Qcec.Verify.winner, Some pr)
-      | _ ->
-        let strategy =
-          match strategy with
-          | Strat s -> s
-          | Strat_portfolio -> Qcec.Strategy.Proportional
-        in
+      | Strat_portfolio, Some _ ->
+        (* silently coercing the race to a solo run would drop an explicit
+           request; the combination is a contradiction, so refuse it *)
+        Fmt.epr
+          "qcec check: --strategy portfolio cannot be combined with --scheme \
+           (the race composes its own candidate field)@.";
+        exit 2
+      | Strat strategy, _ ->
         let strategy = resolve_scheme ~strategy ~scheme a b in
         let r =
           try
@@ -787,12 +793,14 @@ let verify_cmd =
         in
         if not quiet then Fmt.pr "%a@." pp_portfolio_report pr;
         (pr.Qcec.Verify.winner, Some pr)
-      | _ ->
-        let strategy =
-          match strategy with
-          | Strat s -> s
-          | Strat_portfolio -> Qcec.Strategy.Proportional
-        in
+      | Strat_portfolio, Some _ ->
+        (* silently coercing the race to a solo run would drop an explicit
+           request; the combination is a contradiction, so refuse it *)
+        Fmt.epr
+          "qcec verify: --strategy portfolio cannot be combined with --scheme \
+           (the race composes its own candidate field)@.";
+        exit 2
+      | Strat strategy, _ ->
         let strategy = resolve_scheme ~strategy ~scheme a b in
         let r =
           try

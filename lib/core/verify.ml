@@ -346,6 +346,7 @@ type portfolio_result =
   { winner : functional_result
   ; winner_index : int
   ; winner_strategy : Strategy.t
+  ; winner_definitive : bool
   ; candidates : candidate_report list
   ; races_cancelled : int
   ; t_wall : float
@@ -365,6 +366,29 @@ let pp_candidate_outcome ppf = function
   | `Cancelled -> Fmt.string ppf "cancelled"
   | `Error msg -> Fmt.pf ppf "error: %s" msg
 
+(* A simulative candidate's 'all shots agree' is probabilistic, not
+   definitive: state fidelity is |<a|b>|^2, so classical basis stimuli
+   are deterministically blind to phase-only/diagonal discrepancies, and
+   even quantum stimuli only refute with high probability.  Its
+   'not equivalent', by contrast, exhibits a distinguishing stimulus. *)
+let simulative = function
+  | Strategy.Simulation _ | Strategy.Random_stimuli _ -> true
+  | Strategy.Construction | Strategy.Sequential | Strategy.Proportional
+  | Strategy.Lookahead -> false
+
+(* Candidate [i]'s seed.  NOT [seed + i]: the manifest already derives
+   sibling-job seeds as [seed + index], so a linear rule one level down
+   would hand job [j]'s candidate 1 the same RNG key as job [j+1]'s
+   candidate 0, correlating stimuli streams across a batch.  Mixing the
+   index through a splitmix-style finalizer keeps candidate streams
+   disjoint from every sibling job's, and still deterministic. *)
+let candidate_seed ~seed ~candidate =
+  let h = seed + ((candidate + 1) * 0x2545F4914F6CDD1D) in
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x119DE1F3 in
+  let h = h lxor (h lsr 27) in
+  h land max_int
+
 let portfolio ~candidates ?perm ?auto_align ?on_dynamic ?dd_config ?seed
     ?use_kernels ?cache ?safepoint g g' =
   if candidates = [] then invalid_arg "Verify.portfolio: no candidates";
@@ -373,10 +397,7 @@ let portfolio ~candidates ?perm ?auto_align ?on_dynamic ?dd_config ?seed
      the race.  Every other candidate observes it at its next safepoint. *)
   let winner = Atomic.make (-1) in
   let run_candidate i (strategy, backend) =
-    (* the manifest derives job seeds as [seed + index]; candidate seeds
-       follow the same rule one level down, so every candidate draws a
-       distinct, reproducible stimuli stream *)
-    let seed = Option.map (fun s -> s + i) seed in
+    let seed = Option.map (fun s -> candidate_seed ~seed:s ~candidate:i) seed in
     let r, wall =
       match Dd.Registry.find backend with
       | None ->
@@ -412,19 +433,43 @@ let portfolio ~candidates ?perm ?auto_align ?on_dynamic ?dd_config ?seed
             (r, now () -. t))
     in
     (* publish before returning: losers must be able to observe the
-       verdict while this domain is still being joined *)
+       verdict while this domain is still being joined.  Only definitive
+       verdicts claim the race — a simulative all-shots-pass is
+       probabilistic, so it must not cancel the exact deciders (it may
+       still serve as a flagged fallback if nobody else finishes). *)
     let won =
       match r with
-      | Ok _ -> Atomic.compare_and_set winner (-1) i
-      | Error _ -> false
+      | Ok fr when not (simulative strategy && fr.equivalent) ->
+        Atomic.compare_and_set winner (-1) i
+      | Ok _ | Error _ -> false
     in
     (r, won, seed, wall, Obs.Metrics.snapshot (), Obs.Span.report ())
   in
   let joined =
     (* one domain per candidate, the first included: the race is uniform
-       and the caller's domain just coordinates *)
-    List.map Domain.join
-      (List.mapi (fun i c -> Domain.spawn (fun () -> run_candidate i c)) candidates)
+       and the caller's domain just coordinates.  Spawning is protected: if
+       [Domain.spawn] fails partway (domain exhaustion under a racing batch
+       pool), the race is aborted via the winner cell — [max_int] makes the
+       already-running candidates unwind at their next safepoint — and every
+       spawned domain is joined before the spawn failure propagates. *)
+    let spawned = ref [] in
+    (try
+       List.iteri
+         (fun i c ->
+           spawned := Domain.spawn (fun () -> run_candidate i c) :: !spawned)
+         candidates
+     with e ->
+       ignore (Atomic.compare_and_set winner (-1) max_int);
+       List.iter
+         (fun d ->
+           match Domain.join d with
+           | (_, _, _, _, m, spans) ->
+             Obs.Metrics.absorb m;
+             Obs.Span.absorb spans
+           | exception _ -> ())
+         !spawned;
+       raise e);
+    List.map Domain.join (List.rev !spawned)
   in
   let t_wall = now () -. t0 in
   (* fold every candidate's DD work into this domain so per-job metric
@@ -434,12 +479,31 @@ let portfolio ~candidates ?perm ?auto_align ?on_dynamic ?dd_config ?seed
       Obs.Metrics.absorb m;
       Obs.Span.absorb spans)
     joined;
+  let decided = Atomic.get winner in
+  let winner_index =
+    if decided >= 0 then Some decided
+    else begin
+      (* no definitive verdict was published.  A simulative candidate whose
+         shots all agreed is still a usable — probabilistic — 'equivalent'
+         (every [Ok] here is one: an exact [Ok] or a simulative
+         counterexample would have claimed the race); surface the first
+         such finisher, flagged via [winner_definitive = false]. *)
+      let rec first_ok i = function
+        | [] -> None
+        | (Ok _, _, _, _, _, _) :: _ -> Some i
+        | _ :: rest -> first_ok (i + 1) rest
+      in
+      first_ok 0 joined
+    end
+  in
   let reports =
+    let idx = ref (-1) in
     List.map2
-      (fun (strategy, backend) (r, won, seed, wall, m, _) ->
+      (fun (strategy, backend) (r, _, seed, wall, m, _) ->
+        incr idx;
         let outcome =
           match r with
-          | Ok _ when won -> `Won
+          | Ok _ when Some !idx = winner_index -> `Won
           | Ok _ -> `Finished
           | Error Lost -> `Cancelled
           | Error e -> `Error (Printexc.to_string e)
@@ -458,8 +522,8 @@ let portfolio ~candidates ?perm ?auto_align ?on_dynamic ?dd_config ?seed
   in
   Obs.Metrics.incr m_races;
   Obs.Metrics.add m_port_cancelled races_cancelled;
-  match Atomic.get winner with
-  | -1 ->
+  match winner_index with
+  | None ->
     (* nobody finished: every candidate failed on its own terms (timeout,
        node limit, rejection...).  Re-raise the first failure so callers
        classify the race exactly like a solo run of their lead pick. *)
@@ -471,7 +535,7 @@ let portfolio ~candidates ?perm ?auto_align ?on_dynamic ?dd_config ?seed
      with
      | Some e -> raise e
      | None -> invalid_arg "Verify.portfolio: race decided with no verdict")
-  | w ->
+  | Some w ->
     let winner_result =
       match List.nth joined w with
       | Ok r, _, _, _, _, _ -> r
@@ -480,6 +544,7 @@ let portfolio ~candidates ?perm ?auto_align ?on_dynamic ?dd_config ?seed
     { winner = winner_result
     ; winner_index = w
     ; winner_strategy = fst (List.nth candidates w)
+    ; winner_definitive = decided >= 0
     ; candidates = reports
     ; races_cancelled
     ; t_wall

@@ -190,8 +190,13 @@ val distribution :
 type candidate_outcome =
   [ `Won  (** produced the verdict the race returned *)
   | `Finished
-      (** produced a definitive verdict of its own, but after the winner;
-          its verdict is discarded (CI asserts it always agrees) *)
+      (** finished on its own terms without deciding the race: either an
+          exact verdict produced after the winner's, or a simulative
+          all-shots-pass (which never claims the race — see
+          {!portfolio_result.winner_definitive}; on a pair an exact
+          candidate refuted, a simulative [`Finished] may disagree with
+          the race verdict, exactly because its stimuli were blind to the
+          discrepancy) *)
   | `Cancelled  (** observed the winner at a safepoint and unwound *)
   | `Error of string  (** failed on its own terms before the race ended *)
   ]
@@ -199,7 +204,9 @@ type candidate_outcome =
 type candidate_report =
   { c_strategy : Strategy.t
   ; c_backend : string  (** registry name of the DD backend it ran on *)
-  ; c_seed : int option  (** derived seed: race seed + candidate index *)
+  ; c_seed : int option
+        (** derived seed: {!candidate_seed} of the race seed and the
+            candidate index *)
   ; c_outcome : candidate_outcome
   ; c_wall : float  (** seconds from spawn to verdict/cancellation *)
   ; c_metrics : Obs.Metrics.snapshot
@@ -211,10 +218,25 @@ type portfolio_result =
   { winner : functional_result
   ; winner_index : int  (** position in the [candidates] argument *)
   ; winner_strategy : Strategy.t
+  ; winner_definitive : bool
+        (** [true] when the verdict is exact: an alternation/construction
+            candidate finished, or a simulative candidate exhibited a
+            distinguishing stimulus.  [false] when every surviving
+            candidate was simulative and all shots agreed — the verdict is
+            then probabilistic ('no discrepancy found'), and callers that
+            need certainty must rerun with an exact strategy *)
   ; candidates : candidate_report list  (** one per entrant, in order *)
   ; races_cancelled : int  (** candidates stopped at a safepoint *)
   ; t_wall : float  (** wall-clock of the whole race *)
   }
+
+(** [candidate_seed ~seed ~candidate] — the derived seed candidate
+    [candidate] of a race with seed [seed] runs under.  A splitmix-style
+    mix of the index rather than [seed + candidate]: the manifest already
+    derives sibling-job seeds as [seed + index], so a linear rule one
+    level down would make job [j]'s candidate 1 share a stimuli stream
+    with job [j+1]'s candidate 0. *)
+val candidate_seed : seed:int -> candidate:int -> int
 
 (** [portfolio ~candidates g g'] races one spawned domain per candidate
     [(strategy, backend)] — each with its own DD package on its own
@@ -224,20 +246,30 @@ type portfolio_result =
     metrics and spans are folded into the calling domain at join, so a
     batch worker's per-job metric diff covers the whole race.
 
-    [seed] is the {e race} seed; candidate [i] runs under [seed + i]
-    (mirroring the manifest's per-job [seed + index] rule), so simulative
-    candidates draw distinct, reproducible stimuli streams.  [safepoint]
+    [seed] is the {e race} seed; candidate [i] runs under
+    [candidate_seed ~seed ~candidate:i], so simulative candidates draw
+    distinct, reproducible stimuli streams that cannot collide with a
+    sibling job's (the manifest hands jobs [seed + index]).  [safepoint]
     is invoked at every candidate safepoint (after the race-abandonment
     check) with the candidate's strategy name and live node count — the
     batch pool uses it for cancellation/deadline checks and progress.
 
-    Candidate verdicts are definitive by construction (a completed
-    strategy returns equivalent or not-equivalent, never maybe), so the
-    first finisher — cache hits included — decides the race.  If {e no}
-    candidate finishes, the first candidate's failure is re-raised so
-    callers classify the race like a solo run.  Increments
-    [portfolio.races] once and [portfolio.cancelled] per cancelled
-    candidate.  Raises [Invalid_argument] on an empty candidate list. *)
+    Exact candidate verdicts are definitive (a completed alternation or
+    construction check returns equivalent or not-equivalent, never
+    maybe), and so is a simulative counterexample; any of these — cache
+    hits included — decides the race the moment it lands.  A simulative
+    all-shots-pass is {e not} definitive (fidelity-based sampling can
+    miss discrepancies, phase-only ones in particular), so it never
+    claims the race: the candidate records [`Finished] and the exact
+    deciders race on.  Only when no definitive verdict ever lands does
+    the first such finisher become the winner, with
+    [winner_definitive = false].  If {e no} candidate finishes, the
+    first candidate's failure is re-raised so callers classify the race
+    like a solo run.  If a candidate domain fails to spawn, the
+    already-running candidates are unwound and joined before the spawn
+    failure propagates.  Increments [portfolio.races] once and
+    [portfolio.cancelled] per cancelled candidate.  Raises
+    [Invalid_argument] on an empty candidate list. *)
 val portfolio :
      candidates:(Strategy.t * string) list
   -> ?perm:int array

@@ -232,7 +232,12 @@ let race_attempt cfg ~bank ~dd_config ~deadline ~control ~width (spec : Job.spec
       { Job.equivalent = w.Qcec.Verify.equivalent
       ; exactly_equal = w.Qcec.Verify.exactly_equal
       ; strategy =
-          Fmt.str "portfolio(%s)" (Qcec.Strategy.name r.Qcec.Verify.winner_strategy)
+          (* a probabilistic winner (every survivor was simulative and all
+             shots agreed) is flagged in the recorded strategy so batch
+             consumers can tell it from an exact race verdict *)
+          Fmt.str "portfolio(%s%s)"
+            (Qcec.Strategy.name r.Qcec.Verify.winner_strategy)
+            (if r.Qcec.Verify.winner_definitive then "" else ", probabilistic")
       ; t_transform = w.Qcec.Verify.t_transform
       ; t_check = w.Qcec.Verify.t_check
       ; transformed_qubits = w.Qcec.Verify.transformed_qubits

@@ -1,8 +1,9 @@
 (* Portfolio racing tests: the three stimuli classes (determinism,
-   shape, tableau ground truth), first-verdict-wins racing with
-   per-candidate seeds derived as race seed + candidate index, loser
-   cancellation at safepoints without leaked DD roots, and the engine /
-   manifest wiring of the portfolio knob. *)
+   shape, tableau ground truth), first-definitive-verdict-wins racing
+   with per-candidate seeds derived via [Verify.candidate_seed], loser
+   cancellation at safepoints without leaked DD roots, the
+   phase-blindness guard (a simulative all-shots-pass must never claim
+   the race), and the engine / manifest wiring of the portfolio knob. *)
 
 module Stimuli = Qsim.Stimuli
 module Job = Engine.Job
@@ -109,13 +110,26 @@ let test_race_verdict_and_seeds () =
   in
   Alcotest.(check bool) "the race verdict is correct" true
     r.Qcec.Verify.winner.Qcec.Verify.equivalent;
+  Alcotest.(check bool)
+    "an equivalent pair with exact candidates settles definitively" true
+    r.Qcec.Verify.winner_definitive;
   Alcotest.(check int) "one report per candidate" (List.length race_candidates)
     (List.length r.Qcec.Verify.candidates);
   List.iteri
     (fun i (c : Qcec.Verify.candidate_report) ->
-      Alcotest.(check (option int)) "candidate seed = race seed + index"
-        (Some (40 + i)) c.Qcec.Verify.c_seed)
+      Alcotest.(check (option int)) "candidate seed uses the derivation rule"
+        (Some (Qcec.Verify.candidate_seed ~seed:40 ~candidate:i))
+        c.Qcec.Verify.c_seed)
     r.Qcec.Verify.candidates;
+  (* the mix must never collide with the manifest's sibling-job rule:
+     job j's candidate 1 and job j+1's candidate 0 get distinct keys *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "candidate streams are disjoint from sibling jobs"
+        false
+        (Qcec.Verify.candidate_seed ~seed:s ~candidate:1
+        = Qcec.Verify.candidate_seed ~seed:(s + 1) ~candidate:0))
+    [ 0; 1; 40; 1234 ];
   let w = List.nth r.Qcec.Verify.candidates r.Qcec.Verify.winner_index in
   (match w.Qcec.Verify.c_outcome with
    | `Won -> ()
@@ -152,9 +166,12 @@ let test_race_rejects_bad_input () =
     Alcotest.fail "unknown backend must propagate out of the race"
   with Invalid_argument _ -> ()
 
-(* Slow loser vs. instant winner: the sequential candidate sleeps at each
-   of its (many) safepoints, guaranteeing the 1-shot simulative candidate
-   publishes first; the loser must then unwind at its next safepoint. *)
+(* Slow loser vs. fast winner: the sequential candidate sleeps at each
+   of its (many) safepoints, guaranteeing the proportional candidate —
+   exact, hence allowed to claim the race — publishes first; the loser
+   must then unwind at its next safepoint.  (A simulative candidate could
+   not play the fast role here: its all-shots-pass on an equivalent pair
+   is probabilistic and never claims the race.) *)
 let test_loser_cancellation () =
   Obs.Metrics.set_enabled true;
   Fun.protect
@@ -170,9 +187,7 @@ let test_loser_cancellation () =
         Qcec.Verify.portfolio
           ~candidates:
             [ (Qcec.Strategy.Sequential, "classic")
-            ; ( Qcec.Strategy.Random_stimuli
-                  { kind = Qcec.Strategy.Basis; shots = 1 }
-              , "classic" )
+            ; (Qcec.Strategy.Proportional, "classic")
             ]
           ~seed:1
           ~safepoint:(fun ~candidate ~live_nodes:_ ->
@@ -181,7 +196,8 @@ let test_loser_cancellation () =
       in
       Alcotest.(check bool) "the fast candidate wins" true
         (r.Qcec.Verify.winner_index = 1
-        && r.Qcec.Verify.winner.Qcec.Verify.equivalent);
+        && r.Qcec.Verify.winner.Qcec.Verify.equivalent
+        && r.Qcec.Verify.winner_definitive);
       Alcotest.(check int) "the slow candidate is cancelled" 1
         r.Qcec.Verify.races_cancelled;
       (match
@@ -194,6 +210,77 @@ let test_loser_cancellation () =
       let after = Obs.Metrics.find (Obs.Metrics.snapshot ()) "portfolio.cancelled" in
       Alcotest.(check int) "portfolio.cancelled counts the loser" 1
         (after - before))
+
+(* The soundness trap the race must not fall into: classical basis
+   stimuli are deterministically blind to phase-only discrepancies
+   (state fidelity is |<a|b>|^2 — S|b> and |b> have fidelity 1 for every
+   basis state b), so a lone S gate vs the identity passes every basis
+   shot.  The cheap simulative candidate finishes first, but its
+   all-shots-pass must NOT claim the race: the exact decider, slowed at
+   each safepoint to make the ordering deterministic, must still refute
+   the pair. *)
+let s_vs_identity () =
+  ( Circuit.Circ.make ~name:"s" ~qubits:1 ~cbits:0
+      [ Circuit.Op.apply Circuit.Gates.S 0 ]
+  , Circuit.Circ.make ~name:"id" ~qubits:1 ~cbits:0 [] )
+
+let test_simulative_pass_cannot_win () =
+  let s, id = s_vs_identity () in
+  let slow = Qcec.Strategy.name Qcec.Strategy.Proportional in
+  let r =
+    Qcec.Verify.portfolio
+      ~candidates:
+        [ ( Qcec.Strategy.Random_stimuli
+              { kind = Qcec.Strategy.Basis; shots = 8 }
+          , "classic" )
+        ; (Qcec.Strategy.Proportional, "classic")
+        ]
+      ~seed:7
+      ~safepoint:(fun ~candidate ~live_nodes:_ ->
+        if candidate = slow then Unix.sleepf 0.005)
+      s id
+  in
+  Alcotest.(check bool) "the race refutes the phase-only pair" false
+    r.Qcec.Verify.winner.Qcec.Verify.equivalent;
+  Alcotest.(check bool) "the refutation is definitive" true
+    r.Qcec.Verify.winner_definitive;
+  Alcotest.(check int) "the exact decider wins" 1 r.Qcec.Verify.winner_index;
+  match (List.nth r.Qcec.Verify.candidates 0).Qcec.Verify.c_outcome with
+  | `Finished -> ()
+  | o ->
+    Alcotest.failf "the blind simulative candidate must finish (lost), got %a"
+      Qcec.Verify.pp_candidate_outcome o
+
+(* With only basis-stimuli candidates in the field, the same pair can
+   only produce the flagged fallback: all shots agree, nobody claims the
+   race, and the result is marked probabilistic instead of posing as a
+   definitive 'equivalent'. *)
+let test_all_simulative_race_is_probabilistic () =
+  let s, id = s_vs_identity () in
+  let r =
+    Qcec.Verify.portfolio
+      ~candidates:
+        [ ( Qcec.Strategy.Random_stimuli
+              { kind = Qcec.Strategy.Basis; shots = 4 }
+          , "classic" )
+        ; ( Qcec.Strategy.Random_stimuli
+              { kind = Qcec.Strategy.Basis; shots = 8 }
+          , "packed" )
+        ]
+      ~seed:7 s id
+  in
+  Alcotest.(check bool) "all basis shots pass on the phase-only pair" true
+    r.Qcec.Verify.winner.Qcec.Verify.equivalent;
+  Alcotest.(check bool) "...but the verdict is flagged as probabilistic" false
+    r.Qcec.Verify.winner_definitive;
+  match
+    (List.nth r.Qcec.Verify.candidates r.Qcec.Verify.winner_index)
+      .Qcec.Verify.c_outcome
+  with
+  | `Won -> ()
+  | o ->
+    Alcotest.failf "the fallback winner's report must be `Won, got %a"
+      Qcec.Verify.pp_candidate_outcome o
 
 exception Stop
 
@@ -246,9 +333,11 @@ let test_pool_portfolio_job () =
       && String.sub v.Job.strategy 0 10 = "portfolio(")
   | Job.Failed { message; _ } -> Alcotest.failf "portfolio job failed: %s" message
 
-(* seeds derive as race seed + candidate index, and portfolio verdict
+(* seeds derive via [Verify.candidate_seed], and portfolio verdict
    flags are independent of worker count and backend (the winning
-   candidate may differ run to run; the verdict may not) *)
+   candidate may differ run to run; the verdict may not).  An
+   all-simulative race on an equivalent pair settles on the flagged
+   probabilistic fallback — no candidate may claim it. *)
 let prop_portfolio_determinism =
   QCheck.Test.make ~count:4
     ~name:"portfolio: derived seeds and worker-count-independent verdicts"
@@ -271,9 +360,14 @@ let prop_portfolio_determinism =
       in
       List.iteri
         (fun i (c : Qcec.Verify.candidate_report) ->
-          if c.Qcec.Verify.c_seed <> Some (seed + i) then
+          if c.Qcec.Verify.c_seed
+             <> Some (Qcec.Verify.candidate_seed ~seed ~candidate:i)
+          then
             QCheck.Test.fail_reportf "candidate %d ran under the wrong seed" i)
         r.Qcec.Verify.candidates;
+      if r.Qcec.Verify.winner_definitive then
+        QCheck.Test.fail_reportf
+          "an all-simulative pass must be flagged probabilistic";
       let specs =
         List.init 3 (fun index ->
           let p = bv_pair index in
@@ -369,6 +463,10 @@ let suite =
       test_race_rejects_bad_input
   ; Alcotest.test_case "losers cancel at safepoints" `Quick
       test_loser_cancellation
+  ; Alcotest.test_case "a simulative all-shots-pass cannot claim the race"
+      `Quick test_simulative_pass_cannot_win
+  ; Alcotest.test_case "all-simulative races are flagged probabilistic" `Quick
+      test_all_simulative_race_is_probabilistic
   ; Alcotest.test_case "cancellation leaks no rooted DD edges" `Quick
       test_cancellation_leaks_no_roots
   ; Alcotest.test_case "pool runs portfolio jobs" `Quick test_pool_portfolio_job
